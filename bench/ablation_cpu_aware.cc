@@ -1,0 +1,99 @@
+// Ablation A4 — CPU-aware balancing (the paper's future work, VII).
+//
+// "we are looking at how we could integrate CPU load into our load balancing
+// algorithms for environments where CPU is a constrained resource". This
+// ablation runs a CPU-bound, bandwidth-light workload (large fan-outs of
+// tiny messages, starting from 3 servers) and compares the shipped bandwidth-only
+// balancer against the cpu_aware extension.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "harness/probes.h"
+#include "metrics/series.h"
+
+namespace {
+
+using namespace dynamoth;
+
+struct RunResult {
+  double rt_mean_ms = 0;
+  double rt_p99_ms = 0;
+  double migrated = 0;
+  double owners = 0;   // distinct servers owning hot channels at the end
+  double servers = 0;  // fleet size at the end
+};
+
+RunResult run(int subscribers_per_channel, bool cpu_aware, std::uint64_t seed) {
+  harness::ClusterConfig config;
+  config.seed = seed;
+  config.initial_servers = 3;
+  config.server_capacity = 20e6;  // bandwidth never binds: CPU is the story
+  harness::Cluster cluster(config);
+
+  core::DynamothLoadBalancer::Config lb_config;
+  lb_config.t_wait = seconds(10);
+  lb_config.max_servers = 6;
+  lb_config.cpu_aware = cpu_aware;
+  lb_config.cpu_high = 0.7;
+  lb_config.cpu_safe = 0.5;
+  auto& lb = cluster.use_dynamoth(lb_config);
+
+  constexpr int kChannels = 6;
+  harness::ResponseProbe warmup, measured;
+  harness::ResponseProbe* probe = &warmup;
+  std::vector<std::unique_ptr<sim::PeriodicTask>> feeds;
+  for (int ch = 0; ch < kChannels; ++ch) {
+    const Channel c = "alerts" + std::to_string(ch);
+    for (int s = 0; s < subscribers_per_channel; ++s) {
+      cluster.add_client().subscribe(c, [&probe, &cluster](const ps::EnvelopePtr& env) {
+        probe->record(cluster.sim().now() - env->publish_time);
+      });
+    }
+    auto* p = &cluster.add_client();
+    feeds.push_back(std::make_unique<sim::PeriodicTask>(cluster.sim(), millis(25),
+                                                        [p, c] { p->publish(c, 30); }));
+    feeds.back()->start();
+  }
+
+  cluster.sim().run_for(seconds(50));  // let the balancer act
+  probe = &measured;
+  cluster.sim().run_for(seconds(30));
+
+  RunResult result;
+  result.rt_mean_ms = measured.overall_mean_ms();
+  result.rt_p99_ms = measured.percentile_ms(99);
+  result.migrated = static_cast<double>(lb.stats().channels_migrated);
+  std::set<ServerId> owners;
+  for (int ch = 0; ch < kChannels; ++ch) {
+    owners.insert(lb.current_plan()
+                      ->resolve("alerts" + std::to_string(ch), *cluster.base_ring())
+                      .primary());
+  }
+  result.owners = static_cast<double>(owners.size());
+  result.servers = static_cast<double>(cluster.active_servers());
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation A4: CPU-aware balancing (paper future work VII) ==\n");
+  std::printf("   6 channels of tiny high-fan-out messages; 3 fixed servers\n\n");
+
+  dynamoth::metrics::Series series({"subs_per_channel", "rt_ms_bw_only", "p99_ms_bw_only",
+                                    "servers_bw_only", "rt_ms_cpu_aware", "p99_ms_cpu_aware",
+                                    "servers_cpu_aware", "migrations_cpu_aware"});
+  for (int subs = 40; subs <= 100; subs += 20) {
+    const RunResult off = run(subs, false, 9100 + subs);
+    const RunResult on = run(subs, true, 9200 + subs);
+    series.add_row({static_cast<double>(subs), off.rt_mean_ms, off.rt_p99_ms, off.servers,
+                    on.rt_mean_ms, on.rt_p99_ms, on.servers, on.migrated});
+  }
+  series.print_table(std::cout);
+  series.save_csv("ablation_cpu_aware.csv");
+  std::printf("\n(series saved to ablation_cpu_aware.csv)\n");
+  return 0;
+}

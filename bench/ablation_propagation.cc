@@ -1,0 +1,121 @@
+// Ablation A2 — lazy vs eager plan propagation.
+//
+// The paper argues (Section IV) that pushing every new global plan to every
+// client "would create a huge message overhead", and uses lazy, need-to-know
+// propagation instead. This ablation runs the same rebalancing-heavy game
+// workload twice:
+//   lazy  — the shipped protocol (SWITCH + wrong-server corrections);
+//   eager — a plan listener broadcasts every changed entry to every client
+//           immediately (charged to the balancer node's egress).
+// Reported: control-plane bytes/messages from the balancer node, redirect
+// counts, and response-time percentiles. Eager trades a large broadcast cost
+// for slightly fewer redirects.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "harness/probes.h"
+#include "mammoth/game.h"
+#include "metrics/series.h"
+
+namespace {
+
+using namespace dynamoth;
+
+struct RunResult {
+  double rt_mean_ms = 0;
+  double rt_p99_ms = 0;
+  double ctl_msgs = 0;         // balancer-node egress messages
+  double ctl_bytes = 0;        // balancer-node egress bytes
+  double redirects = 0;        // wrong-server replies across all clients
+  double switches = 0;
+};
+
+RunResult run(bool eager, std::uint64_t seed) {
+  harness::ClusterConfig config;
+  config.seed = seed;
+  config.initial_servers = 1;
+  config.server_capacity = 500e3;  // small servers: plenty of rebalancing
+  config.cloud.spawn_delay = seconds(3);
+  harness::Cluster cluster(config);
+
+  core::DynamothLoadBalancer::Config lb_config;
+  lb_config.t_wait = seconds(10);
+  lb_config.max_servers = 6;
+  auto& lb = cluster.use_dynamoth(lb_config);
+
+  harness::ResponseProbe probe;
+  mammoth::GameConfig game_config;
+  game_config.world_size = 600;
+  game_config.tiles_per_side = 6;
+  mammoth::Game game(cluster, game_config, &probe);
+
+  core::PlanPtr last_plan = core::make_plan_zero();
+  if (eager) {
+    lb.set_plan_listener([&](const core::PlanPtr& plan, core::RebalanceKind) {
+      // Broadcast each changed entry to every client, charging the wire.
+      std::vector<std::pair<Channel, core::PlanEntry>> changed;
+      for (const auto& [channel, entry] : plan->entries()) {
+        const core::PlanEntry* old_entry = last_plan->find(channel);
+        if (old_entry == nullptr || !(*old_entry == entry)) changed.emplace_back(channel, entry);
+      }
+      last_plan = plan;
+      for (std::size_t i = 0; i < game.total_players_created(); ++i) {
+        auto& client = game.player(i).client();
+        for (const auto& [channel, entry] : changed) {
+          const std::size_t bytes = 24 + channel.size() + 4 * entry.servers.size();
+          cluster.network().send(
+              cluster.balancer_node(), client.node(), bytes,
+              [&client, channel = channel, entry = entry] {
+                client.absorb_entry(channel, entry);
+              });
+        }
+      }
+    });
+  }
+
+  game.set_population(250);
+  cluster.sim().run_for(seconds(180));
+
+  RunResult result;
+  result.rt_mean_ms = probe.overall_mean_ms();
+  result.rt_p99_ms = probe.percentile_ms(99);
+  const auto& counters = cluster.network().counters(cluster.balancer_node());
+  result.ctl_msgs = static_cast<double>(counters.messages_sent);
+  result.ctl_bytes = static_cast<double>(counters.bytes_sent);
+  for (std::size_t i = 0; i < game.total_players_created(); ++i) {
+    const auto& stats = game.player(i).client().stats();
+    result.redirects += static_cast<double>(stats.wrong_server_replies);
+    result.switches += static_cast<double>(stats.switches_followed);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation A2: lazy vs eager plan propagation ==\n");
+  std::printf("   250 players, small servers (heavy rebalancing), 180 s\n\n");
+
+  dynamoth::metrics::Series series({"mode", "rt_mean_ms", "rt_p99_ms", "balancer_ctl_msgs",
+                                    "balancer_ctl_kbytes", "client_redirects",
+                                    "client_switches"});
+  const RunResult lazy = run(false, 7001);
+  const RunResult eager = run(true, 7001);
+  series.add_row({0, lazy.rt_mean_ms, lazy.rt_p99_ms, lazy.ctl_msgs, lazy.ctl_bytes / 1000.0,
+                  lazy.redirects, lazy.switches});
+  series.add_row({1, eager.rt_mean_ms, eager.rt_p99_ms, eager.ctl_msgs,
+                  eager.ctl_bytes / 1000.0, eager.redirects, eager.switches});
+  std::printf("(mode 0 = lazy, 1 = eager)\n");
+  series.print_table(std::cout);
+  series.save_csv("ablation_propagation.csv");
+
+  if (lazy.ctl_msgs > 0) {
+    std::printf("\neager sends %.1fx the control messages of lazy (%g vs %g)\n",
+                eager.ctl_msgs / lazy.ctl_msgs, eager.ctl_msgs, lazy.ctl_msgs);
+  }
+  std::printf("(series saved to ablation_propagation.csv)\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation A3 — sensitivity to the LR_high / LR_safe thresholds.
+//
+// The paper sets its load-ratio thresholds empirically (Section III-B4) and
+// suggests auto-tuning as future work. This ablation sweeps the
+// (LR_high, LR_safe) pair on the mid-size game workload and reports the
+// fleet size used, response-time percentiles, rebalance count and drops —
+// the cost/quality trade-off the thresholds encode: aggressive (low)
+// thresholds buy latency headroom with more servers and more churn.
+#include <cstdio>
+#include <iostream>
+
+#include "mammoth/experiments.h"
+
+int main() {
+  using namespace dynamoth;
+  namespace exp = mammoth::exp;
+
+  std::printf("== Ablation A3: LR_high / LR_safe threshold sweep ==\n");
+  std::printf("   400 players, up to 8 servers, 240 s\n\n");
+
+  struct Pair {
+    double high, safe;
+  };
+  const Pair pairs[] = {{0.95, 0.85}, {0.85, 0.70}, {0.75, 0.60}, {0.60, 0.45}};
+
+  metrics::Series series({"lr_high", "lr_safe", "peak_servers", "rt_mean_ms", "rt_p99_ms",
+                          "rebalances", "peak_max_lr"});
+  for (const Pair& pair : pairs) {
+    exp::GameExperimentConfig config = exp::default_game_experiment();
+    config.seed = 881;
+    config.balancer = exp::BalancerKind::kDynamoth;
+    config.dynamoth.lr_high = pair.high;
+    config.dynamoth.lr_safe = pair.safe;
+    config.dynamoth.t_wait = seconds(10);
+    config.schedule = {{seconds(0), 60}, {seconds(150), 400}, {seconds(240), 400}};
+    config.duration = seconds(240);
+    config.sample_interval = seconds(10);
+
+    const exp::GameExperimentResult result = run_game_experiment(config);
+    series.add_row({pair.high, pair.safe, result.peak_servers,
+                    result.rtt_us.mean() / 1000.0,
+                    static_cast<double>(result.rtt_us.percentile(99)) / 1000.0,
+                    static_cast<double>(result.events.size()),
+                    result.series.column_max("max_lr")});
+  }
+  series.print_table(std::cout);
+  series.save_csv("ablation_thresholds.csv");
+  std::printf("\n(series saved to ablation_thresholds.csv)\n");
+  return 0;
+}

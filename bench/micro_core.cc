@@ -1,0 +1,161 @@
+// Google-benchmark microbenchmarks for the hot data-plane and control-plane
+// primitives: consistent-hash lookups, plan resolution/copying, message
+// dedup, histogram recording, glob matching and raw simulator throughput.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/lru_set.h"
+#include "common/rng.h"
+#include "core/consistent_hash.h"
+#include "core/plan.h"
+#include "metrics/histogram.h"
+#include "pubsub/server.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace dynamoth;
+
+std::vector<Channel> make_channels(int n) {
+  std::vector<Channel> channels;
+  channels.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) channels.push_back("tile:" + std::to_string(i % 40) + ":" +
+                                                 std::to_string(i / 40));
+  return channels;
+}
+
+void BM_RingLookup(benchmark::State& state) {
+  core::ConsistentHashRing ring(64);
+  for (ServerId s = 0; s < static_cast<ServerId>(state.range(0)); ++s) ring.add_server(s);
+  const auto channels = make_channels(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.lookup(channels[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_RingLookup)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_RingAddRemoveServer(benchmark::State& state) {
+  core::ConsistentHashRing ring(64);
+  for (ServerId s = 0; s < 8; ++s) ring.add_server(s);
+  for (auto _ : state) {
+    ring.add_server(99);
+    ring.remove_server(99);
+  }
+}
+BENCHMARK(BM_RingAddRemoveServer);
+
+void BM_PlanResolveExplicit(benchmark::State& state) {
+  core::ConsistentHashRing ring(64);
+  ring.add_server(0);
+  ring.add_server(1);
+  core::Plan plan;
+  const auto channels = make_channels(static_cast<int>(state.range(0)));
+  for (const Channel& c : channels) {
+    core::PlanEntry entry;
+    entry.servers = {0};
+    entry.version = 1;
+    plan.set_entry(c, entry);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.resolve(channels[i++ % channels.size()], ring));
+  }
+}
+BENCHMARK(BM_PlanResolveExplicit)->Arg(64)->Arg(1024);
+
+void BM_PlanResolveFallback(benchmark::State& state) {
+  core::ConsistentHashRing ring(64);
+  for (ServerId s = 0; s < 4; ++s) ring.add_server(s);
+  core::Plan plan;  // empty: everything falls back to the ring
+  const auto channels = make_channels(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.resolve(channels[i++ & 1023], ring));
+  }
+}
+BENCHMARK(BM_PlanResolveFallback);
+
+void BM_PlanCopy(benchmark::State& state) {
+  core::Plan plan;
+  for (const Channel& c : make_channels(static_cast<int>(state.range(0)))) {
+    core::PlanEntry entry;
+    entry.servers = {0, 1, 2};
+    entry.version = 3;
+    plan.set_entry(c, entry);
+  }
+  for (auto _ : state) {
+    core::Plan copy = plan;  // what every rebalancing round does
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_PlanCopy)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_DedupLruInsert(benchmark::State& state) {
+  LruSet<MessageId> dedup(8192);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dedup.insert(MessageId{7, seq++}));
+  }
+}
+BENCHMARK(BM_DedupLruInsert);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  metrics::Histogram histogram;
+  Rng rng(1);
+  for (auto _ : state) {
+    histogram.record(static_cast<std::int64_t>(rng.uniform(100, 400000)));
+  }
+  benchmark::DoNotOptimize(histogram.percentile(99));
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_GlobMatch(benchmark::State& state) {
+  const std::string pattern = "tile:*:7";
+  const std::string channel = "tile:1234:7";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ps::PubSubServer::glob_match(pattern, channel));
+  }
+}
+BENCHMARK(BM_GlobMatch);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    int fired = 0;
+    state.ResumeTiming();
+    for (int i = 0; i < 10'000; ++i) {
+      sim.schedule_at(i, [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+void BM_SimulatorSelfScheduling(benchmark::State& state) {
+  // The common pattern: events that schedule follow-up events.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    std::int64_t count = 0;
+    std::function<void()> chain = [&] {
+      if (++count < 10'000) sim.schedule_after(10, chain);
+    };
+    state.ResumeTiming();
+    sim.schedule_after(0, chain);
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SimulatorSelfScheduling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,19 @@
+// Always-on invariant checks. A simulation that silently continues past a
+// broken invariant produces plausible-looking garbage, so these abort loudly
+// in every build type.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dynamoth::internal {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace dynamoth::internal
+
+#define DYN_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::dynamoth::internal::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)

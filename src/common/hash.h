@@ -1,0 +1,37 @@
+// Small, dependency-free hash utilities used for consistent hashing and RNG
+// stream derivation. Not cryptographic.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dynamoth {
+
+/// 64-bit FNV-1a over a byte string. Stable across platforms/runs, which
+/// matters because consistent-hash placement must be reproducible.
+constexpr std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+/// Finalizer from splitmix64; good avalanche for mixing integer keys.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Combines two 64-bit hashes into one.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2)));
+}
+
+}  // namespace dynamoth

@@ -1,0 +1,49 @@
+// Fixed-capacity LRU set, used by the Dynamoth client library to deduplicate
+// publications that arrive via more than one pub/sub server during
+// reconfiguration (paper Section IV-A3: "globally unique message identifiers").
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+namespace dynamoth {
+
+template <typename T, typename Hash = std::hash<T>>
+class LruSet {
+ public:
+  explicit LruSet(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Inserts `value`. Returns true if it was newly inserted, false if it was
+  /// already present (in which case it is refreshed to most-recently-used).
+  bool insert(const T& value) {
+    auto it = index_.find(value);
+    if (it != index_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      return false;
+    }
+    order_.push_front(value);
+    index_.emplace(value, order_.begin());
+    if (order_.size() > capacity_) {
+      index_.erase(order_.back());
+      order_.pop_back();
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const T& value) const { return index_.count(value) > 0; }
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<T> order_;
+  std::unordered_map<T, typename std::list<T>::iterator, Hash> index_;
+};
+
+}  // namespace dynamoth

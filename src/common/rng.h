@@ -1,0 +1,59 @@
+// Deterministic, forkable random number generator.
+//
+// Every stochastic component (latency sampling, player AI, replica choice...)
+// owns its own Rng forked by name from a single experiment seed, so runs are
+// bit-reproducible and adding a new consumer does not perturb existing ones.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/hash.h"
+
+namespace dynamoth {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(mix64(seed ^ 0xA5A5A5A5A5A5A5A5ull)) {
+    if (state_ == 0) state_ = 0x9E3779B97F4A7C15ull;
+  }
+
+  /// Derives an independent stream for a named consumer.
+  [[nodiscard]] Rng fork(std::string_view name) const {
+    return Rng(hash_combine(state_, fnv1a64(name)));
+  }
+
+  /// Derives an independent stream for an indexed consumer (e.g. player #i).
+  [[nodiscard]] Rng fork(std::uint64_t index) const {
+    return Rng(hash_combine(state_, mix64(index)));
+  }
+
+  /// Next raw 64 random bits (xorshift64*).
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normally distributed value (Box-Muller).
+  double normal(double mean, double stddev);
+
+  /// Log-normal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dynamoth

@@ -1,0 +1,176 @@
+#include "core/balancer_base.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dynamoth::core {
+
+const char* to_string(RebalanceKind kind) {
+  switch (kind) {
+    case RebalanceKind::kChannelLevel:
+      return "channel-level";
+    case RebalanceKind::kHighLoad:
+      return "high-load";
+    case RebalanceKind::kLowLoad:
+      return "low-load";
+    case RebalanceKind::kHashing:
+      return "hashing";
+  }
+  return "?";
+}
+
+namespace {
+ClientId balancer_client_id(NodeId node) { return 0x3000'0000'0000'0000ull + node; }
+}  // namespace
+
+BalancerBase::BalancerBase(sim::Simulator& sim, net::Network& network,
+                           ServerRegistry& registry,
+                           std::shared_ptr<const ConsistentHashRing> base_ring, NodeId node,
+                           Cloud* cloud, BaseConfig config)
+    : sim_(sim),
+      network_(network),
+      registry_(registry),
+      base_ring_(std::move(base_ring)),
+      node_(node),
+      cloud_(cloud),
+      base_config_(config),
+      plan_(make_plan_zero()),
+      client_id_(balancer_client_id(node)),
+      ticker_(sim, config.tick_interval, [this] { decide(); }) {
+  DYN_CHECK(base_ring_ != nullptr);
+}
+
+BalancerBase::~BalancerBase() { stop(); }
+
+void BalancerBase::start() {
+  if (started_) return;
+  started_ = true;
+  for (ServerId id : registry_.ids()) attach_server(id);
+  ticker_.start();
+}
+
+void BalancerBase::stop() {
+  if (!started_) return;
+  started_ = false;
+  ticker_.stop();
+  servers_.clear();
+}
+
+void BalancerBase::attach_server(ServerId server) {
+  if (servers_.contains(server)) return;
+  ps::PubSubServer* srv = registry_.find(server);
+  if (srv == nullptr || !srv->running()) return;
+  ServerState state;
+  state.conn = std::make_unique<ps::RemoteConnection>(
+      sim_, network_, node_, *srv,
+      [this](const ps::EnvelopePtr& env) { on_deliver(env); }, nullptr);
+  state.conn->subscribe(kLlaChannel);
+  servers_.emplace(server, std::move(state));
+}
+
+void BalancerBase::detach_server(ServerId server) { servers_.erase(server); }
+
+void BalancerBase::on_deliver(const ps::EnvelopePtr& env) {
+  if (env->kind != ps::MsgKind::kLlaReport) return;
+  const auto* body = dynamic_cast<const LlaReportBody*>(env->body.get());
+  if (body == nullptr) return;
+  ingest_report(body->report);
+}
+
+void BalancerBase::ingest_report(const LoadReport& report) {
+  auto it = servers_.find(report.server);
+  if (it == servers_.end()) return;
+  ServerState& state = it->second;
+  state.capacity = report.advertised_capacity;
+  state.reports.push_back(report);
+  while (state.reports.size() > base_config_.lr_window) state.reports.pop_front();
+}
+
+const LoadReport* BalancerBase::latest_report(ServerId server) const {
+  auto it = servers_.find(server);
+  if (it == servers_.end() || it->second.reports.empty()) return nullptr;
+  return &it->second.reports.back();
+}
+
+double BalancerBase::load_ratio(ServerId server) const {
+  auto it = servers_.find(server);
+  if (it == servers_.end() || it->second.reports.empty()) return 0;
+  double sum = 0;
+  for (const LoadReport& r : it->second.reports) sum += r.load_ratio();
+  return sum / static_cast<double>(it->second.reports.size());
+}
+
+double BalancerBase::average_load_ratio() const {
+  if (servers_.empty()) return 0;
+  double sum = 0;
+  for (const auto& [id, _] : servers_) sum += load_ratio(id);
+  return sum / static_cast<double>(servers_.size());
+}
+
+std::pair<ServerId, double> BalancerBase::max_load_ratio() const {
+  ServerId best = kInvalidServer;
+  double best_lr = -1;
+  for (const auto& [id, _] : servers_) {
+    const double lr = load_ratio(id);
+    if (lr > best_lr) {
+      best = id;
+      best_lr = lr;
+    }
+  }
+  return {best, std::max(best_lr, 0.0)};
+}
+
+std::vector<ServerId> BalancerBase::active_servers() const {
+  std::vector<ServerId> out;
+  out.reserve(servers_.size());
+  for (const auto& [id, _] : servers_) out.push_back(id);
+  return out;
+}
+
+std::map<Channel, double> BalancerBase::channel_out_rates(ServerId server) const {
+  std::map<Channel, double> rates;
+  auto it = servers_.find(server);
+  if (it == servers_.end() || it->second.reports.empty()) return rates;
+  double total_window = 0;
+  for (const LoadReport& r : it->second.reports) {
+    total_window += to_seconds(r.window_end - r.window_start);
+    for (const auto& [channel, stats] : r.channels) {
+      rates[channel] += static_cast<double>(stats.bytes_out);
+    }
+  }
+  if (total_window <= 0) return {};
+  for (auto& [_, v] : rates) v /= total_window;
+  return rates;
+}
+
+void BalancerBase::publish_plan(Plan plan, RebalanceKind kind) {
+  plan.set_id(next_plan_id_++);
+  auto frozen = std::make_shared<const Plan>(std::move(plan));
+  plan_ = frozen;
+  last_plan_time_ = sim_.now();
+  events_.push_back(RebalanceEvent{sim_.now(), kind, frozen->id(), servers_.size()});
+
+  if (plan_delivery_) {
+    // Direct LB -> dispatcher transport (the deployment default).
+    for (auto& [id, _] : servers_) plan_delivery_(id, frozen);
+  } else {
+    // Fallback: ride the pub/sub substrate on each server's @ctl:plan.
+    auto body = std::make_shared<PlanUpdateBody>();
+    body->plan = frozen;
+    for (auto& [id, state] : servers_) {
+      auto env = std::make_shared<ps::Envelope>();
+      env->id = MessageId{client_id_, next_seq_++};
+      env->kind = ps::MsgKind::kPlanUpdate;
+      env->channel = kPlanChannel;
+      env->publish_time = sim_.now();
+      env->publisher = client_id_;
+      env->body = body;
+      state.conn->publish(std::move(env));
+    }
+  }
+  if (plan_listener_) plan_listener_(frozen, kind);
+}
+
+}  // namespace dynamoth::core

@@ -1,0 +1,145 @@
+// Shared control-plane machinery for load balancers.
+//
+// Both the Dynamoth load balancer and the consistent-hashing baseline run on
+// one infrastructure node, subscribe to @ctl:lla on every pub/sub server to
+// receive LLA reports, and publish plan updates on @ctl:plan. Subclasses
+// implement decide(), which inspects the aggregated state and may emit a new
+// plan.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "core/cloud.h"
+#include "core/consistent_hash.h"
+#include "core/control.h"
+#include "core/plan.h"
+#include "core/registry.h"
+#include "net/network.h"
+#include "pubsub/remote_connection.h"
+#include "sim/simulator.h"
+
+namespace dynamoth::core {
+
+enum class RebalanceKind {
+  kChannelLevel,  // replication decision changed (micro)
+  kHighLoad,      // Algorithm 2 (macro)
+  kLowLoad,       // scale-down
+  kHashing,       // baseline: ring grew
+};
+
+[[nodiscard]] const char* to_string(RebalanceKind kind);
+
+struct RebalanceEvent {
+  SimTime time = 0;
+  RebalanceKind kind = RebalanceKind::kHighLoad;
+  std::uint64_t plan_id = 0;
+  std::size_t active_servers = 0;
+};
+
+class BalancerBase {
+ public:
+  struct BaseConfig {
+    SimTime tick_interval = seconds(1);
+    /// Reports averaged over this many windows when computing load ratios.
+    std::size_t lr_window = 3;
+  };
+
+  BalancerBase(sim::Simulator& sim, net::Network& network, ServerRegistry& registry,
+               std::shared_ptr<const ConsistentHashRing> base_ring, NodeId node,
+               Cloud* cloud, BaseConfig config);
+  virtual ~BalancerBase();
+
+  BalancerBase(const BalancerBase&) = delete;
+  BalancerBase& operator=(const BalancerBase&) = delete;
+
+  /// Starts the decision loop. Every already-registered server is attached.
+  void start();
+  void stop();
+
+  /// Attaches a pub/sub server: subscribes to its LLA reports and includes
+  /// it in future plans.
+  void attach_server(ServerId server);
+  /// Detaches (stops listening; server no longer a placement target).
+  void detach_server(ServerId server);
+
+  [[nodiscard]] const PlanPtr& current_plan() const { return plan_; }
+  [[nodiscard]] const std::vector<RebalanceEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t active_server_count() const { return servers_.size(); }
+  [[nodiscard]] std::vector<ServerId> active_servers() const;
+
+  /// Observer invoked with every freshly published plan (after dispatch).
+  /// Used by the eager-propagation ablation and by experiment probes.
+  using PlanListener = std::function<void(const PlanPtr&, RebalanceKind)>;
+  void set_plan_listener(PlanListener listener) { plan_listener_ = std::move(listener); }
+
+  /// Direct plan transport to a server's dispatcher (paper IV-A1: "the LB
+  /// sends it reliably to all dispatchers" — dispatchers are separate
+  /// processes beside the pub/sub server, so plan delivery must not queue
+  /// behind a saturated data plane). When unset, plans are published on each
+  /// server's @ctl:plan channel instead.
+  using PlanDelivery = std::function<void(ServerId, const PlanPtr&)>;
+  void set_plan_delivery(PlanDelivery delivery) { plan_delivery_ = std::move(delivery); }
+
+  /// Feeds one LLA report into the balancer's state (the direct monitoring
+  /// path; also reachable via @ctl:lla subscriptions).
+  void ingest_report(const LoadReport& report);
+
+  /// Smoothed load ratio of `server` (0 when unknown).
+  [[nodiscard]] double load_ratio(ServerId server) const;
+  /// Average smoothed load ratio across active servers.
+  [[nodiscard]] double average_load_ratio() const;
+  /// Max smoothed load ratio across active servers (and who holds it).
+  [[nodiscard]] std::pair<ServerId, double> max_load_ratio() const;
+
+ protected:
+  struct ServerState {
+    std::unique_ptr<ps::RemoteConnection> conn;
+    std::deque<LoadReport> reports;  // most recent last, bounded by lr_window
+    double capacity = 0;             // T_i from reports
+    bool retiring = false;           // excluded from placement targets
+  };
+
+  /// Periodic decision hook.
+  virtual void decide() = 0;
+
+  /// Stamps, freezes, broadcasts and records a new plan.
+  void publish_plan(Plan plan, RebalanceKind kind);
+
+  [[nodiscard]] const std::map<ServerId, ServerState>& servers() const { return servers_; }
+  [[nodiscard]] std::map<ServerId, ServerState>& servers_mut() { return servers_; }
+  [[nodiscard]] const LoadReport* latest_report(ServerId server) const;
+
+  /// Measured per-channel outgoing byte rate on a server (bytes/sec),
+  /// averaged over the report window.
+  [[nodiscard]] std::map<Channel, double> channel_out_rates(ServerId server) const;
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  ServerRegistry& registry_;
+  std::shared_ptr<const ConsistentHashRing> base_ring_;
+  NodeId node_;
+  Cloud* cloud_;  // may be null (fixed fleet)
+  BaseConfig base_config_;
+  SimTime last_plan_time_ = 0;
+  std::uint64_t next_plan_id_ = 1;
+
+ private:
+  void on_deliver(const ps::EnvelopePtr& env);
+
+  PlanPtr plan_;
+  std::map<ServerId, ServerState> servers_;
+  std::vector<RebalanceEvent> events_;
+  ClientId client_id_;
+  std::uint64_t next_seq_ = 1;
+  sim::PeriodicTask ticker_;
+  PlanListener plan_listener_;
+  PlanDelivery plan_delivery_;
+  bool started_ = false;
+};
+
+}  // namespace dynamoth::core

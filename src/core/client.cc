@@ -1,0 +1,394 @@
+#include "core/client.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dynamoth::core {
+
+DynamothClient::DynamothClient(sim::Simulator& sim, net::Network& network,
+                               ServerRegistry& registry,
+                               std::shared_ptr<const ConsistentHashRing> base_ring,
+                               NodeId node, ClientId id, Config config, Rng rng)
+    : sim_(sim),
+      network_(network),
+      registry_(registry),
+      base_ring_(std::move(base_ring)),
+      node_(node),
+      id_(id),
+      config_(config),
+      rng_(rng),
+      dedup_(config.dedup_capacity),
+      ctl_channel_(client_control_channel(id)),
+      sweeper_(sim, config.sweep_interval, [this] { sweep(); }),
+      alive_(std::make_shared<bool>(true)) {
+  DYN_CHECK(base_ring_ != nullptr && !base_ring_->empty());
+  sweeper_.start();
+}
+
+DynamothClient::~DynamothClient() {
+  *alive_ = false;
+  shutdown();
+}
+
+void DynamothClient::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  sweeper_.stop();
+  for (auto& [_, conn] : conns_) conn->close();
+  conns_.clear();
+  channels_.clear();
+}
+
+DynamothClient::ChannelState& DynamothClient::state_for(const Channel& channel) {
+  auto it = channels_.find(channel);
+  if (it == channels_.end()) {
+    // First contact with this channel: consistent-hashing fallback (plan 0).
+    ChannelState st;
+    st.entry.servers = {base_ring_->lookup(channel)};
+    st.entry.mode = ReplicationMode::kNone;
+    st.entry.version = 0;
+    st.last_activity = sim_.now();
+    it = channels_.emplace(channel, std::move(st)).first;
+  }
+  return it->second;
+}
+
+ps::RemoteConnection* DynamothClient::connection(ServerId server) {
+  auto it = conns_.find(server);
+  if (it != conns_.end()) return it->second.get();
+  ps::PubSubServer* srv = registry_.find(server);
+  if (srv == nullptr || !srv->running()) return nullptr;
+
+  auto conn = std::make_unique<ps::RemoteConnection>(
+      sim_, network_, node_, *srv,
+      [this, server](const ps::EnvelopePtr& env) { on_deliver(server, env); },
+      [this, server](ps::CloseReason reason) { on_closed(server, reason); });
+  ps::RemoteConnection* raw = conn.get();
+  conns_.emplace(server, std::move(conn));
+  // Announce our identity so the local dispatcher can address replies to us.
+  raw->subscribe(ctl_channel_);
+  return raw;
+}
+
+void DynamothClient::subscribe(const Channel& channel, MessageHandler handler) {
+  DYN_CHECK(!is_control_channel(channel));
+  DYN_CHECK(!shut_down_);
+  ChannelState& st = state_for(channel);
+  st.handler = std::move(handler);
+  st.subscribed = true;
+  st.last_activity = sim_.now();
+  place_subscription(channel, st);
+}
+
+void DynamothClient::unsubscribe(const Channel& channel) {
+  auto it = channels_.find(channel);
+  if (it == channels_.end() || !it->second.subscribed) return;
+  ChannelState& st = it->second;
+  st.subscribed = false;
+  st.handler = nullptr;
+  st.last_activity = sim_.now();
+  for (ServerId s : st.sub_servers) {
+    if (ps::RemoteConnection* conn = connection(s)) conn->unsubscribe(channel);
+  }
+  st.sub_servers.clear();
+}
+
+void DynamothClient::place_subscription(const Channel& channel, ChannelState& st) {
+  // Desired placement per replication mode (paper II-B).
+  std::set<ServerId> want;
+  switch (st.entry.mode) {
+    case ReplicationMode::kNone:
+      want.insert(st.entry.primary());
+      break;
+    case ReplicationMode::kAllSubscribers:
+      want.insert(st.entry.servers.begin(), st.entry.servers.end());
+      break;
+    case ReplicationMode::kAllPublishers: {
+      // Sticky random pick among the replicas; re-picked when invalidated.
+      if (st.all_pubs_pick == kInvalidServer || !st.entry.owns(st.all_pubs_pick)) {
+        const auto idx = static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(st.entry.servers.size()) - 1));
+        st.all_pubs_pick = st.entry.servers[idx];
+      }
+      want.insert(st.all_pubs_pick);
+      break;
+    }
+  }
+
+  // If every wanted server is gone (despawned without a plan update), fall
+  // back to consistent hashing like a fresh client would (paper IV-A5's
+  // expiry path, taken eagerly).
+  bool any_reachable = false;
+  for (ServerId s : want) {
+    if (ps::PubSubServer* srv = registry_.find(s); srv && srv->running()) any_reachable = true;
+  }
+  if (!any_reachable && st.entry.version != 0) {
+    st.entry.servers = {base_ring_->lookup(channel)};
+    st.entry.mode = ReplicationMode::kNone;
+    st.entry.version = 0;
+    st.all_pubs_pick = kInvalidServer;
+    want = {st.entry.primary()};
+  }
+
+  // Subscribe where missing.
+  for (ServerId s : want) {
+    if (!st.sub_servers.contains(s)) {
+      if (ps::RemoteConnection* conn = connection(s)) conn->subscribe(channel);
+    }
+  }
+  // Unsubscribe from removed servers after a grace period: "subscribe to the
+  // channel on the new server and unsubscribe from the old one" (paper
+  // IV-A4); the grace keeps us reachable while forwarded messages are in
+  // flight.
+  std::weak_ptr<bool> alive = alive_;
+  for (ServerId s : st.sub_servers) {
+    if (want.contains(s)) continue;
+    sim_.schedule_after(config_.unsubscribe_grace, [this, alive, channel, s] {
+      auto a = alive.lock();
+      if (!a || !*a) return;
+      auto it = channels_.find(channel);
+      // Only drop the old subscription if it has not become wanted again.
+      if (it != channels_.end() && it->second.sub_servers.contains(s)) return;
+      if (ps::RemoteConnection* conn = connection(s)) conn->unsubscribe(channel);
+    });
+  }
+  st.sub_servers = std::move(want);
+}
+
+ps::EnvelopePtr DynamothClient::publish(const Channel& channel, std::size_t payload_bytes) {
+  DYN_CHECK(!is_control_channel(channel));
+  DYN_CHECK(!shut_down_);
+  ChannelState& st = state_for(channel);
+  st.last_activity = sim_.now();
+
+  // Entry pointing only at dead servers: fall back to consistent hashing
+  // (ring members are never released, so this always reaches a live server).
+  bool any_alive = false;
+  for (ServerId s : st.entry.servers) {
+    if (ps::PubSubServer* srv = registry_.find(s); srv && srv->running()) any_alive = true;
+  }
+  if (!any_alive) {
+    st.entry.servers = {base_ring_->lookup(channel)};
+    st.entry.mode = ReplicationMode::kNone;
+    st.entry.version = 0;
+    st.all_pubs_pick = kInvalidServer;
+    if (st.subscribed) place_subscription(channel, st);
+  }
+
+  auto env = std::make_shared<ps::Envelope>();
+  env->id = MessageId{id_, next_seq_++};
+  env->kind = ps::MsgKind::kData;
+  env->channel = channel;
+  env->payload_bytes = payload_bytes ? payload_bytes : config_.default_payload_bytes;
+  env->publish_time = sim_.now();
+  env->publisher = id_;
+  env->channel_seq = ++st.next_channel_seq;
+  env->entry_version = st.entry.version;
+
+  ++stats_.published;
+  switch (st.entry.mode) {
+    case ReplicationMode::kNone:
+      if (ps::RemoteConnection* conn = connection(st.entry.primary())) {
+        conn->publish(env);
+        ++stats_.messages_sent;
+      }
+      break;
+    case ReplicationMode::kAllSubscribers: {
+      // Publishers pick a random replica per publication (paper II-B1).
+      const auto idx = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(st.entry.servers.size()) - 1));
+      if (ps::RemoteConnection* conn = connection(st.entry.servers[idx])) {
+        conn->publish(env);
+        ++stats_.messages_sent;
+      }
+      break;
+    }
+    case ReplicationMode::kAllPublishers:
+      // Publishers send to every replica (paper II-B2).
+      for (ServerId s : st.entry.servers) {
+        if (ps::RemoteConnection* conn = connection(s)) {
+          conn->publish(env);
+          ++stats_.messages_sent;
+        }
+      }
+      break;
+  }
+  return env;
+}
+
+ps::EnvelopePtr DynamothClient::publish_control(const Channel& channel,
+                                                std::shared_ptr<const ps::ControlBody> body,
+                                                std::size_t payload_bytes) {
+  // Reuse the data-path routing, then stamp the control body/kind. The
+  // envelope cannot be mutated after publish (receivers share it), so build
+  // it the same way publish() does and send manually.
+  DYN_CHECK(!is_control_channel(channel));
+  DYN_CHECK(!shut_down_);
+  ChannelState& st = state_for(channel);
+  st.last_activity = sim_.now();
+
+  auto env = std::make_shared<ps::Envelope>();
+  env->id = MessageId{id_, next_seq_++};
+  env->kind = ps::MsgKind::kControl;
+  env->channel = channel;
+  env->payload_bytes = payload_bytes;
+  env->publish_time = sim_.now();
+  env->publisher = id_;
+  env->entry_version = st.entry.version;
+  env->body = std::move(body);
+
+  ++stats_.published;
+  switch (st.entry.mode) {
+    case ReplicationMode::kNone:
+      if (ps::RemoteConnection* conn = connection(st.entry.primary())) {
+        conn->publish(env);
+        ++stats_.messages_sent;
+      }
+      break;
+    case ReplicationMode::kAllSubscribers: {
+      const auto idx = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(st.entry.servers.size()) - 1));
+      if (ps::RemoteConnection* conn = connection(st.entry.servers[idx])) {
+        conn->publish(env);
+        ++stats_.messages_sent;
+      }
+      break;
+    }
+    case ReplicationMode::kAllPublishers:
+      for (ServerId s : st.entry.servers) {
+        if (ps::RemoteConnection* conn = connection(s)) {
+          conn->publish(env);
+          ++stats_.messages_sent;
+        }
+      }
+      break;
+  }
+  return env;
+}
+
+void DynamothClient::apply_entry(const Channel& channel, const PlanEntry& entry) {
+  if (entry.servers.empty()) return;
+  ChannelState& st = state_for(channel);
+  if (entry.version < st.entry.version) return;  // stale update
+  if (entry == st.entry) return;
+  st.entry = entry;
+  st.last_activity = sim_.now();
+  if (st.subscribed) place_subscription(channel, st);
+}
+
+void DynamothClient::on_deliver(ServerId /*from*/, const ps::EnvelopePtr& env) {
+  if (shut_down_) return;
+  switch (env->kind) {
+    case ps::MsgKind::kWrongServer: {
+      // Reply on our control channel: adopt the corrected entry. The
+      // dispatcher already forwarded the original message (paper IV).
+      if (const auto* body = dynamic_cast<const EntryUpdateBody*>(env->body.get())) {
+        ++stats_.wrong_server_replies;
+        apply_entry(body->channel, body->entry);
+      }
+      return;
+    }
+    case ps::MsgKind::kSwitch: {
+      // Published on the data channel by the old owner's dispatcher.
+      if (const auto* body = dynamic_cast<const EntryUpdateBody*>(env->body.get())) {
+        ++stats_.switches_followed;
+        apply_entry(body->channel, body->entry);
+      }
+      return;
+    }
+    case ps::MsgKind::kControl:  // application-level protocol messages
+    case ps::MsgKind::kData: {
+      if (!dedup_.insert(env->id)) {
+        ++stats_.duplicates_suppressed;
+        return;
+      }
+      auto it = channels_.find(env->channel);
+      if (it == channels_.end() || !it->second.subscribed || !it->second.handler) {
+        ++stats_.stale_drops;  // e.g. unsubscribed while the message was in flight
+        return;
+      }
+      it->second.last_activity = sim_.now();
+      ++stats_.received;
+      it->second.handler(env);
+      return;
+    }
+    default:
+      return;  // other control kinds are not addressed to clients
+  }
+}
+
+void DynamothClient::on_closed(ServerId from, ps::CloseReason /*reason*/) {
+  if (shut_down_) return;
+  ++stats_.connection_drops;
+
+  // The stub is dead; drop it (deferred: we may be inside its callback).
+  std::weak_ptr<bool> alive = alive_;
+  sim_.schedule_after(0, [this, alive, from] {
+    if (auto a = alive.lock(); a && *a) conns_.erase(from);
+  });
+
+  // Re-place subscriptions that lived on that server after a reconnect
+  // delay (Redis clients reconnect and resubscribe after being dropped).
+  for (auto& [channel, st] : channels_) {
+    if (!st.sub_servers.contains(from)) continue;
+    st.sub_servers.erase(from);
+    if (st.entry.mode == ReplicationMode::kAllPublishers && st.all_pubs_pick == from) {
+      st.all_pubs_pick = kInvalidServer;
+    }
+    if (!st.subscribed) continue;
+    Channel ch = channel;
+    sim_.schedule_after(config_.reconnect_delay, [this, alive, ch] {
+      auto a = alive.lock();
+      if (!a || !*a) return;
+      auto it = channels_.find(ch);
+      if (it == channels_.end() || !it->second.subscribed) return;
+      ChannelState& st2 = it->second;
+      // If the server vanished entirely, fall back to consistent hashing.
+      bool any_alive = false;
+      for (ServerId s : st2.entry.servers) {
+        if (ps::PubSubServer* srv = registry_.find(s); srv && srv->running()) any_alive = true;
+      }
+      if (!any_alive) {
+        st2.entry.servers = {base_ring_->lookup(ch)};
+        st2.entry.mode = ReplicationMode::kNone;
+        st2.entry.version = 0;
+        st2.all_pubs_pick = kInvalidServer;
+      }
+      place_subscription(ch, st2);
+    });
+  }
+}
+
+void DynamothClient::sweep() {
+  // Expire plan entries for channels we neither subscribe to nor use
+  // (paper IV-A5): next use falls back to consistent hashing.
+  const SimTime now = sim_.now();
+  for (auto it = channels_.begin(); it != channels_.end();) {
+    const ChannelState& st = it->second;
+    if (!st.subscribed && now - st.last_activity > config_.entry_timeout) {
+      ++stats_.entries_expired;
+      it = channels_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool DynamothClient::subscribed(const Channel& channel) const {
+  auto it = channels_.find(channel);
+  return it != channels_.end() && it->second.subscribed;
+}
+
+const PlanEntry* DynamothClient::plan_entry(const Channel& channel) const {
+  auto it = channels_.find(channel);
+  return it == channels_.end() ? nullptr : &it->second.entry;
+}
+
+std::set<ServerId> DynamothClient::subscription_servers(const Channel& channel) const {
+  auto it = channels_.find(channel);
+  return it == channels_.end() ? std::set<ServerId>{} : it->second.sub_servers;
+}
+
+}  // namespace dynamoth::core

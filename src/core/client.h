@@ -1,0 +1,147 @@
+// The Dynamoth client library (paper II-A, II-C, IV).
+//
+// Exposes a standard channel pub/sub API. Internally it maintains the
+// client-specific *local plan* P(C): per-channel entries learned lazily —
+// initially from consistent hashing, later from SWITCH notifications on data
+// channels and wrong-server replies on the client's control channel. Entries
+// expire on inactivity (paper IV-A5). Publications received through more than
+// one server during reconfiguration are deduplicated by globally unique
+// message id.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "common/lru_set.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/consistent_hash.h"
+#include "core/control.h"
+#include "core/plan.h"
+#include "core/registry.h"
+#include "net/network.h"
+#include "pubsub/remote_connection.h"
+#include "sim/simulator.h"
+
+namespace dynamoth::core {
+
+class DynamothClient {
+ public:
+  struct Config {
+    SimTime entry_timeout = seconds(60);     // local-plan entry expiry
+    SimTime sweep_interval = seconds(5);     // expiry check cadence
+    SimTime unsubscribe_grace = seconds(1);  // delay the trailing unsubscribe
+                                             // when moving a subscription, so
+                                             // in-flight forwards are not lost
+    SimTime reconnect_delay = millis(500);   // after the server dropped us
+    std::size_t dedup_capacity = 8192;
+    std::size_t default_payload_bytes = 128;
+  };
+
+  struct Stats {
+    std::uint64_t published = 0;             // publish() calls
+    std::uint64_t messages_sent = 0;         // wire publications (>1 per publish
+                                             // under all-publishers replication)
+    std::uint64_t received = 0;              // data messages handed to handlers
+    std::uint64_t duplicates_suppressed = 0;
+    std::uint64_t stale_drops = 0;           // data for channels not subscribed
+    std::uint64_t wrong_server_replies = 0;
+    std::uint64_t switches_followed = 0;
+    std::uint64_t connection_drops = 0;
+    std::uint64_t entries_expired = 0;
+  };
+
+  using MessageHandler = std::function<void(const ps::EnvelopePtr&)>;
+
+  DynamothClient(sim::Simulator& sim, net::Network& network, ServerRegistry& registry,
+                 std::shared_ptr<const ConsistentHashRing> base_ring, NodeId node,
+                 ClientId id, Config config, Rng rng);
+  ~DynamothClient();
+
+  DynamothClient(const DynamothClient&) = delete;
+  DynamothClient& operator=(const DynamothClient&) = delete;
+
+  // ---- standard pub/sub API ----
+
+  /// Subscribes to `channel`; `handler` runs for every publication received.
+  void subscribe(const Channel& channel, MessageHandler handler);
+  void unsubscribe(const Channel& channel);
+
+  /// Publishes `payload_bytes` of application data on `channel`. Returns the
+  /// envelope (callers use its id/publish_time for RTT measurements).
+  ps::EnvelopePtr publish(const Channel& channel, std::size_t payload_bytes = 0);
+
+  /// Publishes a caller-built control envelope (kind kControl) on `channel`
+  /// through the normal plan-routing path; the library fills in the id,
+  /// publisher, timestamps and entry version. Used by protocol layers such
+  /// as the reliability/replay service.
+  ps::EnvelopePtr publish_control(const Channel& channel,
+                                  std::shared_ptr<const ps::ControlBody> body,
+                                  std::size_t payload_bytes = 0);
+
+  /// Closes every connection and stops timers.
+  void shutdown();
+
+  /// Adopts a plan entry pushed from outside the lazy protocol (used by the
+  /// eager-propagation ablation, which broadcasts plan changes to every
+  /// client instead of relying on SWITCH / wrong-server corrections).
+  void absorb_entry(const Channel& channel, const PlanEntry& entry) {
+    if (!shut_down_) apply_entry(channel, entry);
+  }
+
+  // ---- introspection (tests & harness) ----
+
+  [[nodiscard]] ClientId id() const { return id_; }
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] bool subscribed(const Channel& channel) const;
+  /// Current local-plan entry for `channel`, or nullptr if unknown.
+  [[nodiscard]] const PlanEntry* plan_entry(const Channel& channel) const;
+  [[nodiscard]] std::size_t plan_size() const { return channels_.size(); }
+  /// Servers where our subscription for `channel` currently lives.
+  [[nodiscard]] std::set<ServerId> subscription_servers(const Channel& channel) const;
+  [[nodiscard]] bool connected_to(ServerId server) const { return conns_.contains(server); }
+
+ private:
+  struct ChannelState {
+    PlanEntry entry;                // current known mapping
+    SimTime last_activity = 0;
+    bool subscribed = false;
+    MessageHandler handler;
+    std::set<ServerId> sub_servers;  // where the subscription is placed
+    ServerId all_pubs_pick = kInvalidServer;  // sticky pick (all-publishers)
+    std::uint64_t next_channel_seq = 0;       // per-channel publish sequence
+  };
+
+  ChannelState& state_for(const Channel& channel);
+  ps::RemoteConnection* connection(ServerId server);
+  void apply_entry(const Channel& channel, const PlanEntry& entry);
+  void place_subscription(const Channel& channel, ChannelState& st);
+  void on_deliver(ServerId from, const ps::EnvelopePtr& env);
+  void on_closed(ServerId from, ps::CloseReason reason);
+  void sweep();
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  ServerRegistry& registry_;
+  std::shared_ptr<const ConsistentHashRing> base_ring_;
+  NodeId node_;
+  ClientId id_;
+  Config config_;
+  Rng rng_;
+
+  std::map<Channel, ChannelState> channels_;
+  std::map<ServerId, std::unique_ptr<ps::RemoteConnection>> conns_;
+  LruSet<MessageId> dedup_;
+  Channel ctl_channel_;
+  std::uint64_t next_seq_ = 1;
+  Stats stats_;
+  sim::PeriodicTask sweeper_;
+  std::shared_ptr<bool> alive_;
+  bool shut_down_ = false;
+};
+
+}  // namespace dynamoth::core

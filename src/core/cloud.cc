@@ -1,0 +1,53 @@
+#include "core/cloud.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace dynamoth::core {
+
+Cloud::Cloud(sim::Simulator& sim, Config config, SpawnFactory factory, DespawnFn despawn)
+    : sim_(sim), config_(config), factory_(std::move(factory)), despawn_fn_(std::move(despawn)) {
+  DYN_CHECK(factory_ != nullptr);
+}
+
+void Cloud::request_spawn(ReadyFn on_ready) {
+  ++spawns_in_flight_;
+  sim_.schedule_after(config_.spawn_delay, [this, on_ready = std::move(on_ready)] {
+    --spawns_in_flight_;
+    ++total_spawned_;
+    const ServerId id = factory_();
+    if (on_ready) on_ready(id);
+  });
+}
+
+void Cloud::despawn(ServerId server) {
+  ++total_despawned_;
+  if (despawn_fn_) despawn_fn_(server);
+}
+
+void Cloud::note_server_started(ServerId server) {
+  rentals_.emplace_back(server, Rental{sim_.now(), -1});
+}
+
+void Cloud::note_server_stopped(ServerId server) {
+  // Close the most recent open rental of this server (servers can in
+  // principle be rented again under a fresh id, but ids are unique here).
+  for (auto it = rentals_.rbegin(); it != rentals_.rend(); ++it) {
+    if (it->first == server && it->second.stopped < 0) {
+      it->second.stopped = sim_.now();
+      return;
+    }
+  }
+}
+
+double Cloud::server_hours(SimTime now) const {
+  SimTime total = 0;
+  for (const auto& [_, rental] : rentals_) {
+    const SimTime end = rental.stopped < 0 ? now : rental.stopped;
+    if (end > rental.started) total += end - rental.started;
+  }
+  return to_seconds(total) / 3600.0;
+}
+
+}  // namespace dynamoth::core

@@ -1,0 +1,86 @@
+// Simulated cloud provisioner (paper III-B: servers are "rented from the
+// Cloud" on demand and released to save costs).
+//
+// The harness supplies a SpawnFactory that creates the node, pub/sub server,
+// LLA and dispatcher and registers them; the Cloud only models provisioning
+// latency and the spawned/released lifecycle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace dynamoth::core {
+
+/// Prices for the cost accounting the paper lists as future work (VII):
+/// "integrating a cost model in our load balancing model in order to
+/// minimize Cloud-related costs". Defaults approximate a small cloud VM.
+struct CostModel {
+  double server_hour_dollars = 0.10;
+  double egress_gb_dollars = 0.09;
+};
+
+class Cloud {
+ public:
+  struct Config {
+    SimTime spawn_delay = seconds(5);  // VM provisioning time
+  };
+
+  /// Creates and registers a fresh pub/sub server stack; returns its id.
+  using SpawnFactory = std::function<ServerId()>;
+  /// Tears down a server stack (shutdown + deregistration).
+  using DespawnFn = std::function<void(ServerId)>;
+  using ReadyFn = std::function<void(ServerId)>;
+
+  Cloud(sim::Simulator& sim, Config config, SpawnFactory factory, DespawnFn despawn);
+
+  /// Requests one new server; `on_ready` fires once it is provisioned and
+  /// registered. Multiple outstanding requests are allowed.
+  void request_spawn(ReadyFn on_ready);
+
+  /// Releases a server immediately.
+  void despawn(ServerId server);
+
+  [[nodiscard]] int spawns_in_flight() const { return spawns_in_flight_; }
+  [[nodiscard]] std::uint64_t total_spawned() const { return total_spawned_; }
+  [[nodiscard]] std::uint64_t total_despawned() const { return total_despawned_; }
+
+  // ---- billing (server rental intervals) ----
+
+  /// Marks a server as rented from `now` on. The harness calls this for
+  /// every server, including the initial fleet.
+  void note_server_started(ServerId server);
+  /// Marks a server as returned at `now`.
+  void note_server_stopped(ServerId server);
+
+  /// Cumulative rented server-hours up to `now` (open rentals included).
+  [[nodiscard]] double server_hours(SimTime now) const;
+  /// Server-hours a static fleet of `fleet_size` would have used by `now`.
+  [[nodiscard]] static double static_fleet_hours(std::size_t fleet_size, SimTime now) {
+    return static_cast<double>(fleet_size) * to_seconds(now) / 3600.0;
+  }
+  /// Rental cost in dollars under `model`.
+  [[nodiscard]] double rental_cost(SimTime now, const CostModel& model) const {
+    return server_hours(now) * model.server_hour_dollars;
+  }
+
+ private:
+  struct Rental {
+    SimTime started = 0;
+    SimTime stopped = -1;  // -1: still running
+  };
+
+  sim::Simulator& sim_;
+  Config config_;
+  SpawnFactory factory_;
+  DespawnFn despawn_fn_;
+  int spawns_in_flight_ = 0;
+  std::uint64_t total_spawned_ = 0;
+  std::uint64_t total_despawned_ = 0;
+  std::vector<std::pair<ServerId, Rental>> rentals_;
+};
+
+}  // namespace dynamoth::core

@@ -1,0 +1,38 @@
+#include "core/consistent_hash.h"
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace dynamoth::core {
+
+ConsistentHashRing::ConsistentHashRing(int virtual_nodes_per_server)
+    : virtual_nodes_(virtual_nodes_per_server) {
+  DYN_CHECK(virtual_nodes_ > 0);
+}
+
+void ConsistentHashRing::add_server(ServerId server) {
+  if (!servers_.insert(server).second) return;
+  for (int v = 0; v < virtual_nodes_; ++v) {
+    const std::uint64_t id = hash_combine(mix64(server), mix64(static_cast<std::uint64_t>(v)));
+    ring_.emplace(id, server);
+  }
+}
+
+void ConsistentHashRing::remove_server(ServerId server) {
+  if (servers_.erase(server) == 0) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == server ? ring_.erase(it) : std::next(it);
+  }
+}
+
+ServerId ConsistentHashRing::lookup(const Channel& channel) const {
+  DYN_CHECK(!ring_.empty());
+  // FNV-1a alone clusters short, similar channel names ("tile:3:4") into a
+  // narrow band of the identifier space; the finalizer spreads them.
+  const std::uint64_t h = mix64(fnv1a64(channel));
+  auto it = ring_.lower_bound(h);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+}  // namespace dynamoth::core

@@ -1,0 +1,413 @@
+#include "core/dispatcher.h"
+
+#include <algorithm>
+#include <charconv>
+#include <utility>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace dynamoth::core {
+
+namespace {
+ClientId dispatcher_client_id(ServerId server) {
+  return 0x2000'0000'0000'0000ull + server;
+}
+
+/// Parses "<id>" out of "@ctl:c:<id>"; returns 0 if not a client ctl channel.
+ClientId parse_client_channel(const Channel& channel) {
+  constexpr std::string_view prefix = "@ctl:c:";
+  if (channel.rfind(prefix, 0) != 0) return 0;
+  ClientId id = 0;
+  const char* begin = channel.data() + prefix.size();
+  const char* end = channel.data() + channel.size();
+  auto [ptr, ec] = std::from_chars(begin, end, id);
+  return (ec == std::errc() && ptr == end) ? id : 0;
+}
+}  // namespace
+
+Dispatcher::Dispatcher(sim::Simulator& sim, net::Network& network, ServerRegistry& registry,
+                       std::shared_ptr<const ConsistentHashRing> base_ring, ServerId self,
+                       Config config, Rng rng)
+    : sim_(sim),
+      network_(network),
+      registry_(registry),
+      base_ring_(std::move(base_ring)),
+      self_(self),
+      config_(config),
+      rng_(rng),
+      plan_(make_plan_zero()),
+      cleaner_(sim, config.cleanup_interval, [this] { cleanup(); }) {
+  DYN_CHECK(base_ring_ != nullptr && !base_ring_->empty());
+}
+
+Dispatcher::~Dispatcher() { stop(); }
+
+void Dispatcher::start() {
+  if (started_) return;
+  started_ = true;
+  ps::PubSubServer& server = registry_.get(self_);
+  server.add_observer(this);
+  local_conn_ = connection(self_);
+  DYN_CHECK(local_conn_ != nullptr);
+  local_conn_->subscribe(kPlanChannel);
+  local_conn_->subscribe(kDispatcherChannel);
+  cleaner_.start();
+}
+
+void Dispatcher::stop() {
+  if (!started_) return;
+  started_ = false;
+  cleaner_.stop();
+  if (ps::PubSubServer* server = registry_.find(self_)) server->remove_observer(this);
+  conns_.clear();
+  local_conn_ = nullptr;
+}
+
+ps::RemoteConnection* Dispatcher::connection(ServerId server) {
+  auto it = conns_.find(server);
+  if (it != conns_.end()) return it->second.get();
+  ps::PubSubServer* srv = registry_.find(server);
+  if (srv == nullptr || !srv->running()) return nullptr;
+  auto conn = std::make_unique<ps::RemoteConnection>(
+      sim_, network_, registry_.get(self_).node(), *srv,
+      [this](const ps::EnvelopePtr& env) { on_ctl_deliver(env); }, nullptr);
+  ps::RemoteConnection* raw = conn.get();
+  conns_.emplace(server, std::move(conn));
+  return raw;
+}
+
+ps::EnvelopePtr Dispatcher::make_ctl(ps::MsgKind kind, Channel channel,
+                                     std::shared_ptr<const ps::ControlBody> body) {
+  auto env = std::make_shared<ps::Envelope>();
+  env->id = MessageId{dispatcher_client_id(self_), next_seq_++};
+  env->kind = kind;
+  env->channel = std::move(channel);
+  env->publish_time = sim_.now();
+  env->publisher = dispatcher_client_id(self_);
+  env->via_server = self_;
+  env->body = std::move(body);
+  return env;
+}
+
+void Dispatcher::apply_plan(PlanPtr plan) {
+  DYN_CHECK(plan != nullptr);
+  if (plan_ && plan->id() <= plan_->id() && plan->id() != 0) return;  // stale
+  const PlanPtr old_plan = plan_;
+  plan_ = std::move(plan);
+  ++stats_.plans_applied;
+  const SimTime expires = sim_.now() + config_.forward_timeout;
+
+  // Diff over the union of explicitly mapped channels; fallback-mapped
+  // channels cannot change assignment (the base ring is immutable).
+  std::set<Channel> channels;
+  if (old_plan) {
+    for (const auto& [c, _] : old_plan->entries()) channels.insert(c);
+  }
+  for (const auto& [c, _] : plan_->entries()) channels.insert(c);
+
+  ps::PubSubServer& server = registry_.get(self_);
+  for (const Channel& c : channels) {
+    const PlanEntry old_entry =
+        old_plan ? old_plan->resolve(c, *base_ring_) : PlanEntry{{base_ring_->lookup(c)}, {}, 0};
+    const PlanEntry new_entry = plan_->resolve(c, *base_ring_);
+    if (old_entry.servers == new_entry.servers && old_entry.mode == new_entry.mode) {
+      continue;  // unchanged assignment
+    }
+    const bool was_owner = old_entry.owns(self_);
+    const bool is_owner = new_entry.owns(self_);
+
+    if (was_owner && !is_owner) {
+      // Channel moved away: redirect publishers, switch subscribers, notify
+      // the new owners once all local subscribers are gone.
+      MovedAway state;
+      state.target = new_entry;
+      state.expires = expires;
+      moved_away_[c] = state;
+      drain_.erase(c);
+      pending_switch_.erase(c);
+      if (server.subscriber_count(c) == 0) maybe_send_drain_notice(c);
+    } else if (is_owner) {
+      moved_away_.erase(c);
+      if (was_owner) {
+        // Remaining an owner under a changed entry (replica set resized or
+        // mode flipped): local subscribers need the fresh entry, delivered
+        // with the next publication here (staggered, like SWITCH).
+        pending_switch_[c] = PendingSwitch{new_entry, expires};
+      }
+      // Forward to servers that may still hold subscribers not yet covered
+      // by the new placement: old owners that left the set (until drained or
+      // forward_timeout), and — when this server *joined* an all-subscribers
+      // replica set — the old members, whose subscribers have not subscribed
+      // here yet (short replica_join_sync window; switch notifications
+      // re-place them almost immediately).
+      for (ServerId s : old_entry.servers) {
+        if (s == self_) continue;
+        if (!new_entry.owns(s)) {
+          drain_[c].old_owners[s] = expires;
+        } else if (!was_owner && new_entry.mode == ReplicationMode::kAllSubscribers) {
+          drain_[c].old_owners[s] = sim_.now() + config_.replica_join_sync;
+        }
+      }
+    } else {
+      // Neither old nor new owner, but keep any redirect state fresh.
+      auto it = moved_away_.find(c);
+      if (it != moved_away_.end()) {
+        it->second.target = new_entry;
+        it->second.switch_sent = false;
+        it->second.expires = expires;
+      }
+    }
+  }
+}
+
+void Dispatcher::on_ctl_deliver(const ps::EnvelopePtr& env) {
+  switch (env->kind) {
+    case ps::MsgKind::kPlanUpdate: {
+      if (const auto* body = dynamic_cast<const PlanUpdateBody*>(env->body.get())) {
+        if (body->plan) apply_plan(body->plan);
+      }
+      return;
+    }
+    case ps::MsgKind::kDrainNotice: {
+      if (const auto* body = dynamic_cast<const DrainNoticeBody*>(env->body.get())) {
+        ++stats_.drain_notices_received;
+        auto it = drain_.find(body->channel);
+        if (it != drain_.end()) {
+          it->second.old_owners.erase(body->drained_server);
+          if (it->second.old_owners.empty()) drain_.erase(it);
+        }
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void Dispatcher::on_publish(const ps::EnvelopePtr& env, std::size_t subscriber_count) {
+  // Application-level kControl publications (e.g. replay requests) ride
+  // plan-routed channels and need the same repair/forwarding as data.
+  if (env->kind != ps::MsgKind::kData && env->kind != ps::MsgKind::kControl) return;
+  if (is_control_channel(env->channel)) return;
+  handle_data(env, subscriber_count);
+}
+
+Dispatcher::MovedAway& Dispatcher::moved_state(const Channel& channel,
+                                               const PlanEntry& target) {
+  auto it = moved_away_.find(channel);
+  if (it == moved_away_.end()) {
+    MovedAway state;
+    state.target = target;
+    state.expires = sim_.now() + config_.forward_timeout;
+    it = moved_away_.emplace(channel, std::move(state)).first;
+  } else {
+    it->second.target = target;
+    it->second.expires = sim_.now() + config_.forward_timeout;
+  }
+  return it->second;
+}
+
+void Dispatcher::handle_data(const ps::EnvelopePtr& env, std::size_t /*subscriber_count*/) {
+  const Channel& c = env->channel;
+  const PlanEntry entry = plan_->resolve(c, *base_ring_);
+
+  if (!entry.owns(self_)) {
+    // Wrong server: the local pub/sub server has already delivered to any
+    // local (stale) subscribers; we repair routing (paper IV-A2).
+    MovedAway& state = moved_state(c, entry);
+    if (!state.switch_sent && send_switch(c, state.target)) {
+      state.switch_sent = true;
+      ++stats_.switches_sent;
+    }
+
+    if (!env->forwarded) {
+      switch (entry.mode) {
+        case ReplicationMode::kNone:
+          forward(env, entry.primary(), entry.version);
+          break;
+        case ReplicationMode::kAllSubscribers: {
+          // Any single replica reaches all subscribers; spread by message id.
+          const auto idx = static_cast<std::size_t>(
+              std::hash<MessageId>{}(env->id) % entry.servers.size());
+          forward(env, entry.servers[idx], entry.version);
+          break;
+        }
+        case ReplicationMode::kAllPublishers:
+          for (ServerId s : entry.servers) forward(env, s, entry.version);
+          break;
+      }
+      send_wrong_server(env->publisher, c, entry);
+    }
+    return;
+  }
+
+  // We own the channel. If the entry changed while we kept ownership, tell
+  // the local subscribers with this first publication (paper IV: switches
+  // ride on the first publication after the plan change).
+  if (auto pit = pending_switch_.find(c); pit != pending_switch_.end()) {
+    if (sim_.now() > pit->second.expires || send_switch(c, pit->second.target)) {
+      pending_switch_.erase(pit);
+      ++stats_.switches_sent;
+    }
+  }
+
+  // A publisher using a stale entry version may not
+  // know the current replication set: repair delivery if needed and send it
+  // the fresh entry (this also upgrades hash-fallback publishers that
+  // happened to hit a valid replica).
+  if (!env->forwarded && env->entry_version < entry.version) {
+    if (entry.mode == ReplicationMode::kAllPublishers) {
+      // The publisher should have published everywhere; cover the replicas
+      // it missed (duplicates are deduped client-side).
+      for (ServerId s : entry.servers) {
+        if (s != self_) forward(env, s, entry.version);
+      }
+      ++stats_.replica_repairs;
+    }
+    send_wrong_server(env->publisher, c, entry);
+  }
+
+  // Forward to old owners still draining subscribers (paper IV: "publishing
+  // on the new server").
+  auto dit = drain_.find(c);
+  if (dit != drain_.end()) {
+    const SimTime now = sim_.now();
+    auto& holders = dit->second.old_owners;
+    for (auto it = holders.begin(); it != holders.end();) {
+      if (now > it->second) {
+        it = holders.erase(it);
+        continue;
+      }
+      if (it->first != env->via_server) {  // echo guard
+        forward(env, it->first, entry.version);
+        ++stats_.forwards_to_drain;
+        --stats_.forwards_to_owner;  // forward() counts; reclassify
+      }
+      ++it;
+    }
+    if (holders.empty()) drain_.erase(dit);
+  }
+}
+
+bool Dispatcher::send_switch(const Channel& channel, const PlanEntry& target) {
+  if (!local_conn_) return false;
+  auto body = std::make_shared<EntryUpdateBody>();
+  body->channel = channel;
+  body->entry = target;
+  // Published on the data channel via the local server so every still-local
+  // subscriber receives it (paper IV-A2 step 6).
+  local_conn_->publish(make_ctl(ps::MsgKind::kSwitch, channel, std::move(body)));
+  return true;
+}
+
+void Dispatcher::send_wrong_server(ClientId publisher, const Channel& channel,
+                                   const PlanEntry& entry) {
+  if (publisher == 0 || !local_conn_) return;
+  auto body = std::make_shared<EntryUpdateBody>();
+  body->channel = channel;
+  body->entry = entry;
+  local_conn_->publish(
+      make_ctl(ps::MsgKind::kWrongServer, client_control_channel(publisher), std::move(body)));
+  ++stats_.wrong_server_replies;
+}
+
+void Dispatcher::forward(const ps::EnvelopePtr& env, ServerId target,
+                         std::uint64_t entry_version) {
+  if (target == self_) return;
+  ps::RemoteConnection* conn = connection(target);
+  if (conn == nullptr) return;
+  auto copy = std::make_shared<ps::Envelope>(*env);
+  copy->forwarded = true;
+  copy->via_server = self_;
+  copy->entry_version = entry_version;
+  conn->publish(std::move(copy));
+  ++stats_.forwards_to_owner;
+}
+
+void Dispatcher::maybe_send_drain_notice(const Channel& channel) {
+  auto it = moved_away_.find(channel);
+  if (it == moved_away_.end() || it->second.drain_notice_sent) return;
+  it->second.drain_notice_sent = true;
+  send_drain_notice(channel, it->second.target);
+}
+
+void Dispatcher::send_drain_notice(const Channel& channel, const PlanEntry& target) {
+  for (ServerId s : target.servers) {
+    if (s == self_) continue;
+    ps::RemoteConnection* conn = connection(s);
+    if (conn == nullptr) continue;
+    auto body = std::make_shared<DrainNoticeBody>();
+    body->channel = channel;
+    body->drained_server = self_;
+    conn->publish(make_ctl(ps::MsgKind::kDrainNotice, kDispatcherChannel, std::move(body)));
+    ++stats_.drain_notices_sent;
+  }
+}
+
+void Dispatcher::on_subscribe(ps::ConnId conn, const Channel& channel, NodeId client_node) {
+  if (const ClientId id = parse_client_channel(channel)) {
+    conn_clients_[conn] = id;  // identity announcement
+    return;
+  }
+  if (is_control_channel(channel)) return;
+  if (network_.kind(client_node) != net::NodeKind::kClient) return;
+
+  const PlanEntry entry = plan_->resolve(channel, *base_ring_);
+  // Subscriptions to replicated channels always get the full entry: under
+  // all-subscribers the client must subscribe to *every* replica, and under
+  // all-publishers it must pick a *random* replica rather than pile onto the
+  // hash-fallback server (the client re-places idempotently if it already
+  // knew). For unreplicated channels a subscription landing on the owner is
+  // correct and stays silent.
+  if (entry.owns(self_) && entry.mode == ReplicationMode::kNone) return;
+
+  // Subscription on the wrong server (paper IV-A4): tell the client.
+  auto cit = conn_clients_.find(conn);
+  if (cit == conn_clients_.end() || !local_conn_) return;
+  auto body = std::make_shared<EntryUpdateBody>();
+  body->channel = channel;
+  body->entry = entry;
+  local_conn_->publish(make_ctl(ps::MsgKind::kWrongServer,
+                                client_control_channel(cit->second), std::move(body)));
+  ++stats_.wrong_subscriber_replies;
+}
+
+void Dispatcher::on_unsubscribe(ps::ConnId /*conn*/, const Channel& channel,
+                                NodeId /*client_node*/) {
+  if (is_control_channel(channel)) return;
+  auto it = moved_away_.find(channel);
+  if (it == moved_away_.end()) return;
+  if (registry_.get(self_).subscriber_count(channel) == 0) maybe_send_drain_notice(channel);
+}
+
+void Dispatcher::on_disconnect(ps::ConnId conn, const std::vector<Channel>& channels,
+                               ps::CloseReason /*reason*/) {
+  conn_clients_.erase(conn);
+  ps::PubSubServer& server = registry_.get(self_);
+  for (const Channel& ch : channels) {
+    if (is_control_channel(ch)) continue;
+    if (moved_away_.contains(ch) && server.subscriber_count(ch) == 0) {
+      maybe_send_drain_notice(ch);
+    }
+  }
+}
+
+void Dispatcher::cleanup() {
+  const SimTime now = sim_.now();
+  for (auto it = moved_away_.begin(); it != moved_away_.end();) {
+    it = now > it->second.expires ? moved_away_.erase(it) : std::next(it);
+  }
+  for (auto it = drain_.begin(); it != drain_.end();) {
+    auto& holders = it->second.old_owners;
+    for (auto hit = holders.begin(); hit != holders.end();) {
+      hit = now > hit->second ? holders.erase(hit) : std::next(hit);
+    }
+    it = holders.empty() ? drain_.erase(it) : std::next(it);
+  }
+  for (auto it = pending_switch_.begin(); it != pending_switch_.end();) {
+    it = now > it->second.expires ? pending_switch_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace dynamoth::core

@@ -1,0 +1,171 @@
+#include "core/lla.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace dynamoth::core {
+
+namespace {
+/// Pseudo client id for infrastructure components colocated with a server.
+ClientId infra_client_id(ServerId server) {
+  return 0x1000'0000'0000'0000ull + server;
+}
+}  // namespace
+
+LocalLoadAnalyzer::LocalLoadAnalyzer(sim::Simulator& sim, net::Network& network,
+                                     ps::PubSubServer& server, Config config)
+    : sim_(sim),
+      network_(network),
+      server_(server),
+      config_(config),
+      reporter_(sim, config.report_interval, [this] { emit_report(); }) {
+  DYN_CHECK(config_.advertised_capacity > 0);
+}
+
+LocalLoadAnalyzer::~LocalLoadAnalyzer() { stop(); }
+
+void LocalLoadAnalyzer::start() {
+  if (started_) return;
+  started_ = true;
+  server_.add_observer(this);
+  // Local connection used to publish reports on @ctl:lla (zero NIC cost).
+  conn_ = std::make_unique<ps::RemoteConnection>(sim_, network_, server_.node(), server_,
+                                                 nullptr, nullptr);
+  window_start_bytes_ = network_.transmitted_bytes(server_.node());
+  window_start_cpu_ = server_.cpu_time_executed();
+  window_start_time_ = sim_.now();
+  reporter_.start();
+}
+
+void LocalLoadAnalyzer::set_report_target(NodeId balancer_node, ReportSink sink) {
+  balancer_node_ = balancer_node;
+  sink_ = std::move(sink);
+}
+
+void LocalLoadAnalyzer::clear_report_target() {
+  balancer_node_ = kInvalidNode;
+  sink_ = nullptr;
+}
+
+void LocalLoadAnalyzer::stop() {
+  if (!started_) return;
+  started_ = false;
+  reporter_.stop();
+  server_.remove_observer(this);
+  conn_.reset();
+}
+
+void LocalLoadAnalyzer::on_publish(const ps::EnvelopePtr& env, std::size_t subscriber_count) {
+  if (is_control_channel(env->channel)) return;
+  Accum& a = window_[env->channel];
+  const std::size_t bytes = ps::wire_size(*env, server_.config().msg_overhead_bytes);
+  a.stats.publications += 1;
+  a.stats.deliveries += subscriber_count;
+  a.stats.bytes_in += bytes;
+  a.stats.bytes_out += bytes * subscriber_count;
+  // Colocation lets the LLA attribute server CPU to channels from the known
+  // command cost model (future-work CPU-aware balancing, paper VII).
+  a.stats.cpu_us += static_cast<std::uint64_t>(
+      server_.config().cpu_publish_cost_us +
+      server_.config().cpu_delivery_cost_us * static_cast<double>(subscriber_count));
+  a.publishers.insert(env->publisher);
+}
+
+void LocalLoadAnalyzer::on_subscribe(ps::ConnId conn, const Channel& channel,
+                                     NodeId client_node) {
+  if (is_control_channel(channel)) return;
+  // Only real clients count as subscribers for balancing decisions;
+  // infrastructure connections (LB, dispatchers) are bookkeeping.
+  const bool is_client = network_.kind(client_node) == net::NodeKind::kClient;
+  client_conns_[conn] = is_client;
+  if (is_client) subscriber_counts_[channel] += 1;
+}
+
+void LocalLoadAnalyzer::on_unsubscribe(ps::ConnId conn, const Channel& channel,
+                                       NodeId client_node) {
+  if (is_control_channel(channel)) return;
+  const bool is_client = network_.kind(client_node) == net::NodeKind::kClient;
+  if (!is_client) return;
+  auto it = subscriber_counts_.find(channel);
+  if (it != subscriber_counts_.end() && it->second > 0) {
+    if (--it->second == 0) subscriber_counts_.erase(it);
+  }
+  (void)conn;
+}
+
+void LocalLoadAnalyzer::on_disconnect(ps::ConnId conn, const std::vector<Channel>& channels,
+                                      ps::CloseReason /*reason*/) {
+  auto cit = client_conns_.find(conn);
+  const bool is_client = cit != client_conns_.end() && cit->second;
+  if (cit != client_conns_.end()) client_conns_.erase(cit);
+  if (!is_client) return;
+  for (const Channel& ch : channels) {
+    if (is_control_channel(ch)) continue;
+    auto it = subscriber_counts_.find(ch);
+    if (it != subscriber_counts_.end() && it->second > 0) {
+      if (--it->second == 0) subscriber_counts_.erase(it);
+    }
+  }
+}
+
+void LocalLoadAnalyzer::emit_report() {
+  const SimTime now = sim_.now();
+  const double window_s = to_seconds(now - window_start_time_);
+  if (window_s <= 0) return;
+
+  LoadReport report;
+  report.server = server_.node();
+  report.window_start = window_start_time_;
+  report.window_end = now;
+  const std::uint64_t bytes_now = network_.transmitted_bytes(server_.node());
+  report.measured_out_bytes_per_sec =
+      static_cast<double>(bytes_now - window_start_bytes_) / window_s;
+  report.advertised_capacity = config_.advertised_capacity;
+  const SimTime cpu_now = server_.cpu_time_executed();
+  report.cpu_utilization =
+      to_seconds(cpu_now - window_start_cpu_) / window_s;
+  window_start_cpu_ = cpu_now;
+
+  // Channels with traffic this window.
+  for (auto& [channel, accum] : window_) {
+    ChannelStats stats = accum.stats;
+    stats.publishers = static_cast<std::uint32_t>(accum.publishers.size());
+    auto sit = subscriber_counts_.find(channel);
+    stats.subscribers = sit == subscriber_counts_.end() ? 0 : sit->second;
+    report.channels.emplace(channel, stats);
+  }
+  // Quiet channels that still have subscribers (they hold server state and
+  // are migration candidates too).
+  for (const auto& [channel, count] : subscriber_counts_) {
+    if (report.channels.contains(channel)) continue;
+    ChannelStats stats;
+    stats.subscribers = count;
+    report.channels.emplace(channel, stats);
+  }
+
+  last_load_ratio_ = report.load_ratio();
+  window_.clear();
+  window_start_bytes_ = bytes_now;
+  window_start_time_ = now;
+
+  auto body = std::make_shared<LlaReportBody>();
+  body->report = std::move(report);
+
+  // Direct path to the balancer (does not queue behind the data plane).
+  if (sink_ && balancer_node_ != kInvalidNode) {
+    network_.send(server_.node(), balancer_node_, body->wire_size(),
+                  [sink = sink_, body] { sink(body->report); });
+  }
+
+  auto env = std::make_shared<ps::Envelope>();
+  env->id = MessageId{infra_client_id(server_.node()), static_cast<std::uint64_t>(now)};
+  env->kind = ps::MsgKind::kLlaReport;
+  env->channel = kLlaChannel;
+  env->publish_time = now;
+  env->publisher = infra_client_id(server_.node());
+  env->body = std::move(body);
+  conn_->publish(std::move(env));
+}
+
+}  // namespace dynamoth::core

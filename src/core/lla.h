@@ -1,0 +1,94 @@
+// Local Load Analyzer (paper III-A).
+//
+// One LLA runs colocated with each pub/sub server. It observes every
+// subscription, unsubscription and publication on the local server (the
+// paper's LLA registers as an observer of every channel; colocation makes
+// this free of network cost) and accumulates, per measurement window:
+// publications, deliveries, bytes in/out, current subscriber count and the
+// set of distinct publishers — per channel. Each window it publishes an
+// aggregate LoadReport on the local "@ctl:lla" channel, which the load
+// balancer subscribes to on every server. The report also carries the
+// NIC-measured outgoing bandwidth M_i and the advertised maximum T_i.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "common/types.h"
+#include "core/control.h"
+#include "core/registry.h"
+#include "net/network.h"
+#include "pubsub/remote_connection.h"
+#include "pubsub/server.h"
+#include "sim/simulator.h"
+
+namespace dynamoth::core {
+
+class LocalLoadAnalyzer final : public ps::LocalObserver {
+ public:
+  struct Config {
+    SimTime report_interval = seconds(1);  // the paper's time unit t
+    double advertised_capacity = 1.5e6;    // T_i, bytes/sec
+  };
+
+  LocalLoadAnalyzer(sim::Simulator& sim, net::Network& network, ps::PubSubServer& server,
+                    Config config);
+  ~LocalLoadAnalyzer() override;
+
+  LocalLoadAnalyzer(const LocalLoadAnalyzer&) = delete;
+  LocalLoadAnalyzer& operator=(const LocalLoadAnalyzer&) = delete;
+
+  /// Starts observing and reporting.
+  void start();
+  void stop();
+
+  /// Routes reports directly to the load balancer node over the network
+  /// (paper Figure 1: the LLA talks to the LB itself, not through the local
+  /// pub/sub server — monitoring must not starve behind a saturated data
+  /// plane). Reports are still also published on the local @ctl:lla channel
+  /// for observability.
+  using ReportSink = std::function<void(const LoadReport&)>;
+  void set_report_target(NodeId balancer_node, ReportSink sink);
+  void clear_report_target();
+
+  [[nodiscard]] double advertised_capacity() const { return config_.advertised_capacity; }
+  /// Load ratio over the last completed window (for tests/figures).
+  [[nodiscard]] double last_load_ratio() const { return last_load_ratio_; }
+
+  // ---- LocalObserver ----
+  void on_publish(const ps::EnvelopePtr& env, std::size_t subscriber_count) override;
+  void on_subscribe(ps::ConnId conn, const Channel& channel, NodeId client_node) override;
+  void on_unsubscribe(ps::ConnId conn, const Channel& channel, NodeId client_node) override;
+  void on_disconnect(ps::ConnId conn, const std::vector<Channel>& channels,
+                     ps::CloseReason reason) override;
+
+ private:
+  struct Accum {
+    ChannelStats stats;
+    std::set<ClientId> publishers;  // distinct within the window
+  };
+
+  void emit_report();
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  ps::PubSubServer& server_;
+  Config config_;
+
+  std::map<Channel, Accum> window_;                 // stats being accumulated
+  std::map<Channel, std::uint32_t> subscriber_counts_;  // current, persists
+  std::map<ps::ConnId, bool> client_conns_;         // conn -> is client-kind
+  std::uint64_t window_start_bytes_ = 0;
+  SimTime window_start_cpu_ = 0;
+  SimTime window_start_time_ = 0;
+  double last_load_ratio_ = 0;
+
+  std::unique_ptr<ps::RemoteConnection> conn_;  // local, for publishing reports
+  NodeId balancer_node_ = kInvalidNode;
+  ReportSink sink_;
+  sim::PeriodicTask reporter_;
+  bool started_ = false;
+};
+
+}  // namespace dynamoth::core

@@ -1,0 +1,492 @@
+#include "core/load_balancer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dynamoth::core {
+
+DynamothLoadBalancer::DynamothLoadBalancer(sim::Simulator& sim, net::Network& network,
+                                           ServerRegistry& registry,
+                                           std::shared_ptr<const ConsistentHashRing> base_ring,
+                                           NodeId node, Cloud* cloud, Config config)
+    : BalancerBase(sim, network, registry, std::move(base_ring), node, cloud, config.base),
+      config_(config) {
+  DYN_CHECK(config_.lr_safe <= config_.lr_high);
+  DYN_CHECK(config_.min_servers >= 1);
+}
+
+DynamothLoadBalancer::Round DynamothLoadBalancer::build_round() const {
+  Round r;
+  r.plan = *current_plan();  // working copy
+  for (const auto& [id, state] : servers()) {
+    if (state.reports.empty()) continue;
+    r.capacity[id] = state.capacity;
+    r.rates[id] = channel_out_rates(id);
+    // Estimated egress: the NIC measurement M_i saturates at the line rate,
+    // but the LLA's per-channel delivery rates reflect *offered* load. Use
+    // whichever is larger, otherwise a saturated server looks "fixed" after
+    // shedding a fraction of its channels and the balancer under-provisions.
+    double offered = 0;
+    for (const auto& [_, rate] : r.rates[id]) offered += rate;
+    r.est_out[id] = std::max(load_ratio(id) * state.capacity, offered);
+
+    if (config_.cpu_aware) {
+      r.cpu_rates[id] = channel_cpu_rates(id);
+      double cpu_offered = 0;
+      for (const auto& [_, util] : r.cpu_rates[id]) cpu_offered += util;
+      double cpu_measured = 0;
+      for (const LoadReport& report : state.reports) cpu_measured += report.cpu_utilization;
+      cpu_measured /= static_cast<double>(state.reports.size());
+      r.est_cpu[id] = std::max(cpu_measured, cpu_offered);
+    }
+
+    // Aggregate per-channel metrics across servers.
+    double window_s = 0;
+    std::map<Channel, ChannelAggregate> local;
+    for (const LoadReport& report : state.reports) {
+      window_s += to_seconds(report.window_end - report.window_start);
+      for (const auto& [channel, stats] : report.channels) {
+        ChannelAggregate& agg = local[channel];
+        agg.publications_per_sec += static_cast<double>(stats.publications);
+        agg.out_bytes_per_sec += static_cast<double>(stats.bytes_out);
+        // Subscribers/publishers are level quantities: keep the latest.
+        agg.subscribers = stats.subscribers;
+        agg.publishers = stats.publishers;
+      }
+    }
+    if (window_s <= 0) continue;
+    for (auto& [channel, agg] : local) {
+      ChannelAggregate& global = r.channels[channel];
+      global.publications_per_sec += agg.publications_per_sec / window_s;
+      global.out_bytes_per_sec += agg.out_bytes_per_sec / window_s;
+      global.subscribers += agg.subscribers;
+      global.publishers += agg.publishers;
+    }
+  }
+
+  // Correct for replication-induced double counting, otherwise active
+  // replication suppresses the very ratios that justified it (flapping):
+  // under all-publishers every replica sees the same publication stream;
+  // under all-subscribers every replica sees the same subscriber set.
+  for (auto& [channel, agg] : r.channels) {
+    const PlanEntry* entry = r.plan.find(channel);
+    if (entry == nullptr || entry->servers.size() <= 1) continue;
+    const auto n = static_cast<double>(entry->servers.size());
+    switch (entry->mode) {
+      case ReplicationMode::kAllPublishers:
+        agg.publications_per_sec /= n;
+        agg.publishers /= n;
+        break;
+      case ReplicationMode::kAllSubscribers:
+        agg.subscribers /= n;
+        agg.publishers /= n;  // publishers spray replicas randomly
+        break;
+      case ReplicationMode::kNone:
+        break;
+    }
+  }
+  return r;
+}
+
+double DynamothLoadBalancer::est_lr(const Round& r, ServerId s) const {
+  auto out = r.est_out.find(s);
+  auto cap = r.capacity.find(s);
+  if (out == r.est_out.end() || cap == r.capacity.end() || cap->second <= 0) return 0;
+  return out->second / cap->second;
+}
+
+double DynamothLoadBalancer::est_cpu(const Round& r, ServerId s) const {
+  auto it = r.est_cpu.find(s);
+  return it == r.est_cpu.end() ? 0.0 : it->second;
+}
+
+double DynamothLoadBalancer::pressure(const Round& r, ServerId s) const {
+  double p = est_lr(r, s) / config_.lr_high;
+  if (config_.cpu_aware) p = std::max(p, est_cpu(r, s) / config_.cpu_high);
+  return p;
+}
+
+std::map<Channel, double> DynamothLoadBalancer::channel_cpu_rates(ServerId server) const {
+  std::map<Channel, double> rates;
+  auto it = servers().find(server);
+  if (it == servers().end() || it->second.reports.empty()) return rates;
+  double total_window = 0;
+  for (const LoadReport& report : it->second.reports) {
+    total_window += to_seconds(report.window_end - report.window_start);
+    for (const auto& [channel, stats] : report.channels) {
+      rates[channel] += static_cast<double>(stats.cpu_us) / 1e6;  // -> core-seconds
+    }
+  }
+  if (total_window <= 0) return {};
+  for (auto& [_, v] : rates) v /= total_window;  // core-seconds per second
+  return rates;
+}
+
+std::vector<ServerId> DynamothLoadBalancer::servers_by_load(
+    const Round& r, const std::set<ServerId>& exclude) const {
+  std::vector<ServerId> ids;
+  for (const auto& [id, state] : servers()) {
+    if (state.retiring || releasing_.contains(id) || exclude.contains(id)) continue;
+    if (!r.capacity.contains(id)) continue;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end(), [&](ServerId a, ServerId b) {
+    const double la = pressure(r, a), lb = pressure(r, b);
+    return la != lb ? la < lb : a < b;
+  });
+  return ids;
+}
+
+void DynamothLoadBalancer::apply_entry_change(Round& r, const Channel& channel,
+                                              const PlanEntry& new_entry) {
+  // Remove the channel's measured load from wherever it currently is.
+  double total = 0;
+  for (auto& [server, rates] : r.rates) {
+    auto it = rates.find(channel);
+    if (it == rates.end()) continue;
+    total += it->second;
+    r.est_out[server] -= it->second;
+    rates.erase(it);
+  }
+  double cpu_total = 0;
+  if (config_.cpu_aware) {
+    for (auto& [server, rates] : r.cpu_rates) {
+      auto it = rates.find(channel);
+      if (it == rates.end()) continue;
+      cpu_total += it->second;
+      r.est_cpu[server] -= it->second;
+      rates.erase(it);
+    }
+  }
+
+  // Redistribute. Both replication schemes split delivery work evenly:
+  // all-subscribers splits the publication stream across replicas, and
+  // all-publishers splits the subscriber population across replicas.
+  const double share = total / static_cast<double>(new_entry.servers.size());
+  const double cpu_share = cpu_total / static_cast<double>(new_entry.servers.size());
+  for (ServerId s : new_entry.servers) {
+    r.est_out[s] += share;
+    r.rates[s][channel] += share;
+    if (config_.cpu_aware) {
+      r.est_cpu[s] += cpu_share;
+      r.cpu_rates[s][channel] += cpu_share;
+    }
+  }
+  r.plan.set_entry(channel, new_entry);
+  r.changed = true;
+}
+
+void DynamothLoadBalancer::repair_dead_entries(Round& r) {
+  std::vector<std::pair<Channel, PlanEntry>> repairs;
+  for (const auto& [channel, entry] : r.plan.entries()) {
+    std::vector<ServerId> live;
+    for (ServerId s : entry.servers) {
+      if (servers().contains(s)) live.push_back(s);
+    }
+    if (live.size() == entry.servers.size()) continue;
+
+    PlanEntry fixed = entry;
+    fixed.version = entry.version + 1;
+    if (live.empty()) {
+      const std::vector<ServerId> order = servers_by_load(r, {});
+      if (order.empty()) continue;  // nothing to place on; try next round
+      fixed.servers = {order.front()};
+      fixed.mode = ReplicationMode::kNone;
+    } else {
+      fixed.servers = std::move(live);
+      if (fixed.servers.size() < 2) fixed.mode = ReplicationMode::kNone;
+    }
+    repairs.emplace_back(channel, std::move(fixed));
+  }
+  for (auto& [channel, entry] : repairs) apply_entry_change(r, channel, entry);
+}
+
+void DynamothLoadBalancer::channel_level_rebalance(Round& r) {
+  if (!config_.enable_replication) return;
+  const std::size_t fleet = servers_by_load(r, {}).size();
+  if (fleet < 2) return;
+
+  for (const auto& [channel, agg] : r.channels) {
+    const PlanEntry current = r.plan.resolve(channel, *base_ring_);
+
+    // Algorithm 1: publication-to-subscriber and subscriber-to-publication
+    // ratios over the measurement window.
+    const double pubs = agg.publications_per_sec;
+    const double subs = std::max(agg.subscribers, 1.0);
+    const double p_ratio = pubs / subs;
+    const double s_ratio = subs / std::max(pubs, 1.0);
+
+    ReplicationMode want = ReplicationMode::kNone;
+    std::size_t n_servers = 1;
+    if (p_ratio > config_.all_subs_threshold && pubs > config_.publication_threshold) {
+      want = ReplicationMode::kAllSubscribers;
+      n_servers = static_cast<std::size_t>(std::ceil(p_ratio / config_.all_subs_threshold));
+    } else if (s_ratio > config_.all_pubs_threshold &&
+               agg.subscribers > config_.subscriber_threshold) {
+      want = ReplicationMode::kAllPublishers;
+      n_servers = static_cast<std::size_t>(std::ceil(s_ratio / config_.all_pubs_threshold));
+    }
+    n_servers = std::clamp<std::size_t>(n_servers, want == ReplicationMode::kNone ? 1 : 2,
+                                        std::min(config_.max_replicas, fleet));
+
+    if (want == current.mode &&
+        (want == ReplicationMode::kNone || n_servers == current.servers.size())) {
+      continue;  // nothing to change
+    }
+
+    PlanEntry entry;
+    entry.mode = want;
+    entry.version = current.version + 1;
+    if (want == ReplicationMode::kNone) {
+      // Cancel replication: collapse onto the current primary.
+      entry.servers = {current.primary()};
+      if (current.mode != ReplicationMode::kNone) ++lb_stats_.replications_cancelled;
+    } else {
+      // Keep current members; grow with the least-loaded servers first,
+      // shrink by freeing the busiest members first (paper III-B1).
+      std::vector<ServerId> members;
+      for (ServerId s : current.servers) {
+        if (r.capacity.contains(s) && !releasing_.contains(s)) members.push_back(s);
+      }
+      if (members.size() > n_servers) {
+        std::sort(members.begin(), members.end(), [&](ServerId a, ServerId b) {
+          const double la = est_lr(r, a), lb = est_lr(r, b);
+          return la != lb ? la < lb : a < b;  // keep least loaded
+        });
+        members.resize(n_servers);
+      } else if (members.size() < n_servers) {
+        std::set<ServerId> exclude(members.begin(), members.end());
+        for (ServerId s : servers_by_load(r, exclude)) {
+          if (members.size() >= n_servers) break;
+          members.push_back(s);
+        }
+      }
+      if (members.size() < 2) continue;  // cannot replicate right now
+      std::sort(members.begin(), members.end());
+      entry.servers = std::move(members);
+      if (current.mode == want) {
+        ++lb_stats_.replications_resized;
+      } else {
+        ++lb_stats_.replications_started;
+      }
+    }
+    apply_entry_change(r, channel, entry);
+    r.kind = RebalanceKind::kChannelLevel;
+  }
+}
+
+void DynamothLoadBalancer::high_load_rebalance(Round& r) {
+  // Algorithm 2. Bounded by a migration budget to stay O(channels).
+  std::set<Channel> moved_this_round;
+  int outer_guard = static_cast<int>(servers().size()) + 2;
+
+  while (outer_guard-- > 0) {
+    // (H_max) = most pressured server (bandwidth LR, and CPU when enabled).
+    ServerId h_max = kInvalidServer;
+    double p_max = -1;
+    for (const auto& [id, _] : r.capacity) {
+      const double p = pressure(r, id);
+      if (p > p_max) {
+        h_max = id;
+        p_max = p;
+      }
+    }
+    // pressure >= 1 means past lr_high (or cpu_high).
+    if (h_max == kInvalidServer || p_max < 1.0) return;
+    r.overloaded = true;
+    r.kind = RebalanceKind::kHighLoad;
+    const bool cpu_bound =
+        config_.cpu_aware && est_cpu(r, h_max) / config_.cpu_high >
+                                 est_lr(r, h_max) / config_.lr_high;
+
+    bool stuck = false;
+    while (est_lr(r, h_max) >= config_.lr_safe ||
+           (config_.cpu_aware && est_cpu(r, h_max) >= config_.cpu_safe)) {
+      // Busiest migratable channel on H_max, by the binding dimension.
+      // Replicated channels are the micro balancer's business; control
+      // channels never appear in plans.
+      const auto& rates = cpu_bound ? r.cpu_rates[h_max] : r.rates[h_max];
+      Channel busiest;
+      double busiest_rate = 0;
+      for (const auto& [channel, rate] : rates) {
+        if (moved_this_round.contains(channel)) continue;
+        const PlanEntry entry = r.plan.resolve(channel, *base_ring_);
+        if (entry.mode != ReplicationMode::kNone) continue;
+        if (rate > busiest_rate) {
+          busiest = channel;
+          busiest_rate = rate;
+        }
+      }
+      if (busiest.empty()) {
+        stuck = true;
+        break;
+      }
+      const double busiest_bytes =
+          r.rates[h_max].contains(busiest) ? r.rates[h_max][busiest] : 0.0;
+      const double busiest_cpu =
+          config_.cpu_aware && r.cpu_rates[h_max].contains(busiest)
+              ? r.cpu_rates[h_max][busiest]
+              : 0.0;
+
+      // (H_min) = least pressured server.
+      const std::vector<ServerId> order = servers_by_load(r, {h_max});
+      if (order.empty()) {
+        stuck = true;
+        break;
+      }
+      const ServerId h_min = order.front();
+      const double target_lr_after =
+          (r.est_out[h_min] + busiest_bytes) / std::max(r.capacity[h_min], 1.0);
+      const double target_cpu_after = est_cpu(r, h_min) + busiest_cpu;
+      const bool target_unsafe =
+          (target_lr_after >= config_.lr_safe &&
+           r.est_out[h_min] + busiest_bytes >= r.est_out[h_max]) ||
+          (config_.cpu_aware && target_cpu_after >= config_.cpu_safe &&
+           target_cpu_after >= est_cpu(r, h_max));
+      if (target_unsafe) {
+        // Moving it would just shift the hot spot.
+        stuck = true;
+        break;
+      }
+
+      PlanEntry entry;
+      entry.servers = {h_min};
+      entry.mode = ReplicationMode::kNone;
+      entry.version = r.plan.resolve(busiest, *base_ring_).version + 1;
+      apply_entry_change(r, busiest, entry);
+      moved_this_round.insert(busiest);
+      ++lb_stats_.channels_migrated;
+    }
+
+    if (stuck) {
+      // Migrations alone cannot relieve the hot spot: rent a server.
+      request_spawn_if_possible();
+      return;
+    }
+  }
+}
+
+void DynamothLoadBalancer::low_load_rebalance(Round& r) {
+  const std::vector<ServerId> order = servers_by_load(r, {});
+  if (order.size() <= config_.min_servers) return;
+
+  // Global average estimated load ratio.
+  double avg = 0;
+  for (ServerId s : order) avg += est_lr(r, s);
+  avg /= static_cast<double>(order.size());
+  if (avg >= config_.lr_low) return;
+
+  // Never release a ring member: consistent-hash fallback must keep
+  // resolving to a live server (base servers host "plan 0" traffic).
+  ServerId victim = kInvalidServer;
+  for (ServerId s : order) {
+    if (!base_ring_->contains(s)) {
+      victim = s;
+      break;
+    }
+  }
+  if (victim == kInvalidServer) return;
+
+  // Drain: move every channel off the victim while targets stay safe.
+  // Collect first (apply_entry_change mutates r.rates[victim]).
+  std::vector<std::pair<Channel, double>> load;
+  for (const auto& [channel, rate] : r.rates[victim]) load.emplace_back(channel, rate);
+  std::sort(load.begin(), load.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  // Also channels mapped to the victim with zero traffic this window.
+  for (const auto& [channel, entry] : r.plan.entries()) {
+    if (entry.owns(victim) && !r.rates[victim].contains(channel)) {
+      load.emplace_back(channel, 0.0);
+    }
+  }
+
+  bool all_moved = true;
+  for (const auto& [channel, rate] : load) {
+    const PlanEntry current = r.plan.resolve(channel, *base_ring_);
+    if (!current.owns(victim)) continue;
+
+    if (current.mode != ReplicationMode::kNone && current.servers.size() > 2) {
+      // Shrink the replica set away from the victim.
+      PlanEntry entry = current;
+      std::erase(entry.servers, victim);
+      entry.version = current.version + 1;
+      apply_entry_change(r, channel, entry);
+      r.kind = RebalanceKind::kLowLoad;
+      continue;
+    }
+
+    const std::vector<ServerId> targets = servers_by_load(r, {victim});
+    if (targets.empty()) {
+      all_moved = false;
+      break;
+    }
+    const ServerId target = targets.front();
+    const double after = (r.est_out[target] + rate) / std::max(r.capacity[target], 1.0);
+    if (after >= config_.lr_safe) {
+      all_moved = false;  // would overload the rest; try again later
+      break;
+    }
+    PlanEntry entry = current;
+    entry.servers = {target};
+    entry.mode = ReplicationMode::kNone;
+    entry.version = current.version + 1;
+    apply_entry_change(r, channel, entry);
+    r.kind = RebalanceKind::kLowLoad;
+    ++lb_stats_.channels_migrated;
+  }
+
+  if (all_moved) {
+    // Nothing maps to the victim in the new plan; release after a drain
+    // period so forwarding and stale clients settle.
+    servers_mut()[victim].retiring = true;
+    releasing_.insert(victim);
+    r.changed = true;
+    r.kind = RebalanceKind::kLowLoad;
+    const ServerId id = victim;
+    sim_.schedule_after(config_.despawn_drain_delay, [this, id] { release_server(id); });
+  }
+}
+
+void DynamothLoadBalancer::request_spawn_if_possible() {
+  if (cloud_ == nullptr || spawn_pending_) return;
+  if (active_server_count() >= config_.max_servers) return;
+  spawn_pending_ = true;
+  ++lb_stats_.servers_spawned;
+  cloud_->request_spawn([this](ServerId id) {
+    spawn_pending_ = false;
+    attach_server(id);
+    force_decide_ = true;  // rebalance onto the fresh server without T_wait
+  });
+}
+
+void DynamothLoadBalancer::release_server(ServerId server) {
+  releasing_.erase(server);
+  detach_server(server);
+  ++lb_stats_.servers_released;
+  if (cloud_ != nullptr) cloud_->despawn(server);
+}
+
+void DynamothLoadBalancer::decide() {
+  // Respect T_wait between plan generations (paper III-B) unless a fresh
+  // server just arrived for a pending high-load situation.
+  if (!force_decide_ && sim_.now() - last_plan_time_ < config_.t_wait) return;
+
+  Round r = build_round();
+  if (r.capacity.empty()) return;
+  const bool forced = force_decide_;
+  force_decide_ = false;
+
+  repair_dead_entries(r);
+  channel_level_rebalance(r);
+  high_load_rebalance(r);
+  if (!forced && !r.overloaded) low_load_rebalance(r);
+
+  if (!r.changed) return;
+  ++lb_stats_.plans_generated;
+  publish_plan(std::move(r.plan), r.kind);
+}
+
+}  // namespace dynamoth::core

@@ -1,0 +1,137 @@
+// The Dynamoth load balancer (paper III).
+//
+// Aggregates LLA reports from every pub/sub server and, at most once per
+// T_wait, generates a new plan in two steps:
+//  1. channel-level rebalancing (Algorithm 1): decide per channel whether
+//     all-subscribers / all-publishers replication should be (de)activated
+//     and across how many servers;
+//  2. system-level rebalancing: high-load (Algorithm 2 — migrate busiest
+//     channels off the most loaded server, renting new cloud servers when
+//     nothing else helps) and low-load (drain the least loaded server and
+//     release it).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "core/balancer_base.h"
+
+namespace dynamoth::core {
+
+class DynamothLoadBalancer final : public BalancerBase {
+ public:
+  struct Config {
+    BaseConfig base;
+
+    SimTime t_wait = seconds(15);  // min time between plan generations
+
+    // System-level thresholds (load ratios).
+    double lr_high = 0.85;  // trigger high-load rebalancing
+    double lr_safe = 0.70;  // migrate until the estimate drops below this
+    double lr_low = 0.35;   // global average below this triggers scale-down
+
+    // CPU-aware balancing (the paper's stated future work, VII): when
+    // enabled, a server is also considered overloaded when its CPU
+    // utilization exceeds cpu_high, and migrations account for per-channel
+    // CPU cost reported by the LLAs. Off by default, like the paper.
+    bool cpu_aware = false;
+    double cpu_high = 0.85;
+    double cpu_safe = 0.70;
+
+    // Channel-level thresholds (Algorithm 1).
+    bool enable_replication = true;
+    double all_subs_threshold = 2700;   // P_ratio: publications per subscriber /s
+    double publication_threshold = 1000;  // min publications/s
+    double all_pubs_threshold = 90;     // S_ratio: subscribers per publication /s
+    double subscriber_threshold = 250;  // min subscribers
+    std::size_t max_replicas = 8;
+
+    // Fleet sizing.
+    std::size_t max_servers = 8;
+    std::size_t min_servers = 1;
+    /// Delay between emptying a server and releasing it (lets forwarding
+    /// state and stale clients drain).
+    SimTime despawn_drain_delay = seconds(30);
+  };
+
+  struct Stats {
+    std::uint64_t plans_generated = 0;
+    std::uint64_t channels_migrated = 0;
+    std::uint64_t replications_started = 0;
+    std::uint64_t replications_resized = 0;
+    std::uint64_t replications_cancelled = 0;
+    std::uint64_t servers_spawned = 0;
+    std::uint64_t servers_released = 0;
+  };
+
+  DynamothLoadBalancer(sim::Simulator& sim, net::Network& network, ServerRegistry& registry,
+                       std::shared_ptr<const ConsistentHashRing> base_ring, NodeId node,
+                       Cloud* cloud, Config config);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const Stats& stats() const { return lb_stats_; }
+
+ protected:
+  void decide() override;
+
+ private:
+  /// Per-channel metrics aggregated across servers for one decision round.
+  struct ChannelAggregate {
+    double publications_per_sec = 0;
+    double subscribers = 0;   // current total
+    double publishers = 0;    // distinct, summed over servers
+    double out_bytes_per_sec = 0;
+  };
+  /// Working state for one decision round.
+  struct Round {
+    Plan plan;                                  // being edited
+    std::map<ServerId, double> est_out;         // estimated egress bytes/s
+    std::map<ServerId, double> est_cpu;         // estimated CPU utilization
+    std::map<ServerId, double> capacity;        // T_i
+    std::map<ServerId, std::map<Channel, double>> rates;      // bytes/s per channel
+    std::map<ServerId, std::map<Channel, double>> cpu_rates;  // CPU util per channel
+    std::map<Channel, ChannelAggregate> channels;
+    bool changed = false;
+    bool overloaded = false;  // some server above lr_high this round
+    RebalanceKind kind = RebalanceKind::kChannelLevel;
+  };
+
+  Round build_round() const;
+  [[nodiscard]] double est_lr(const Round& r, ServerId s) const;
+  [[nodiscard]] double est_cpu(const Round& r, ServerId s) const;
+  /// Normalized load pressure: max of bandwidth LR relative to lr_high and
+  /// (when cpu_aware) CPU utilization relative to cpu_high. >= 1 means the
+  /// server is past a high threshold on some dimension.
+  [[nodiscard]] double pressure(const Round& r, ServerId s) const;
+  /// Measured per-channel CPU utilization on a server (fraction of a core),
+  /// averaged over the report window.
+  [[nodiscard]] std::map<Channel, double> channel_cpu_rates(ServerId server) const;
+
+  /// Rewrites entries that reference servers no longer in the fleet (e.g.
+  /// crashed or released out-of-band): dead members are dropped and
+  /// orphaned channels land on the least-loaded live server.
+  void repair_dead_entries(Round& r);
+  /// Algorithm 1 over all channels; may flip replication modes.
+  void channel_level_rebalance(Round& r);
+  /// Algorithm 2; may request cloud spawns.
+  void high_load_rebalance(Round& r);
+  void low_load_rebalance(Round& r);
+
+  /// Moves all of `channel`'s estimated load to the entry's new placement.
+  void apply_entry_change(Round& r, const Channel& channel, const PlanEntry& new_entry);
+  /// Least-loaded placement-eligible servers, excluding `exclude`.
+  [[nodiscard]] std::vector<ServerId> servers_by_load(const Round& r,
+                                                      const std::set<ServerId>& exclude) const;
+
+  void request_spawn_if_possible();
+  void release_server(ServerId server);
+
+  Config config_;
+  Stats lb_stats_;
+  bool spawn_pending_ = false;
+  bool force_decide_ = false;  // bypass t_wait once (fresh server arrived)
+  std::set<ServerId> releasing_;
+};
+
+}  // namespace dynamoth::core

@@ -1,0 +1,56 @@
+#include "core/plan.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dynamoth::core {
+
+const char* to_string(ReplicationMode mode) {
+  switch (mode) {
+    case ReplicationMode::kNone:
+      return "none";
+    case ReplicationMode::kAllSubscribers:
+      return "all-subscribers";
+    case ReplicationMode::kAllPublishers:
+      return "all-publishers";
+  }
+  return "?";
+}
+
+bool PlanEntry::owns(ServerId server) const {
+  return std::find(servers.begin(), servers.end(), server) != servers.end();
+}
+
+const PlanEntry* Plan::find(const Channel& channel) const {
+  auto it = entries_.find(channel);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+PlanEntry Plan::resolve(const Channel& channel, const ConsistentHashRing& ring) const {
+  if (const PlanEntry* e = find(channel)) return *e;
+  PlanEntry fallback;
+  fallback.servers = {ring.lookup(channel)};
+  fallback.mode = ReplicationMode::kNone;
+  fallback.version = 0;
+  return fallback;
+}
+
+void Plan::set_entry(const Channel& channel, PlanEntry entry) {
+  DYN_CHECK(!entry.servers.empty());
+  entries_[channel] = std::move(entry);
+}
+
+void Plan::remove_entry(const Channel& channel) { entries_.erase(channel); }
+
+std::size_t Plan::wire_size() const {
+  std::size_t bytes = 16;
+  for (const auto& [channel, entry] : entries_) {
+    bytes += channel.size() + 10 + 4 * entry.servers.size();
+  }
+  return bytes;
+}
+
+PlanPtr make_plan_zero() { return std::make_shared<Plan>(); }
+
+}  // namespace dynamoth::core

@@ -1,0 +1,81 @@
+// The plan: Dynamoth's channel -> pub/sub-server(s) lookup table.
+//
+// "a more elaborate version of a lookup table where the keys are the channels
+// and the values are the list of servers that should be used for each
+// channel" (paper II-A). Entries carry the replication mode decided by
+// channel-level balancing and a per-entry version used for lazy propagation:
+// clients stamp publications with the version of the entry they used, letting
+// dispatchers detect stale publishers and repair delivery.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "core/consistent_hash.h"
+
+namespace dynamoth::core {
+
+/// Channel replication schemes (paper II-B, Figure 2).
+enum class ReplicationMode : std::uint8_t {
+  kNone,            // single server owns the channel
+  kAllSubscribers,  // subscribers subscribe everywhere; publishers pick one
+  kAllPublishers,   // publishers publish everywhere; subscribers pick one
+};
+
+[[nodiscard]] const char* to_string(ReplicationMode mode);
+
+struct PlanEntry {
+  std::vector<ServerId> servers;  // owners, never empty for a valid entry
+  ReplicationMode mode = ReplicationMode::kNone;
+  /// Monotonically increasing per-channel; bumped whenever servers/mode
+  /// change. Version 0 is reserved for consistent-hash fallback entries.
+  std::uint64_t version = 0;
+
+  [[nodiscard]] bool owns(ServerId server) const;
+  [[nodiscard]] ServerId primary() const { return servers.front(); }
+
+  friend bool operator==(const PlanEntry&, const PlanEntry&) = default;
+};
+
+/// Immutable-after-publication global plan. The load balancer builds one,
+/// freezes it into a shared_ptr<const Plan>, and broadcasts it to all
+/// dispatchers; clients only ever hold per-channel PlanEntry copies.
+class Plan {
+ public:
+  Plan() = default;
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  void set_id(std::uint64_t id) { id_ = id; }
+
+  /// Explicit entry for `channel`, or nullptr if the channel is unmapped
+  /// (i.e. falls back to consistent hashing).
+  [[nodiscard]] const PlanEntry* find(const Channel& channel) const;
+
+  /// Resolves `channel` to an entry, falling back to the ring (version 0,
+  /// kNone) when no explicit entry exists.
+  [[nodiscard]] PlanEntry resolve(const Channel& channel, const ConsistentHashRing& ring) const;
+
+  void set_entry(const Channel& channel, PlanEntry entry);
+  void remove_entry(const Channel& channel);
+
+  [[nodiscard]] const std::map<Channel, PlanEntry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Approximate serialized size, used to charge the network for plan
+  /// broadcasts.
+  [[nodiscard]] std::size_t wire_size() const;
+
+ private:
+  std::uint64_t id_ = 0;
+  std::map<Channel, PlanEntry> entries_;  // ordered: deterministic iteration
+};
+
+using PlanPtr = std::shared_ptr<const Plan>;
+
+/// An empty "plan 0" (paper II-C): every channel falls back to the ring.
+[[nodiscard]] PlanPtr make_plan_zero();
+
+}  // namespace dynamoth::core

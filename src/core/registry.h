@@ -1,0 +1,48 @@
+// Registry of live pub/sub servers, shared by clients, dispatchers, the load
+// balancer and the cloud provisioner. Stands in for service discovery.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "pubsub/server.h"
+
+namespace dynamoth::core {
+
+class ServerRegistry {
+ public:
+  void add(ServerId id, ps::PubSubServer* server) {
+    DYN_CHECK(server != nullptr);
+    servers_[id] = server;
+  }
+
+  void remove(ServerId id) { servers_.erase(id); }
+
+  /// Server by id, or nullptr if despawned/unknown.
+  [[nodiscard]] ps::PubSubServer* find(ServerId id) const {
+    auto it = servers_.find(id);
+    return it == servers_.end() ? nullptr : it->second;
+  }
+
+  [[nodiscard]] ps::PubSubServer& get(ServerId id) const {
+    ps::PubSubServer* s = find(id);
+    DYN_CHECK(s != nullptr);
+    return *s;
+  }
+
+  [[nodiscard]] std::vector<ServerId> ids() const {
+    std::vector<ServerId> out;
+    out.reserve(servers_.size());
+    for (const auto& [id, _] : servers_) out.push_back(id);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return servers_.size(); }
+
+ private:
+  std::map<ServerId, ps::PubSubServer*> servers_;  // ordered for determinism
+};
+
+}  // namespace dynamoth::core

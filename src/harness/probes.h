@@ -1,0 +1,35 @@
+// Measurement probes shared by tests, examples and the figure benches.
+#pragma once
+
+#include "common/types.h"
+#include "metrics/histogram.h"
+
+namespace dynamoth::harness {
+
+/// Collects response times (publish -> own update received back, the paper's
+/// Figure 5c metric) with a per-window mean and an all-run histogram.
+class ResponseProbe {
+ public:
+  void record(SimTime rtt) {
+    window_.add(to_millis(rtt));
+    histogram_.record(rtt);  // microseconds
+  }
+
+  /// Mean response time (ms) since the last window_reset(); 0 when no
+  /// samples arrived (callers usually carry the previous value forward).
+  [[nodiscard]] double window_mean_ms() const { return window_.mean(); }
+  [[nodiscard]] std::uint64_t window_count() const { return window_.count(); }
+  void window_reset() { window_.reset(); }
+
+  [[nodiscard]] const metrics::Histogram& histogram() const { return histogram_; }
+  [[nodiscard]] double overall_mean_ms() const { return histogram_.mean() / 1000.0; }
+  [[nodiscard]] double percentile_ms(double p) const {
+    return static_cast<double>(histogram_.percentile(p)) / 1000.0;
+  }
+
+ private:
+  metrics::Welford window_;
+  metrics::Histogram histogram_;
+};
+
+}  // namespace dynamoth::harness

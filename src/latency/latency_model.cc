@@ -1,0 +1,96 @@
+#include "latency/latency_model.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dynamoth::net {
+
+KingLatencyModel::KingLatencyModel(KingModelParams params)
+    : params_(params), mu_(std::log(params.median_one_way_ms)) {}
+
+SimTime KingLatencyModel::sample(NodeKind from, NodeKind to, Rng& rng) {
+  if (from == NodeKind::kInfrastructure && to == NodeKind::kInfrastructure) {
+    return params_.lan_delay;
+  }
+  const double ms = rng.lognormal(mu_, params_.sigma);
+  const SimTime t = millis(ms);
+  return std::clamp(t, params_.min_delay, params_.max_delay);
+}
+
+namespace {
+// One-way delay CDF approximating the North-America-filtered King RTT
+// distribution (published medians ~80 ms RTT with a pronounced short-haul
+// mode and a heavy tail), halved to one-way values.
+std::vector<KingEmpiricalModel::CdfPoint> default_king_cdf() {
+  return {
+      {0.00, millis(4)},   {0.05, millis(9)},   {0.10, millis(14)},
+      {0.25, millis(24)},  {0.50, millis(40)},  {0.75, millis(65)},
+      {0.90, millis(100)}, {0.95, millis(130)}, {0.99, millis(220)},
+      {1.00, millis(400)},
+  };
+}
+}  // namespace
+
+KingEmpiricalModel::KingEmpiricalModel(SimTime lan_delay)
+    : KingEmpiricalModel(default_king_cdf(), lan_delay) {}
+
+KingEmpiricalModel::KingEmpiricalModel(std::vector<CdfPoint> cdf, SimTime lan_delay)
+    : cdf_(std::move(cdf)), lan_delay_(lan_delay) {
+  DYN_CHECK(cdf_.size() >= 2);
+  for (std::size_t i = 1; i < cdf_.size(); ++i) {
+    DYN_CHECK(cdf_[i].quantile > cdf_[i - 1].quantile);
+    DYN_CHECK(cdf_[i].delay >= cdf_[i - 1].delay);
+  }
+  DYN_CHECK(cdf_.front().quantile == 0.0 && cdf_.back().quantile == 1.0);
+}
+
+SimTime KingEmpiricalModel::sample(NodeKind from, NodeKind to, Rng& rng) {
+  if (from == NodeKind::kInfrastructure && to == NodeKind::kInfrastructure) {
+    return lan_delay_;
+  }
+  const double u = rng.uniform();
+  // Inverse transform with linear interpolation between table points.
+  for (std::size_t i = 1; i < cdf_.size(); ++i) {
+    if (u > cdf_[i].quantile) continue;
+    const CdfPoint& a = cdf_[i - 1];
+    const CdfPoint& b = cdf_[i];
+    const double f = (u - a.quantile) / (b.quantile - a.quantile);
+    return a.delay + static_cast<SimTime>(f * static_cast<double>(b.delay - a.delay));
+  }
+  return cdf_.back().delay;
+}
+
+TraceLatencyModel TraceLatencyModel::from_rtt_file(const std::string& path,
+                                                   SimTime lan_delay) {
+  std::ifstream in(path);
+  DYN_CHECK(in.good() && "latency trace file unreadable");
+  std::vector<SimTime> samples;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    const double rtt_ms = std::strtod(line.c_str() + start, nullptr);
+    if (rtt_ms <= 0) continue;
+    samples.push_back(millis(rtt_ms / 2.0));  // one-way
+  }
+  return TraceLatencyModel(std::move(samples), lan_delay);
+}
+
+TraceLatencyModel::TraceLatencyModel(std::vector<SimTime> one_way_samples, SimTime lan_delay)
+    : samples_(std::move(one_way_samples)), lan_delay_(lan_delay) {
+  DYN_CHECK(!samples_.empty());
+}
+
+SimTime TraceLatencyModel::sample(NodeKind from, NodeKind to, Rng& rng) {
+  if (from == NodeKind::kInfrastructure && to == NodeKind::kInfrastructure) {
+    return lan_delay_;
+  }
+  return samples_[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(samples_.size()) - 1))];
+}
+
+}  // namespace dynamoth::net

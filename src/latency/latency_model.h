@@ -1,0 +1,147 @@
+// Network propagation-delay models.
+//
+// The paper emulates a cloud deployment by delaying every message with a
+// latency sampled from the King dataset (WAN measurements between DNS
+// servers, filtered to North America): one sample per client<->infrastructure
+// crossing, two samples for client->client paths. We do not have the King
+// dataset, so KingLatencyModel synthesizes one-way delays from a log-normal
+// distribution calibrated to the published King statistics (median RTT around
+// 80 ms for North America, long right tail). Infrastructure<->infrastructure
+// traffic stays inside the cloud LAN and gets a sub-millisecond delay.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace dynamoth::net {
+
+/// What kind of machine a node is; decides which latency distribution a
+/// message between two nodes experiences.
+enum class NodeKind {
+  kClient,          // player / application client, reached over the WAN
+  kInfrastructure,  // pub/sub server, dispatcher, LLA, load balancer (cloud LAN)
+};
+
+/// Samples one-way propagation delays between node kinds.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// One-way propagation delay for a message from `from` kind to `to` kind.
+  virtual SimTime sample(NodeKind from, NodeKind to, Rng& rng) = 0;
+};
+
+/// Constant latency; handy for unit tests that need exact timings.
+class FixedLatencyModel final : public LatencyModel {
+ public:
+  explicit FixedLatencyModel(SimTime wan, SimTime lan = millis(0.4))
+      : wan_(wan), lan_(lan) {}
+
+  SimTime sample(NodeKind from, NodeKind to, Rng&) override {
+    const bool lan = from == NodeKind::kInfrastructure && to == NodeKind::kInfrastructure;
+    return lan ? lan_ : wan_;
+  }
+
+ private:
+  SimTime wan_;
+  SimTime lan_;
+};
+
+/// Uniformly distributed WAN latency; used in property tests to inject
+/// timing jitter without a heavy tail.
+class UniformLatencyModel final : public LatencyModel {
+ public:
+  UniformLatencyModel(SimTime lo, SimTime hi, SimTime lan = millis(0.4))
+      : lo_(lo), hi_(hi), lan_(lan) {}
+
+  SimTime sample(NodeKind from, NodeKind to, Rng& rng) override {
+    const bool lan = from == NodeKind::kInfrastructure && to == NodeKind::kInfrastructure;
+    if (lan) return lan_;
+    return lo_ + static_cast<SimTime>(rng.uniform() * static_cast<double>(hi_ - lo_));
+  }
+
+ private:
+  SimTime lo_;
+  SimTime hi_;
+  SimTime lan_;
+};
+
+/// Parameters for the synthetic King model. Defaults reproduce a median
+/// one-way delay of ~40 ms (80 ms RTT) with a heavy right tail, clamped to a
+/// plausible [4 ms, 400 ms] range, matching the North-America-filtered King
+/// measurements the paper samples from.
+struct KingModelParams {
+  double median_one_way_ms = 40.0;
+  double sigma = 0.55;            // log-space spread
+  SimTime min_delay = millis(4);
+  SimTime max_delay = millis(400);
+  SimTime lan_delay = millis(0.4);
+};
+
+class KingLatencyModel final : public LatencyModel {
+ public:
+  explicit KingLatencyModel(KingModelParams params = {});
+
+  SimTime sample(NodeKind from, NodeKind to, Rng& rng) override;
+
+  [[nodiscard]] const KingModelParams& params() const { return params_; }
+
+ private:
+  KingModelParams params_;
+  double mu_;  // log-space location: ln(median)
+};
+
+/// Empirical-CDF variant of the King substitution: one-way delays are drawn
+/// by inverse-transform sampling from a piecewise-linear CDF encoding the
+/// published King-dataset RTT percentiles (North-America filtered), halved
+/// to one-way values. Closer to the real dataset's shape than the
+/// log-normal (notably the short-haul mass below 20 ms and the long tail).
+class KingEmpiricalModel final : public LatencyModel {
+ public:
+  /// A point of the one-way-delay CDF: P(delay <= `delay`) = `quantile`.
+  struct CdfPoint {
+    double quantile;  // in [0, 1], strictly increasing across the table
+    SimTime delay;    // one-way, strictly increasing across the table
+  };
+
+  /// Uses the built-in NA-calibrated table.
+  explicit KingEmpiricalModel(SimTime lan_delay = millis(0.4));
+  /// Uses a caller-provided CDF table (>= 2 points, both fields increasing).
+  KingEmpiricalModel(std::vector<CdfPoint> cdf, SimTime lan_delay);
+
+  SimTime sample(NodeKind from, NodeKind to, Rng& rng) override;
+
+  [[nodiscard]] const std::vector<CdfPoint>& cdf() const { return cdf_; }
+
+ private:
+  std::vector<CdfPoint> cdf_;
+  SimTime lan_delay_;
+};
+
+/// Replays one-way delays from a measurement trace (e.g. the actual King
+/// dataset, if you have it): a text file with one RTT-in-milliseconds value
+/// per line (RTTs are halved; '#' comments and blank lines are skipped).
+/// Samples are drawn uniformly at random from the trace.
+class TraceLatencyModel final : public LatencyModel {
+ public:
+  /// Loads `path`; aborts if the file is unreadable or holds no samples.
+  static TraceLatencyModel from_rtt_file(const std::string& path,
+                                         SimTime lan_delay = millis(0.4));
+  /// Uses in-memory one-way samples directly.
+  TraceLatencyModel(std::vector<SimTime> one_way_samples, SimTime lan_delay);
+
+  SimTime sample(NodeKind from, NodeKind to, Rng& rng) override;
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+
+ private:
+  std::vector<SimTime> samples_;
+  SimTime lan_delay_;
+};
+
+}  // namespace dynamoth::net

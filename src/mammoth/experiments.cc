@@ -1,0 +1,164 @@
+#include "mammoth/experiments.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.h"
+
+namespace dynamoth::mammoth::exp {
+
+const char* to_string(BalancerKind kind) {
+  switch (kind) {
+    case BalancerKind::kDynamoth:
+      return "dynamoth";
+    case BalancerKind::kConsistentHashing:
+      return "consistent-hashing";
+    case BalancerKind::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+GameExperimentConfig default_game_experiment() {
+  GameExperimentConfig config;
+  config.cluster.initial_servers = 1;
+  config.cluster.server_capacity = 1.8e6;       // T_i (DESIGN.md section 5)
+  config.cluster.server_nic_headroom = 1.15;    // Redis fails near LR 1.15
+  config.cluster.cloud.spawn_delay = seconds(5);
+
+  config.game.world_size = 1200.0;
+  config.game.tiles_per_side = 12;              // 144 tile channels (RGame grid)
+  config.game.player.updates_per_sec = 3.0;     // paper V-D
+  config.game.player.payload_bytes = 400;  // state update; makes egress
+                                           // bandwidth (not CPU) the binding
+                                           // resource, as the paper observes
+  config.game.player.speed = 40.0;
+  config.game.player.hotspot_bias = 0.25;       // towns/quest hubs: the tile
+                                                // popularity skew the macro
+                                                // balancer exploits
+  config.game.client.entry_timeout = seconds(180);  // players revisit tiles;
+                                                    // caching entries longer cuts
+                                                    // hash-fallback rediscoveries
+
+  config.dynamoth.t_wait = seconds(15);
+  config.dynamoth.max_servers = 8;              // paper: up to 8 Redis servers
+  config.hash.t_wait = seconds(15);
+  config.hash.max_servers = 8;
+  // Classic consistent hashing with a handful of virtual identifiers per
+  // server: the newcomer takes chunky, load-oblivious arcs, so "highly
+  // loaded servers do not lose significant load and tend to overload again
+  // soon" (paper V-D). Calibrated so the baseline saturates near the
+  // paper's observed ~625 players.
+  config.hash.virtual_nodes_per_server = 2;
+  return config;
+}
+
+namespace {
+
+/// Piecewise-linear interpolation of the population schedule at time t.
+std::size_t target_population(const std::vector<PopulationPoint>& schedule, SimTime t) {
+  if (schedule.empty()) return 0;
+  if (t <= schedule.front().at) return schedule.front().players;
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    if (t > schedule[i].at) continue;
+    const PopulationPoint& a = schedule[i - 1];
+    const PopulationPoint& b = schedule[i];
+    const double f = static_cast<double>(t - a.at) / static_cast<double>(b.at - a.at);
+    const double players = static_cast<double>(a.players) +
+                           f * (static_cast<double>(b.players) - static_cast<double>(a.players));
+    return static_cast<std::size_t>(players + 0.5);
+  }
+  return schedule.back().players;
+}
+
+}  // namespace
+
+GameExperimentResult run_game_experiment(const GameExperimentConfig& config) {
+  DYN_CHECK(!config.schedule.empty());
+  harness::ClusterConfig cluster_config = config.cluster;
+  cluster_config.seed = config.seed;
+  harness::Cluster cluster(cluster_config);
+
+  core::BalancerBase* balancer = nullptr;
+  switch (config.balancer) {
+    case BalancerKind::kDynamoth: {
+      auto& lb = cluster.use_dynamoth(config.dynamoth);
+      balancer = &lb;
+      break;
+    }
+    case BalancerKind::kConsistentHashing: {
+      auto& lb = cluster.use_hash_balancer(config.hash);
+      balancer = &lb;
+      break;
+    }
+    case BalancerKind::kNone:
+      break;
+  }
+
+  harness::ResponseProbe probe;
+  Game game(cluster, config.game, &probe);
+
+  // Population controller: follow the schedule each second.
+  sim::PeriodicTask population(cluster.sim(), seconds(1), [&] {
+    game.set_population(target_population(config.schedule, cluster.sim().now()));
+  });
+  population.start_after(0);
+
+  GameExperimentResult result;
+  std::uint64_t last_msgs = 0;
+  std::size_t last_events = 0;
+  double last_rt = 0;
+
+  sim::PeriodicTask sampler(cluster.sim(), config.sample_interval, [&] {
+    const double t = to_seconds(cluster.sim().now());
+    const std::uint64_t msgs = cluster.network().total_infrastructure_messages();
+    const double msg_rate =
+        static_cast<double>(msgs - last_msgs) / to_seconds(config.sample_interval);
+    last_msgs = msgs;
+
+    double rt = probe.window_mean_ms();
+    if (probe.window_count() == 0) rt = last_rt;  // carry forward quiet windows
+    last_rt = rt;
+    probe.window_reset();
+
+    double avg_lr = 0, max_lr = 0;
+    std::size_t rebalances = 0;
+    if (balancer != nullptr) {
+      avg_lr = balancer->average_load_ratio();
+      max_lr = balancer->max_load_ratio().second;
+      rebalances = balancer->events().size() - last_events;
+      last_events = balancer->events().size();
+    }
+
+    const auto players = static_cast<double>(game.active_players());
+    const auto servers = static_cast<double>(cluster.active_servers());
+    result.series.add_row({t, players, msg_rate, servers, rt, avg_lr, max_lr,
+                           static_cast<double>(rebalances)});
+    if (rt > 0 && rt <= config.rt_threshold_ms) {
+      result.max_players_ok = std::max(result.max_players_ok, players);
+    }
+    result.peak_servers = std::max(result.peak_servers, servers);
+  });
+  sampler.start();
+
+  cluster.sim().run_until(config.duration);
+
+  population.stop();
+  sampler.stop();
+  if (balancer != nullptr) {
+    result.events = balancer->events();
+  }
+  result.rtt_us = probe.histogram();
+  result.server_hours = cluster.cloud().server_hours(cluster.sim().now());
+  const std::size_t max_fleet = config.balancer == BalancerKind::kConsistentHashing
+                                    ? config.hash.max_servers
+                                    : config.dynamoth.max_servers;
+  result.static_fleet_hours = core::Cloud::static_fleet_hours(max_fleet, cluster.sim().now());
+  result.total_updates = game.total_updates_published();
+  for (std::size_t i = 0; i < game.total_players_created(); ++i) {
+    result.connection_drops += game.player(i).client().stats().connection_drops;
+  }
+  return result;
+}
+
+}  // namespace dynamoth::mammoth::exp

@@ -1,0 +1,67 @@
+// Shared driver for the paper's RGame experiments (Figures 5, 6, 7 and the
+// ablations): runs a full cluster + balancer + game population following a
+// piecewise-linear join/leave schedule, sampling the time series the figures
+// plot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/consistent_hash_balancer.h"
+#include "core/load_balancer.h"
+#include "harness/cluster.h"
+#include "harness/probes.h"
+#include "mammoth/game.h"
+#include "metrics/histogram.h"
+#include "metrics/series.h"
+
+namespace dynamoth::mammoth::exp {
+
+enum class BalancerKind { kDynamoth, kConsistentHashing, kNone };
+
+[[nodiscard]] const char* to_string(BalancerKind kind);
+
+/// Piecewise-linear population target: the player count ramps linearly from
+/// the previous point to `players` at time `at`.
+struct PopulationPoint {
+  SimTime at = 0;
+  std::size_t players = 0;
+};
+
+struct GameExperimentConfig {
+  std::uint64_t seed = 42;
+  BalancerKind balancer = BalancerKind::kDynamoth;
+  harness::ClusterConfig cluster;  // initial_servers, capacities, latency model...
+  GameConfig game;
+  core::DynamothLoadBalancer::Config dynamoth;
+  baseline::ConsistentHashBalancer::Config hash;
+
+  std::vector<PopulationPoint> schedule;  // must be time-sorted
+  SimTime duration = seconds(480);
+  SimTime sample_interval = seconds(5);
+  /// Playing quality bound (paper V-D: "optimal if the average response
+  /// time remains below 150 ms").
+  double rt_threshold_ms = 150.0;
+};
+
+struct GameExperimentResult {
+  metrics::Series series{std::vector<std::string>{
+      "t_s", "players", "msgs_per_s", "servers", "rt_ms", "avg_lr", "max_lr", "rebalances"}};
+  std::vector<core::RebalanceEvent> events;
+  metrics::Histogram rtt_us;          // every response-time sample of the run
+  double max_players_ok = 0;          // largest sampled population with rt <= threshold
+  double peak_servers = 0;
+  std::uint64_t total_updates = 0;    // publications by players
+  std::uint64_t connection_drops = 0;
+  std::uint64_t control_bytes = 0;    // balancer-node egress (plan traffic)
+  double server_hours = 0;            // rented server-hours (cost model)
+  double static_fleet_hours = 0;      // a static fleet of max_servers
+};
+
+/// Builds a default config matching the paper's Experiment 2/3 setup scaled
+/// to simulator constants (see DESIGN.md section 5).
+[[nodiscard]] GameExperimentConfig default_game_experiment();
+
+[[nodiscard]] GameExperimentResult run_game_experiment(const GameExperimentConfig& config);
+
+}  // namespace dynamoth::mammoth::exp

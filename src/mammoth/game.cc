@@ -1,0 +1,49 @@
+#include "mammoth/game.h"
+
+namespace dynamoth::mammoth {
+
+Game::Game(harness::Cluster& cluster, GameConfig config, harness::ResponseProbe* probe)
+    : cluster_(cluster),
+      config_(config),
+      world_(config.world_size, config.tiles_per_side),
+      probe_(probe) {}
+
+void Game::set_population(std::size_t n) {
+  while (active_ < n) {
+    if (active_ == players_.size()) {
+      core::DynamothClient& client = cluster_.add_client(config_.client);
+      auto sink = [this](SimTime rtt) {
+        if (probe_ != nullptr) probe_->record(rtt);
+      };
+      players_.push_back(std::make_unique<Player>(
+          cluster_.sim(), world_, client, config_.player,
+          cluster_.fork_rng("player").fork(players_.size()), sink));
+    }
+    players_[active_]->join();
+    ++active_;
+  }
+  while (active_ > n) {
+    --active_;
+    players_[active_]->leave();
+  }
+}
+
+std::uint64_t Game::total_updates_published() const {
+  std::uint64_t total = 0;
+  for (const auto& p : players_) total += p->updates_published();
+  return total;
+}
+
+std::uint64_t Game::total_updates_received() const {
+  std::uint64_t total = 0;
+  for (const auto& p : players_) total += p->updates_received();
+  return total;
+}
+
+std::uint64_t Game::total_tile_crossings() const {
+  std::uint64_t total = 0;
+  for (const auto& p : players_) total += p->tile_crossings();
+  return total;
+}
+
+}  // namespace dynamoth::mammoth

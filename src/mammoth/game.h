@@ -1,0 +1,52 @@
+// RGame session manager: owns the world and a dynamic population of AI
+// players (each with its own Dynamoth client), exposing the join/leave
+// control the scalability (Fig 5) and elasticity (Fig 7) experiments script.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "harness/probes.h"
+#include "mammoth/player.h"
+#include "mammoth/world.h"
+
+namespace dynamoth::mammoth {
+
+struct GameConfig {
+  double world_size = 1200.0;
+  int tiles_per_side = 12;  // 144 tile channels
+  PlayerConfig player;
+  core::DynamothClient::Config client;
+};
+
+class Game {
+ public:
+  Game(harness::Cluster& cluster, GameConfig config, harness::ResponseProbe* probe);
+
+  Game(const Game&) = delete;
+  Game& operator=(const Game&) = delete;
+
+  /// Adjusts the live player count: joins new players or makes the most
+  /// recently joined ones leave.
+  void set_population(std::size_t n);
+
+  [[nodiscard]] std::size_t active_players() const { return active_; }
+  [[nodiscard]] std::size_t total_players_created() const { return players_.size(); }
+  [[nodiscard]] const World& world() const { return world_; }
+  [[nodiscard]] Player& player(std::size_t i) { return *players_.at(i); }
+
+  [[nodiscard]] std::uint64_t total_updates_published() const;
+  [[nodiscard]] std::uint64_t total_updates_received() const;
+  [[nodiscard]] std::uint64_t total_tile_crossings() const;
+
+ private:
+  harness::Cluster& cluster_;
+  GameConfig config_;
+  World world_;
+  harness::ResponseProbe* probe_;
+  std::vector<std::unique_ptr<Player>> players_;
+  std::size_t active_ = 0;
+};
+
+}  // namespace dynamoth::mammoth

@@ -1,0 +1,37 @@
+#include "mammoth/world.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dynamoth::mammoth {
+
+World::World(double size, int tiles) : size_(size), tiles_(tiles), tile_size_(size / tiles) {
+  DYN_CHECK(size > 0 && tiles > 0);
+}
+
+Position World::clamp(Position pos) const {
+  pos.x = std::clamp(pos.x, 0.0, size_ - 1e-9);
+  pos.y = std::clamp(pos.y, 0.0, size_ - 1e-9);
+  return pos;
+}
+
+TileCoord World::tile_of(Position pos) const {
+  pos = clamp(pos);
+  return TileCoord{static_cast<int>(pos.x / tile_size_), static_cast<int>(pos.y / tile_size_)};
+}
+
+std::vector<Position> World::hotspots() const {
+  return {
+      {0.32 * size_, 0.35 * size_},
+      {0.68 * size_, 0.42 * size_},
+      {0.27 * size_, 0.72 * size_},
+      {0.63 * size_, 0.69 * size_},
+  };
+}
+
+Channel World::tile_channel(TileCoord tile) {
+  return "tile:" + std::to_string(tile.x) + ":" + std::to_string(tile.y);
+}
+
+}  // namespace dynamoth::mammoth

@@ -1,0 +1,58 @@
+// RGame world model (paper V-A).
+//
+// "The game world is split into a set of square tiles. Players subscribe to
+// the tile in which they are located in, and publish their own state updates
+// on the tile." Our world is a continuous square split into an N x N tile
+// grid; each tile is one pub/sub channel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dynamoth::mammoth {
+
+struct Position {
+  double x = 0;
+  double y = 0;
+
+  friend bool operator==(const Position&, const Position&) = default;
+};
+
+struct TileCoord {
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(const TileCoord&, const TileCoord&) = default;
+};
+
+class World {
+ public:
+  /// A square world of `size` x `size` units split into `tiles` x `tiles`.
+  World(double size, int tiles);
+
+  [[nodiscard]] double size() const { return size_; }
+  [[nodiscard]] int tiles_per_side() const { return tiles_; }
+  [[nodiscard]] int tile_count() const { return tiles_ * tiles_; }
+
+  /// Tile containing `pos` (positions are clamped into the world).
+  [[nodiscard]] TileCoord tile_of(Position pos) const;
+
+  /// Pub/sub channel name for a tile ("tile:<x>:<y>").
+  [[nodiscard]] static Channel tile_channel(TileCoord tile);
+
+  /// Clamps a position into the world bounds.
+  [[nodiscard]] Position clamp(Position pos) const;
+
+  /// Fixed points of interest (towns/quest hubs) at canonical fractions of
+  /// the map; used by hotspot-biased waypoint selection.
+  [[nodiscard]] std::vector<Position> hotspots() const;
+
+ private:
+  double size_;
+  int tiles_;
+  double tile_size_;
+};
+
+}  // namespace dynamoth::mammoth

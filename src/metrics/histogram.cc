@@ -1,0 +1,68 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace dynamoth::metrics {
+
+int Histogram::bucket_index(std::int64_t value) {
+  if (value < 0) value = 0;
+  const auto v = static_cast<std::uint64_t>(value);
+  if (v < (1ull << kSubBits)) return static_cast<int>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int octave = msb - kSubBits + 1;
+  const auto sub = static_cast<int>((v >> (octave - 1)) & ((1ull << kSubBits) - 1));
+  const int idx = ((octave)*1 << kSubBits) + sub;
+  return std::min(idx, kBuckets - 1);
+}
+
+std::int64_t Histogram::bucket_upper_bound(int index) {
+  if (index < (1 << kSubBits)) return index;
+  const int octave = index >> kSubBits;
+  const int sub = index & ((1 << kSubBits) - 1);
+  return static_cast<std::int64_t>(
+      ((1ull << kSubBits) + static_cast<std::uint64_t>(sub) + 1) << (octave - 1));
+}
+
+void Histogram::record(std::int64_t value) { record_n(value, 1); }
+
+void Histogram::record_n(std::int64_t value, std::uint64_t n) {
+  if (n == 0) return;
+  if (value < 0) value = 0;  // latencies are non-negative by contract
+  buckets_[static_cast<std::size_t>(bucket_index(value))] += n;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  count_ += n;
+  sum_ += static_cast<double>(value) * static_cast<double>(n);
+}
+
+double Histogram::mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+std::int64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen >= target) return std::min(bucket_upper_bound(i), max_);
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] += other.buckets_[static_cast<std::size_t>(i)];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::reset() { *this = Histogram{}; }
+
+}  // namespace dynamoth::metrics

@@ -1,0 +1,73 @@
+// Log-bucketed latency histogram (HdrHistogram-style, fixed memory).
+//
+// Values are non-negative integers (we use microseconds). Buckets grow
+// geometrically with `kSubBits` sub-buckets per octave, giving a bounded
+// relative error (< 1/2^kSubBits) at any magnitude.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dynamoth::metrics {
+
+class Histogram {
+ public:
+  static constexpr int kSubBits = 5;                   // 32 sub-buckets/octave
+  static constexpr int kOctaves = 40;                  // values up to ~2^40
+  static constexpr int kBuckets = (kOctaves + 1) << kSubBits;
+
+  void record(std::int64_t value);
+  void record_n(std::int64_t value, std::uint64_t count);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] std::int64_t min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] std::int64_t max() const { return count_ ? max_ : 0; }
+
+  /// Value at percentile p in [0, 100]. Returns an upper bound of the bucket
+  /// containing the p-th sample; 0 when empty.
+  [[nodiscard]] std::int64_t percentile(double p) const;
+
+  void merge(const Histogram& other);
+  void reset();
+
+ private:
+  static int bucket_index(std::int64_t value);
+  static std::int64_t bucket_upper_bound(int index);
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Streaming mean/variance (Welford). Cheap per-window statistics.
+class Welford {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (n_ == 1 || x > max_) max_ = x;
+    if (n_ == 1 || x < min_) min_ = x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+
+  void reset() { *this = Welford{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double max_ = 0;
+  double min_ = 0;
+};
+
+}  // namespace dynamoth::metrics

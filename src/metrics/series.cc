@@ -1,0 +1,90 @@
+#include "metrics/series.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace dynamoth::metrics {
+
+Series::Series(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  DYN_CHECK(!columns_.empty());
+}
+
+void Series::add_row(std::vector<double> values) {
+  DYN_CHECK(values.size() == columns_.size());
+  rows_.push_back(std::move(values));
+}
+
+std::size_t Series::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return i;
+  }
+  DYN_CHECK(false && "unknown series column");
+  return 0;
+}
+
+double Series::column_max(const std::string& name) const {
+  const std::size_t c = column_index(name);
+  double best = 0;
+  for (const auto& r : rows_) best = std::max(best, r[c]);
+  return best;
+}
+
+namespace {
+std::string format_value(double v) {
+  char buf[32];
+  if (std::abs(v - std::round(v)) < 1e-9 && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+  }
+  return buf;
+}
+}  // namespace
+
+void Series::print_table(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  std::vector<std::vector<std::string>> cells(rows_.size());
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    cells[r].resize(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      cells[r][c] = format_value(rows_[r][c]);
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << std::setw(static_cast<int>(widths[c]) + 2) << columns_[c];
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c]) + 2) << cells[r][c];
+    }
+    os << '\n';
+  }
+}
+
+void Series::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << columns_[c] << (c + 1 < columns_.size() ? ',' : '\n');
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << format_value(row[c]) << (c + 1 < row.size() ? ',' : '\n');
+    }
+  }
+}
+
+bool Series::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  print_csv(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace dynamoth::metrics

@@ -1,0 +1,47 @@
+// Tabular time-series recording for the figure-reproduction benches.
+//
+// Every bench binary builds a Series with one column per plotted quantity
+// and prints it as an aligned table (and optionally CSV), matching the rows
+// the paper's figures report.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dynamoth::metrics {
+
+class Series {
+ public:
+  explicit Series(std::vector<std::string> columns);
+
+  /// Appends one row; must have exactly one value per column.
+  void add_row(std::vector<double> values);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const { return columns_; }
+  [[nodiscard]] const std::vector<double>& row(std::size_t i) const { return rows_[i]; }
+  [[nodiscard]] double value(std::size_t row, std::size_t col) const { return rows_[row][col]; }
+
+  /// Column index by name; aborts if absent.
+  [[nodiscard]] std::size_t column_index(const std::string& name) const;
+
+  /// Max over all rows of the given column (0 when empty).
+  [[nodiscard]] double column_max(const std::string& name) const;
+
+  /// Writes an aligned, human-readable table.
+  void print_table(std::ostream& os) const;
+
+  /// Writes comma-separated values with a header line.
+  void print_csv(std::ostream& os) const;
+
+  /// Writes CSV to a file path; returns false on I/O failure.
+  bool save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace dynamoth::metrics

@@ -1,0 +1,100 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dynamoth::net {
+
+Network::Network(sim::Simulator& sim, std::unique_ptr<LatencyModel> latency, Rng rng)
+    : sim_(sim), latency_(std::move(latency)), rng_(rng) {
+  DYN_CHECK(latency_ != nullptr);
+}
+
+NodeId Network::add_node(const NodeConfig& config) {
+  DYN_CHECK(config.egress_bytes_per_sec > 0);
+  nodes_.push_back(Node{config, sim_.now(), {}, true});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+SimTime Network::send(NodeId from, NodeId to, std::size_t bytes, DeliverFn on_deliver,
+                      SimTime extra_delay, SimTime min_arrival) {
+  DYN_CHECK(from < nodes_.size() && to < nodes_.size());
+  DYN_CHECK(extra_delay >= 0);
+  Node& src = nodes_[from];
+
+  if (from == to) {
+    // Loopback: no NIC, no propagation; still asynchronous for causality.
+    const SimTime at = std::max(sim_.now() + extra_delay, min_arrival);
+    sim_.schedule_at(at, std::move(on_deliver));
+    return at;
+  }
+
+  const SimTime now = sim_.now();
+  const auto tx_time =
+      static_cast<SimTime>(static_cast<double>(bytes) / src.config.egress_bytes_per_sec * kSecond);
+  const SimTime start = std::max(now, src.egress_free);
+  src.egress_free = start + tx_time;
+  src.counters.bytes_sent += bytes;
+  src.counters.messages_sent += 1;
+
+  const SimTime prop = latency_->sample(src.config.kind, nodes_[to].config.kind, rng_);
+  const SimTime at = std::max(src.egress_free + prop + extra_delay, min_arrival);
+  sim_.schedule_at(at, std::move(on_deliver));
+  return at;
+}
+
+NodeKind Network::kind(NodeId node) const {
+  DYN_CHECK(node < nodes_.size());
+  return nodes_[node].config.kind;
+}
+
+bool Network::active(NodeId node) const {
+  DYN_CHECK(node < nodes_.size());
+  return nodes_[node].active;
+}
+
+void Network::set_active(NodeId node, bool active) {
+  DYN_CHECK(node < nodes_.size());
+  nodes_[node].active = active;
+}
+
+double Network::egress_capacity(NodeId node) const {
+  DYN_CHECK(node < nodes_.size());
+  return nodes_[node].config.egress_bytes_per_sec;
+}
+
+void Network::set_egress_capacity(NodeId node, double bytes_per_sec) {
+  DYN_CHECK(node < nodes_.size());
+  DYN_CHECK(bytes_per_sec > 0);
+  nodes_[node].config.egress_bytes_per_sec = bytes_per_sec;
+}
+
+SimTime Network::egress_backlog(NodeId node) const {
+  DYN_CHECK(node < nodes_.size());
+  return std::max<SimTime>(0, nodes_[node].egress_free - sim_.now());
+}
+
+const EgressCounters& Network::counters(NodeId node) const {
+  DYN_CHECK(node < nodes_.size());
+  return nodes_[node].counters;
+}
+
+std::uint64_t Network::transmitted_bytes(NodeId node) const {
+  DYN_CHECK(node < nodes_.size());
+  const Node& n = nodes_[node];
+  const SimTime backlog = std::max<SimTime>(0, n.egress_free - sim_.now());
+  const auto backlog_bytes = static_cast<std::uint64_t>(
+      to_seconds(backlog) * n.config.egress_bytes_per_sec);
+  return n.counters.bytes_sent > backlog_bytes ? n.counters.bytes_sent - backlog_bytes : 0;
+}
+
+std::uint64_t Network::total_infrastructure_messages() const {
+  std::uint64_t total = 0;
+  for (const Node& n : nodes_) {
+    if (n.config.kind == NodeKind::kInfrastructure) total += n.counters.messages_sent;
+  }
+  return total;
+}
+
+}  // namespace dynamoth::net

@@ -1,0 +1,105 @@
+// Simulated network: nodes with bandwidth-limited egress ports connected by
+// links whose propagation delay comes from a LatencyModel.
+//
+// This models exactly the resources the paper identifies as limiting:
+//  - per-node *outgoing* bandwidth (the LB's load-ratio denominator T_i and
+//    numerator M_i are both egress-bandwidth figures);
+//  - propagation latency (King-sampled WAN for client paths, LAN inside the
+//    cloud).
+// Incoming bandwidth is deliberately not modelled (paper V-A: "incoming
+// bandwidth ... not a limiting factor").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "latency/latency_model.h"
+#include "sim/simulator.h"
+
+namespace dynamoth::net {
+
+struct NodeConfig {
+  NodeKind kind = NodeKind::kClient;
+  /// Physical egress line rate in bytes/second. For pub/sub servers this is
+  /// set slightly *above* the advertised maximum T_i the LLA reports, so the
+  /// measured load ratio M_i/T_i can exceed 1 before the NIC hard-saturates
+  /// (the paper observes Redis failing around LR = 1.15).
+  double egress_bytes_per_sec = 10e6;
+};
+
+/// Cumulative egress counters for one node. Consumers (LLA, experiment
+/// harness) diff successive snapshots to get per-window rates.
+struct EgressCounters {
+  std::uint64_t bytes_sent = 0;  // enqueued on the egress port (offered load)
+  std::uint64_t messages_sent = 0;
+};
+
+class Network {
+ public:
+  using DeliverFn = std::function<void()>;
+
+  Network(sim::Simulator& sim, std::unique_ptr<LatencyModel> latency, Rng rng);
+
+  /// Adds a node and returns its id. Nodes are never destroyed; despawned
+  /// servers are marked inactive.
+  NodeId add_node(const NodeConfig& config);
+
+  /// Sends `bytes` from `from` to `to`; `on_deliver` runs at the receiver
+  /// once the message has cleared the sender's egress queue, the propagation
+  /// delay, and `extra_delay` (used by the pub/sub layer to model
+  /// per-connection receive drains). Local sends (from == to) skip the
+  /// egress queue and propagation entirely but still run asynchronously.
+  ///
+  /// `min_arrival` lower-bounds the delivery time; connection-oriented
+  /// callers (TCP-like streams) pass the previous message's arrival to keep
+  /// per-connection FIFO ordering despite independent latency samples.
+  /// Returns the scheduled arrival time.
+  SimTime send(NodeId from, NodeId to, std::size_t bytes, DeliverFn on_deliver,
+               SimTime extra_delay = 0, SimTime min_arrival = 0);
+
+  [[nodiscard]] NodeKind kind(NodeId node) const;
+  [[nodiscard]] bool active(NodeId node) const;
+  void set_active(NodeId node, bool active);
+
+  [[nodiscard]] double egress_capacity(NodeId node) const;
+  void set_egress_capacity(NodeId node, double bytes_per_sec);
+
+  /// How far the node's egress queue extends beyond now (0 when idle). A
+  /// persistently growing backlog is the signature of an overloaded server.
+  [[nodiscard]] SimTime egress_backlog(NodeId node) const;
+
+  [[nodiscard]] const EgressCounters& counters(NodeId node) const;
+
+  /// Bytes actually *transmitted* by now: enqueued bytes minus whatever is
+  /// still sitting in the egress queue. This is what a NIC-level bandwidth
+  /// measurement (the LLA's M_i) sees — it can never exceed the line rate,
+  /// unlike the offered-load counter.
+  [[nodiscard]] std::uint64_t transmitted_bytes(NodeId node) const;
+
+  /// Sum of egress message counters over all infrastructure nodes; the
+  /// "total outgoing messages" series of Figure 5b.
+  [[nodiscard]] std::uint64_t total_infrastructure_messages() const;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] LatencyModel& latency_model() { return *latency_; }
+
+ private:
+  struct Node {
+    NodeConfig config;
+    SimTime egress_free = 0;  // time at which the egress port next idles
+    EgressCounters counters;
+    bool active = true;
+  };
+
+  sim::Simulator& sim_;
+  std::unique_ptr<LatencyModel> latency_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace dynamoth::net

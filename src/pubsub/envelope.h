@@ -1,0 +1,59 @@
+// Message envelope flowing through the pub/sub substrate.
+//
+// The substrate itself (a Redis stand-in) treats every publication as opaque
+// payload on a channel. Dynamoth rides on top: its control traffic (SWITCH
+// notifications, wrong-server replies, plan updates, LLA reports) is carried
+// as ordinary publications, exactly like the paper's implementation where
+// "all inter-component communications are done using the pub/sub primitives".
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "common/types.h"
+
+namespace dynamoth::ps {
+
+enum class MsgKind {
+  kData,         // application publication
+  kSwitch,       // dispatcher -> subscribers: channel moved, re-subscribe
+  kWrongServer,  // dispatcher -> publisher: wrong server, here is the entry
+  kPlanUpdate,   // load balancer -> dispatchers: new global plan
+  kLlaReport,    // LLA -> load balancer: per-channel metrics
+  kDrainNotice,  // old-owner dispatcher -> new-owner dispatcher: no subs left
+  kControl,      // other control traffic
+};
+
+/// Base class for typed control payloads (defined by the core library; the
+/// substrate only needs the wire size).
+struct ControlBody {
+  virtual ~ControlBody() = default;
+  [[nodiscard]] virtual std::size_t wire_size() const { return 32; }
+};
+
+struct Envelope {
+  MessageId id;
+  MsgKind kind = MsgKind::kData;
+  Channel channel;
+  std::size_t payload_bytes = 0;    // application payload size (kData)
+  SimTime publish_time = 0;         // origin timestamp, for RTT measurement
+  ClientId publisher = 0;
+  /// Per-(publisher, channel) sequence number, 1-based; 0 when the producer
+  /// does not sequence. The reliability layer uses gaps in this stream to
+  /// detect losses and request replay.
+  std::uint64_t channel_seq = 0;
+  std::uint64_t entry_version = 0;  // publisher's plan-entry version for channel
+  bool forwarded = false;           // set once a dispatcher has forwarded it
+  NodeId via_server = kInvalidNode; // dispatcher that forwarded it (echo guard)
+  std::shared_ptr<const ControlBody> body;  // control payload, if any
+};
+
+using EnvelopePtr = std::shared_ptr<const Envelope>;
+
+/// Bytes this envelope occupies on the wire (framing + payload).
+inline std::size_t wire_size(const Envelope& e, std::size_t overhead_bytes) {
+  return overhead_bytes + e.channel.size() + e.payload_bytes +
+         (e.body ? e.body->wire_size() : 0);
+}
+
+}  // namespace dynamoth::ps

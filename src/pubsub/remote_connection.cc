@@ -1,0 +1,93 @@
+#include "pubsub/remote_connection.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace dynamoth::ps {
+
+RemoteConnection::RemoteConnection(sim::Simulator& sim, net::Network& network,
+                                   NodeId client_node, PubSubServer& server,
+                                   DeliverFn on_deliver, ClosedFn on_closed)
+    : sim_(sim),
+      network_(network),
+      client_node_(client_node),
+      server_(server),
+      alive_(std::make_shared<bool>(true)) {
+  std::weak_ptr<bool> alive = alive_;
+  conn_ = server_.open_connection(
+      client_node_,
+      [alive, deliver = std::move(on_deliver)](const EnvelopePtr& env) {
+        if (auto a = alive.lock(); a && *a && deliver) deliver(env);
+      },
+      [this, alive, closed = std::move(on_closed)](CloseReason reason) {
+        if (auto a = alive.lock(); a && *a) {
+          open_ = false;
+          if (closed) closed(reason);
+        }
+      });
+  open_ = true;
+}
+
+RemoteConnection::~RemoteConnection() {
+  *alive_ = false;
+  if (open_ && server_.running()) server_.close_connection(conn_);
+}
+
+void RemoteConnection::send_command(std::size_t bytes, std::function<void()> action) {
+  if (!open_) return;
+  // Commands on one connection arrive in order (it models a TCP stream):
+  // clamp each arrival to the previous one. Without this, a SUBSCRIBE could
+  // overtake the preceding control-channel subscription and the dispatcher
+  // would not know whom to correct.
+  last_cmd_arrival_ = network_.send(
+      client_node_, server_.node(), bytes,
+      [srv = &server_, action = std::move(action)] {
+        if (srv->running()) action();
+      },
+      /*extra_delay=*/0, /*min_arrival=*/last_cmd_arrival_);
+}
+
+void RemoteConnection::subscribe(const Channel& channel) {
+  const std::size_t bytes = server_.config().msg_overhead_bytes + channel.size();
+  send_command(bytes, [srv = &server_, conn = conn_, channel] {
+    srv->handle_subscribe(conn, channel);
+  });
+}
+
+void RemoteConnection::unsubscribe(const Channel& channel) {
+  const std::size_t bytes = server_.config().msg_overhead_bytes + channel.size();
+  send_command(bytes, [srv = &server_, conn = conn_, channel] {
+    srv->handle_unsubscribe(conn, channel);
+  });
+}
+
+void RemoteConnection::psubscribe(const std::string& pattern) {
+  const std::size_t bytes = server_.config().msg_overhead_bytes + pattern.size();
+  send_command(bytes, [srv = &server_, conn = conn_, pattern] {
+    srv->handle_psubscribe(conn, pattern);
+  });
+}
+
+void RemoteConnection::punsubscribe(const std::string& pattern) {
+  const std::size_t bytes = server_.config().msg_overhead_bytes + pattern.size();
+  send_command(bytes, [srv = &server_, conn = conn_, pattern] {
+    srv->handle_punsubscribe(conn, pattern);
+  });
+}
+
+void RemoteConnection::publish(EnvelopePtr env) {
+  DYN_CHECK(env != nullptr);
+  const std::size_t bytes = wire_size(*env, server_.config().msg_overhead_bytes);
+  send_command(bytes, [srv = &server_, conn = conn_, env = std::move(env)] {
+    srv->handle_publish(conn, env);
+  });
+}
+
+void RemoteConnection::close() {
+  if (!open_) return;
+  open_ = false;
+  if (server_.running()) server_.close_connection(conn_);
+}
+
+}  // namespace dynamoth::ps

@@ -1,0 +1,63 @@
+// Client-side stub for a connection to one PubSubServer.
+//
+// Commands (SUBSCRIBE / UNSUBSCRIBE / PUBLISH) are transported over the
+// simulated network from the client's node to the server's node before the
+// server processes them; deliveries travel back through the server's egress
+// port, the WAN link, and the per-connection drain. This is the "standard
+// Redis client library" layer the Dynamoth client library builds on.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/types.h"
+#include "net/network.h"
+#include "pubsub/envelope.h"
+#include "pubsub/server.h"
+#include "sim/simulator.h"
+
+namespace dynamoth::ps {
+
+class RemoteConnection {
+ public:
+  using DeliverFn = std::function<void(const EnvelopePtr&)>;
+  using ClosedFn = std::function<void(CloseReason)>;
+
+  /// Opens a connection from `client_node` to `server`. Delivery and close
+  /// callbacks run on the client side (after transport).
+  RemoteConnection(sim::Simulator& sim, net::Network& network, NodeId client_node,
+                   PubSubServer& server, DeliverFn on_deliver, ClosedFn on_closed);
+  ~RemoteConnection();
+
+  RemoteConnection(const RemoteConnection&) = delete;
+  RemoteConnection& operator=(const RemoteConnection&) = delete;
+
+  void subscribe(const Channel& channel);
+  void unsubscribe(const Channel& channel);
+  void psubscribe(const std::string& pattern);
+  void punsubscribe(const std::string& pattern);
+  void publish(EnvelopePtr env);
+
+  /// Client-initiated close. Idempotent.
+  void close();
+
+  [[nodiscard]] bool open() const { return open_; }
+  [[nodiscard]] PubSubServer& server() const { return server_; }
+  [[nodiscard]] ServerId server_id() const { return server_.node(); }
+  [[nodiscard]] ConnId conn_id() const { return conn_; }
+
+ private:
+  void send_command(std::size_t bytes, std::function<void()> action);
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  NodeId client_node_;
+  PubSubServer& server_;
+  ConnId conn_ = kInvalidConn;
+  SimTime last_cmd_arrival_ = 0;  // per-connection FIFO (TCP-like stream)
+  bool open_ = false;
+  // Guards callbacks that outlive this stub (in-flight commands/deliveries).
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace dynamoth::ps

@@ -1,0 +1,254 @@
+#include "pubsub/server.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dynamoth::ps {
+
+PubSubServer::PubSubServer(sim::Simulator& sim, net::Network& network, NodeId node,
+                           Config config)
+    : sim_(sim), network_(network), node_(node), config_(config) {}
+
+ConnId PubSubServer::open_connection(NodeId client_node, DeliverFn deliver, ClosedFn closed) {
+  DYN_CHECK(running_);
+  Connection conn;
+  conn.id = next_conn_++;
+  conn.client_node = client_node;
+  conn.deliver = std::move(deliver);
+  conn.closed = std::move(closed);
+  conn.local = client_node == node_;
+  const ConnId id = conn.id;
+  connections_.emplace(id, std::move(conn));
+  return id;
+}
+
+void PubSubServer::close_connection(ConnId conn) { close_internal(conn, CloseReason::kByClient); }
+
+PubSubServer::Connection* PubSubServer::find(ConnId conn) {
+  auto it = connections_.find(conn);
+  return it == connections_.end() ? nullptr : &it->second;
+}
+
+SimTime PubSubServer::consume_cpu(double cost_us) {
+  const SimTime start = std::max(sim_.now(), cpu_free_);
+  cpu_free_ = start + static_cast<SimTime>(cost_us);
+  cpu_scheduled_total_ += static_cast<SimTime>(cost_us);
+  return cpu_free_;
+}
+
+SimTime PubSubServer::cpu_backlog() const {
+  return std::max<SimTime>(0, cpu_free_ - sim_.now());
+}
+
+SimTime PubSubServer::cpu_time_executed() const {
+  return cpu_scheduled_total_ - cpu_backlog();
+}
+
+void PubSubServer::handle_subscribe(ConnId conn, const Channel& channel) {
+  Connection* c = find(conn);
+  if (!c || !running_) return;
+  consume_cpu(config_.cpu_command_cost_us);
+  if (!c->channels.insert(channel).second) return;  // already subscribed
+  subscribers_[channel].insert(conn);
+  for (LocalObserver* obs : observers_) obs->on_subscribe(conn, channel, c->client_node);
+}
+
+void PubSubServer::handle_unsubscribe(ConnId conn, const Channel& channel) {
+  Connection* c = find(conn);
+  if (!c || !running_) return;
+  consume_cpu(config_.cpu_command_cost_us);
+  if (c->channels.erase(channel) == 0) return;
+  auto it = subscribers_.find(channel);
+  if (it != subscribers_.end()) {
+    it->second.erase(conn);
+    if (it->second.empty()) subscribers_.erase(it);
+  }
+  for (LocalObserver* obs : observers_) obs->on_unsubscribe(conn, channel, c->client_node);
+}
+
+void PubSubServer::handle_psubscribe(ConnId conn, const std::string& pattern) {
+  Connection* c = find(conn);
+  if (!c || !running_) return;
+  consume_cpu(config_.cpu_command_cost_us);
+  if (std::find(c->patterns.begin(), c->patterns.end(), pattern) != c->patterns.end()) return;
+  c->patterns.push_back(pattern);
+  if (c->patterns.size() == 1) pattern_conns_.push_back(conn);
+}
+
+void PubSubServer::handle_punsubscribe(ConnId conn, const std::string& pattern) {
+  Connection* c = find(conn);
+  if (!c || !running_) return;
+  consume_cpu(config_.cpu_command_cost_us);
+  std::erase(c->patterns, pattern);
+  if (c->patterns.empty()) std::erase(pattern_conns_, conn);
+}
+
+void PubSubServer::handle_publish(ConnId conn, EnvelopePtr env) {
+  Connection* from = find(conn);
+  if (!from || !running_) return;
+  DYN_CHECK(env != nullptr);
+
+  // Collect the recipient set: channel subscribers plus pattern matches,
+  // at most once per connection (mirrors a client holding one subscription).
+  std::vector<ConnId> recipients;
+  if (auto it = subscribers_.find(env->channel); it != subscribers_.end()) {
+    recipients.assign(it->second.begin(), it->second.end());
+  }
+  for (ConnId pc : pattern_conns_) {
+    Connection* c = find(pc);
+    if (!c || c->channels.count(env->channel)) continue;
+    if (std::any_of(c->patterns.begin(), c->patterns.end(),
+                    [&](const std::string& p) { return glob_match(p, env->channel); })) {
+      recipients.push_back(pc);
+    }
+  }
+  // Deterministic fan-out order regardless of hash-table iteration.
+  std::sort(recipients.begin(), recipients.end());
+
+  // Single-threaded processing: the whole fan-out occupies the CPU.
+  const double cost = config_.cpu_publish_cost_us +
+                      config_.cpu_delivery_cost_us * static_cast<double>(recipients.size());
+  const SimTime done = consume_cpu(cost);
+
+  std::size_t delivered = 0;
+  for (ConnId rc : recipients) {
+    Connection* c = find(rc);
+    if (!c) continue;
+    deliver_to(*c, env, done);
+    ++delivered;
+  }
+
+  // Observers are notified at command-acceptance time, not at CPU
+  // completion: colocated components (LLA, dispatcher) tap the stream as it
+  // arrives, so monitoring and forwarding keep flowing even when the CPU
+  // queue is deep — on a saturated server the control plane must not starve
+  // behind the data plane.
+  for (LocalObserver* obs : observers_) obs->on_publish(env, delivered);
+}
+
+void PubSubServer::deliver_to(Connection& conn, const EnvelopePtr& env, SimTime ready) {
+  const std::size_t bytes = wire_size(*env, config_.msg_overhead_bytes);
+  DeliverFn& deliver = conn.deliver;
+
+  if (conn.local) {
+    // Colocated component: loopback, no NIC, no drain modelling.
+    conn.last_arrival = network_.send(
+        node_, conn.client_node, bytes,
+        [deliver, env] {
+          if (deliver) deliver(env);
+        },
+        std::max<SimTime>(0, ready - sim_.now()), conn.last_arrival);
+    return;
+  }
+
+  // Bounded egress: if the NIC queue already exceeds its bound, the write
+  // would block — Redis drops the slow client rather than buffer without
+  // limit, and the short shared queue keeps control traffic (wrong-server
+  // replies, switches) flowing during overload.
+  if (network_.egress_backlog(node_) > config_.max_egress_backlog) {
+    close_internal(conn.id, CloseReason::kOutputBufferOverflow);
+    return;
+  }
+
+  // Per-connection receive drain: the subscriber's downlink empties this
+  // connection's buffer at a fixed rate (LAN rate for infrastructure
+  // consumers). Messages queued faster than they drain accumulate in the
+  // (server-side) output buffer.
+  const double drain_rate = network_.kind(conn.client_node) == net::NodeKind::kInfrastructure
+                                ? config_.infra_drain_bytes_per_sec
+                                : config_.conn_drain_bytes_per_sec;
+  const SimTime drain_start = std::max(ready, conn.drain_free);
+  const auto drain_time =
+      static_cast<SimTime>(static_cast<double>(bytes) / drain_rate * kSecond);
+  conn.drain_free = drain_start + drain_time;
+
+  // Buffered bytes ~ backlog duration x drain rate. Redis disconnects clients
+  // whose output buffer exceeds the configured limit.
+  const double backlog_bytes = to_seconds(conn.drain_free - ready) * drain_rate;
+  if (backlog_bytes > static_cast<double>(config_.conn_output_buffer_limit)) {
+    close_internal(conn.id, CloseReason::kOutputBufferOverflow);
+    return;
+  }
+
+  const SimTime extra = conn.drain_free - sim_.now();
+  conn.last_arrival = network_.send(
+      node_, conn.client_node, bytes,
+      [deliver, env] {
+        if (deliver) deliver(env);
+      },
+      extra, conn.last_arrival);
+}
+
+void PubSubServer::close_internal(ConnId conn, CloseReason reason) {
+  auto it = connections_.find(conn);
+  if (it == connections_.end()) return;
+  Connection& c = it->second;
+
+  std::vector<Channel> channels(c.channels.begin(), c.channels.end());
+  std::sort(channels.begin(), channels.end());
+  for (const Channel& ch : channels) {
+    auto sit = subscribers_.find(ch);
+    if (sit != subscribers_.end()) {
+      sit->second.erase(conn);
+      if (sit->second.empty()) subscribers_.erase(sit);
+    }
+  }
+  std::erase(pattern_conns_, conn);
+
+  if (reason != CloseReason::kByClient && c.closed) {
+    // Notify the remote end (after transport) that it was dropped.
+    ClosedFn closed = c.closed;
+    network_.send(node_, c.client_node, config_.msg_overhead_bytes,
+                  [closed, reason] { closed(reason); });
+  }
+  connections_.erase(it);
+
+  for (LocalObserver* obs : observers_) obs->on_disconnect(conn, channels, reason);
+}
+
+void PubSubServer::add_observer(LocalObserver* observer) {
+  DYN_CHECK(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+void PubSubServer::remove_observer(LocalObserver* observer) { std::erase(observers_, observer); }
+
+std::size_t PubSubServer::subscriber_count(const Channel& channel) const {
+  auto it = subscribers_.find(channel);
+  return it == subscribers_.end() ? 0 : it->second.size();
+}
+
+bool PubSubServer::connection_alive(ConnId conn) const { return connections_.count(conn) > 0; }
+
+void PubSubServer::shutdown() {
+  if (!running_) return;
+  running_ = false;
+  std::vector<ConnId> ids;
+  ids.reserve(connections_.size());
+  for (const auto& [id, _] : connections_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (ConnId id : ids) close_internal(id, CloseReason::kServerShutdown);
+}
+
+bool PubSubServer::glob_match(const std::string& pattern, const std::string& text) {
+  // Iterative '*' glob with backtracking.
+  std::size_t p = 0, t = 0, star = std::string::npos, match = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == text[t])) {
+      ++p, ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      match = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++match;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace dynamoth::ps

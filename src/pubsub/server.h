@@ -1,0 +1,173 @@
+// A standalone, Redis-like channel-based pub/sub server.
+//
+// This is the unmodified substrate Dynamoth is layered on (paper II-A). It
+// knows nothing about plans, dispatchers or load balancing; it implements:
+//   - SUBSCRIBE / UNSUBSCRIBE / PSUBSCRIBE ('*' glob) / PUBLISH,
+//   - single-threaded command processing (a FIFO CPU queue, like Redis),
+//   - per-connection output buffers with a hard limit; a subscriber that
+//     cannot drain its publications fast enough is disconnected, which is
+//     Redis's client-output-buffer-limit behaviour and the failure mode the
+//     paper observes in the all-subscribers experiment (Fig 4b),
+//   - local observer hooks: the colocation equivalent of the LLA and
+//     dispatcher registering as observers of every channel (paper III-A);
+//     observer callbacks are free because they never cross the NIC.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "net/network.h"
+#include "pubsub/envelope.h"
+#include "sim/simulator.h"
+
+namespace dynamoth::ps {
+
+using ConnId = std::uint64_t;
+inline constexpr ConnId kInvalidConn = 0;
+
+enum class CloseReason {
+  kByClient,
+  kOutputBufferOverflow,
+  kServerShutdown,
+};
+
+/// Zero-cost colocated observer (LLA / dispatcher). Callbacks fire when the
+/// server *processes* the corresponding command, on the server's node.
+class LocalObserver {
+ public:
+  virtual ~LocalObserver() = default;
+  /// A publication was processed and fanned out to `subscriber_count`
+  /// connections (not counting observers).
+  virtual void on_publish(const EnvelopePtr& env, std::size_t subscriber_count) = 0;
+  virtual void on_subscribe(ConnId conn, const Channel& channel, NodeId client_node) = 0;
+  virtual void on_unsubscribe(ConnId conn, const Channel& channel, NodeId client_node) = 0;
+  /// Connection closed; `channels` lists the subscriptions it held.
+  virtual void on_disconnect(ConnId conn, const std::vector<Channel>& channels,
+                             CloseReason reason) = 0;
+};
+
+class PubSubServer {
+ public:
+  struct Config {
+    // Single-threaded command costs (microseconds of server CPU).
+    double cpu_publish_cost_us = 25.0;    // fixed cost per PUBLISH
+    double cpu_delivery_cost_us = 190.0;  // per-subscriber fan-out cost
+    double cpu_command_cost_us = 8.0;     // SUBSCRIBE / UNSUBSCRIBE
+
+    // Per-connection delivery path (remote connections only).
+    double conn_drain_bytes_per_sec = 400e3;      // WAN subscriber receive rate
+    /// Receive rate for connections from infrastructure nodes (dispatchers,
+    /// the load balancer, replay services): cloud-internal links are far
+    /// faster than client downlinks.
+    double infra_drain_bytes_per_sec = 8e6;
+    std::size_t conn_output_buffer_limit = 512 * 1024;  // bytes; overflow kills conn
+
+    /// Upper bound on the node's egress queueing delay. Outbound data does
+    /// not buffer without limit in reality: socket buffers fill, writes
+    /// fail, and Redis drops the slow client. A delivery that would queue
+    /// beyond this bound closes its connection (overflow) instead — keeping
+    /// the shared egress queue short so control traffic (wrong-server
+    /// replies, switches) still flows during overload.
+    SimTime max_egress_backlog = millis(800);
+
+    std::size_t msg_overhead_bytes = 64;  // wire framing per message
+  };
+
+  PubSubServer(sim::Simulator& sim, net::Network& network, NodeId node, Config config);
+
+  PubSubServer(const PubSubServer&) = delete;
+  PubSubServer& operator=(const PubSubServer&) = delete;
+
+  // ---- connection management (called by RemoteConnection / local comps) ----
+
+  using DeliverFn = std::function<void(const EnvelopePtr&)>;
+  using ClosedFn = std::function<void(CloseReason)>;
+
+  /// Registers a connection from `client_node`. Connections from the server's
+  /// own node are "local": their deliveries skip the NIC and the drain model.
+  ConnId open_connection(NodeId client_node, DeliverFn deliver, ClosedFn closed);
+
+  /// Client-initiated close (commands already queued are dropped).
+  void close_connection(ConnId conn);
+
+  // ---- command entry points (already transported; cost applied here) ----
+
+  void handle_subscribe(ConnId conn, const Channel& channel);
+  void handle_unsubscribe(ConnId conn, const Channel& channel);
+  /// Pattern with '*' wildcards, e.g. "*" or "tile:*".
+  void handle_psubscribe(ConnId conn, const std::string& pattern);
+  void handle_punsubscribe(ConnId conn, const std::string& pattern);
+  void handle_publish(ConnId conn, EnvelopePtr env);
+
+  // ---- observers & introspection ----
+
+  void add_observer(LocalObserver* observer);
+  void remove_observer(LocalObserver* observer);
+
+  /// Number of connections subscribed to `channel` (Redis PUBSUB NUMSUB).
+  [[nodiscard]] std::size_t subscriber_count(const Channel& channel) const;
+  [[nodiscard]] std::size_t connection_count() const { return connections_.size(); }
+  [[nodiscard]] bool connection_alive(ConnId conn) const;
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// How far the CPU queue extends past now; grows without bound when the
+  /// server is CPU-saturated (Fig 4a beyond ~500 subscribers).
+  [[nodiscard]] SimTime cpu_backlog() const;
+
+  /// Total CPU time actually *executed* by now (scheduled work minus the
+  /// queue backlog). Differencing this over a window yields the CPU
+  /// utilization a colocated monitor would measure; it can never exceed
+  /// wall-clock time.
+  [[nodiscard]] SimTime cpu_time_executed() const;
+
+  /// Shuts the server down, closing every connection with kServerShutdown.
+  void shutdown();
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Matches a '*' glob pattern against a channel name.
+  static bool glob_match(const std::string& pattern, const std::string& text);
+
+ private:
+  struct Connection {
+    ConnId id = kInvalidConn;
+    NodeId client_node = kInvalidNode;
+    DeliverFn deliver;
+    ClosedFn closed;
+    std::unordered_set<Channel> channels;
+    std::vector<std::string> patterns;
+    SimTime drain_free = 0;      // receive-path busy-until time
+    SimTime last_arrival = 0;    // per-connection FIFO delivery ordering
+    bool local = false;
+  };
+
+  /// Advances the CPU queue by `cost_us` and returns the completion time.
+  SimTime consume_cpu(double cost_us);
+
+  void deliver_to(Connection& conn, const EnvelopePtr& env, SimTime ready);
+  void close_internal(ConnId conn, CloseReason reason);
+  Connection* find(ConnId conn);
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  NodeId node_;
+  Config config_;
+
+  std::unordered_map<ConnId, Connection> connections_;
+  std::unordered_map<Channel, std::unordered_set<ConnId>> subscribers_;
+  std::vector<ConnId> pattern_conns_;  // connections holding >= 1 pattern
+  std::vector<LocalObserver*> observers_;
+
+  ConnId next_conn_ = 1;
+  SimTime cpu_free_ = 0;
+  SimTime cpu_scheduled_total_ = 0;  // all CPU work ever enqueued
+  bool running_ = true;
+};
+
+}  // namespace dynamoth::ps

@@ -1,0 +1,44 @@
+#include "reliability/history_store.h"
+
+#include "common/check.h"
+
+namespace dynamoth::rel {
+
+HistoryStore::HistoryStore(std::size_t max_messages_per_channel)
+    : capacity_(max_messages_per_channel) {
+  DYN_CHECK(capacity_ > 0);
+}
+
+void HistoryStore::record(const ps::EnvelopePtr& env) {
+  DYN_CHECK(env != nullptr);
+  if (env->channel_seq == 0) return;  // unsequenced: not replayable
+  auto& queue = history_[env->channel];
+  queue.push_back(env);
+  if (queue.size() > capacity_) {
+    queue.pop_front();
+    ++evicted_;
+  }
+}
+
+std::vector<ps::EnvelopePtr> HistoryStore::lookup(const Channel& channel, ClientId publisher,
+                                                  std::uint64_t from_seq,
+                                                  std::uint64_t to_seq) const {
+  std::vector<ps::EnvelopePtr> out;
+  auto it = history_.find(channel);
+  if (it == history_.end()) return out;
+  for (const ps::EnvelopePtr& env : it->second) {
+    if (env->publisher != publisher) continue;
+    if (env->channel_seq < from_seq || env->channel_seq > to_seq) continue;
+    out.push_back(env);
+  }
+  return out;
+}
+
+std::size_t HistoryStore::stored(const Channel& channel) const {
+  auto it = history_.find(channel);
+  return it == history_.end() ? 0 : it->second.size();
+}
+
+void HistoryStore::forget(const Channel& channel) { history_.erase(channel); }
+
+}  // namespace dynamoth::rel

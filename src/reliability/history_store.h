@@ -1,0 +1,44 @@
+// Bounded per-channel message history backing the replay service.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "pubsub/envelope.h"
+
+namespace dynamoth::rel {
+
+class HistoryStore {
+ public:
+  /// Keeps at most `max_messages_per_channel` publications per channel
+  /// (oldest evicted first).
+  explicit HistoryStore(std::size_t max_messages_per_channel = 4096);
+
+  /// Records one publication (data/control publications with a nonzero
+  /// channel_seq are replayable; others are ignored).
+  void record(const ps::EnvelopePtr& env);
+
+  /// Messages on `channel` from `publisher` with channel_seq in
+  /// [from_seq, to_seq], in sequence order. Evicted messages are absent.
+  [[nodiscard]] std::vector<ps::EnvelopePtr> lookup(const Channel& channel,
+                                                    ClientId publisher,
+                                                    std::uint64_t from_seq,
+                                                    std::uint64_t to_seq) const;
+
+  [[nodiscard]] std::size_t stored(const Channel& channel) const;
+  [[nodiscard]] std::size_t channels() const { return history_.size(); }
+  [[nodiscard]] std::uint64_t evicted() const { return evicted_; }
+
+  /// Drops a channel's history entirely.
+  void forget(const Channel& channel);
+
+ private:
+  std::size_t capacity_;
+  std::map<Channel, std::deque<ps::EnvelopePtr>> history_;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace dynamoth::rel

@@ -1,0 +1,49 @@
+// Wire protocol of the reliability layer (paper VII future work:
+// "Reliability, achieved either through replication or persistence").
+//
+// Everything rides ordinary plan-routed pub/sub channels — the replay
+// service is just another client of the middleware:
+//   @rel:replay        requests from subscribers to the replay service
+//   @rel:to:<client>   replayed batches back to the requesting client
+// Publications carry a per-(publisher, channel) sequence number
+// (Envelope::channel_seq); subscribers detect gaps and ask for replay.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "pubsub/envelope.h"
+
+namespace dynamoth::rel {
+
+inline constexpr const char* kReplayRequestChannel = "@rel:replay";
+
+[[nodiscard]] inline Channel replay_reply_channel(ClientId client) {
+  return "@rel:to:" + std::to_string(client);
+}
+
+/// Subscriber -> replay service: resend `channel`'s messages from
+/// `publisher` with channel_seq in [from_seq, to_seq].
+struct ReplayRequestBody final : ps::ControlBody {
+  ClientId requester = 0;
+  ClientId publisher = 0;
+  Channel channel;
+  std::uint64_t from_seq = 0;
+  std::uint64_t to_seq = 0;
+
+  [[nodiscard]] std::size_t wire_size() const override { return 40 + channel.size(); }
+};
+
+/// Replay service -> subscriber: the recovered publications (original
+/// envelopes, original ids — the client's dedup makes redelivery safe).
+struct ReplayBatchBody final : ps::ControlBody {
+  std::vector<ps::EnvelopePtr> messages;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    std::size_t bytes = 16;
+    for (const auto& env : messages) bytes += ps::wire_size(*env, 16);
+    return bytes;
+  }
+};
+
+}  // namespace dynamoth::rel

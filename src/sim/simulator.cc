@@ -1,0 +1,118 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dynamoth::sim {
+
+void Simulator::heap_push(Item item) {
+  heap_.push_back(std::move(item));
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_[parent].later_than(heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void Simulator::heap_pop_root() {
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  std::size_t i = 0;
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+    std::size_t smallest = i;
+    if (l < n && heap_[smallest].later_than(heap_[l])) smallest = l;
+    if (r < n && heap_[smallest].later_than(heap_[r])) smallest = r;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+void Simulator::drop_dead_roots() {
+  while (!heap_.empty() && !live_.contains(heap_.front().seq)) heap_pop_root();
+}
+
+bool Simulator::pop_next(Item& out) {
+  drop_dead_roots();
+  if (heap_.empty()) return false;
+  live_.erase(heap_.front().seq);
+  out = std::move(heap_.front());
+  heap_pop_root();
+  return true;
+}
+
+EventId Simulator::schedule_at(SimTime t, Callback cb) {
+  DYN_CHECK(t >= now_);
+  DYN_CHECK(cb != nullptr);
+  const EventId id{t, next_seq_++};
+  live_.insert(id.seq);
+  heap_push(Item{id.time, id.seq, std::move(cb)});
+  return id;
+}
+
+EventId Simulator::schedule_after(SimTime delay, Callback cb) {
+  DYN_CHECK(delay >= 0);
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Simulator::cancel(const EventId& id) { return live_.erase(id.seq) > 0; }
+
+bool Simulator::step() {
+  Item item;
+  if (!pop_next(item)) return false;
+  now_ = item.time;
+  ++executed_;
+  item.cb();
+  return true;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  DYN_CHECK(t >= now_);
+  stopped_ = false;
+  while (!stopped_) {
+    drop_dead_roots();
+    if (heap_.empty() || heap_.front().time > t) break;
+    Item item;
+    pop_next(item);
+    now_ = item.time;
+    ++executed_;
+    item.cb();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+void PeriodicTask::start() { start_after(period_); }
+
+void PeriodicTask::start_after(SimTime initial_delay) {
+  stop();
+  running_ = true;
+  arm(initial_delay);
+}
+
+void PeriodicTask::stop() {
+  if (running_) sim_.cancel(pending_);
+  running_ = false;
+}
+
+void PeriodicTask::arm(SimTime delay) {
+  pending_ = sim_.schedule_after(delay, [this] {
+    // Re-arm before the tick so the tick may call stop() to end the cycle.
+    arm(period_);
+    fn_();
+  });
+}
+
+}  // namespace dynamoth::sim

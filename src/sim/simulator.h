@@ -1,0 +1,131 @@
+// Deterministic discrete-event simulator.
+//
+// All Dynamoth components (pub/sub servers, dispatchers, LLAs, the load
+// balancer, clients, game players) are actors driven by callbacks scheduled
+// on a single Simulator. Events at equal timestamps fire in scheduling order,
+// which makes every experiment bit-reproducible.
+//
+// The queue is a binary heap with lazy cancellation: cancels mark the event
+// id in a side set and the pop loop skips marked events. Scheduling and
+// popping are O(log n) with small constants, which matters because the
+// scalability experiments execute tens of millions of events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dynamoth::sim {
+
+/// Handle to a scheduled event; used for cancellation.
+struct EventId {
+  SimTime time = 0;
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const EventId&, const EventId&) = default;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (>= now()). Returns a handle usable
+  /// with cancel().
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` after `delay` (>= 0) from now.
+  EventId schedule_after(SimTime delay, Callback cb);
+
+  /// Cancels a pending event. Returns true if it was pending (not yet fired
+  /// or previously cancelled).
+  bool cancel(const EventId& id);
+
+  /// Runs a single event. Returns false if the queue is empty.
+  bool step();
+
+  /// Runs until the queue is empty or stop() is called.
+  void run();
+
+  /// Runs all events with time <= t, then advances the clock to exactly t.
+  void run_until(SimTime t);
+
+  /// Runs for `duration` of simulated time from now.
+  void run_for(SimTime duration) { run_until(now_ + duration); }
+
+  /// Stops run()/run_until() after the current event returns.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() const { return live_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Item {
+    SimTime time;
+    std::uint64_t seq;
+    Callback cb;
+
+    // Min-heap on (time, seq): strict FIFO among same-time events.
+    bool later_than(const Item& other) const {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  /// Pops the earliest non-cancelled item into `out`; false if none.
+  bool pop_next(Item& out);
+  void heap_push(Item item);
+  void heap_pop_root();
+  void drop_dead_roots();
+
+  std::vector<Item> heap_;
+  std::unordered_set<std::uint64_t> live_;  // scheduled, not yet fired/cancelled
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+/// Repeating task helper: reschedules itself every `period` until cancelled
+/// or its Simulator drains. Used by LLAs (1 s metric windows), the load
+/// balancer, player AI ticks, and metric samplers.
+class PeriodicTask {
+ public:
+  using TickFn = std::function<void()>;
+
+  PeriodicTask(Simulator& sim, SimTime period, TickFn fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {}
+  ~PeriodicTask() { stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Starts ticking; first tick after one period (or `initial_delay`).
+  void start();
+  void start_after(SimTime initial_delay);
+
+  /// Stops future ticks. Safe to call repeatedly or from within the tick.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] SimTime period() const { return period_; }
+
+ private:
+  void arm(SimTime delay);
+
+  Simulator& sim_;
+  SimTime period_;
+  TickFn fn_;
+  EventId pending_{};
+  bool running_ = false;
+};
+
+}  // namespace dynamoth::sim

@@ -1,0 +1,106 @@
+// Unit tests for the consistent-hashing baseline: ring growth on overload,
+// plan emission shape (no replication, no load-awareness, no scale-down).
+#include "baseline/consistent_hash_balancer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "harness/cluster.h"
+
+namespace dynamoth::baseline {
+namespace {
+
+struct BaselineFixture {
+  explicit BaselineFixture(double capacity = 150e3) {
+    harness::ClusterConfig config;
+    config.seed = 29;
+    config.initial_servers = 1;
+    config.fixed_latency = true;
+    config.fixed_latency_value = millis(5);
+    config.server_capacity = capacity;
+    config.cloud.spawn_delay = seconds(2);
+    cluster = std::make_unique<harness::Cluster>(config);
+    ConsistentHashBalancer::Config lb_config;
+    lb_config.t_wait = seconds(5);
+    lb_config.max_servers = 4;
+    lb = &cluster->use_hash_balancer(lb_config);
+  }
+
+  void add_feed(const Channel& channel, int subs, double msgs_per_sec,
+                std::size_t payload = 400) {
+    for (int i = 0; i < subs; ++i) {
+      auto& s = cluster->add_client();
+      s.subscribe(channel, [](const ps::EnvelopePtr&) {});
+    }
+    auto* p = &cluster->add_client();
+    feeds.push_back(std::make_unique<sim::PeriodicTask>(
+        cluster->sim(), static_cast<SimTime>(kSecond / msgs_per_sec),
+        [p, channel, payload] { p->publish(channel, payload); }));
+    feeds.back()->start();
+  }
+
+  std::unique_ptr<harness::Cluster> cluster;
+  ConsistentHashBalancer* lb = nullptr;
+  std::vector<std::unique_ptr<sim::PeriodicTask>> feeds;
+};
+
+TEST(Baseline, QuietSystemStaysAtOneServer) {
+  BaselineFixture f;
+  f.add_feed("calm", 2, 2);
+  f.cluster->sim().run_for(seconds(30));
+  EXPECT_EQ(f.cluster->active_servers(), 1u);
+  EXPECT_EQ(f.lb->stats().plans_generated, 0u);
+}
+
+TEST(Baseline, OverloadGrowsRingAndRemapsChannels) {
+  BaselineFixture f(100e3);
+  for (int i = 0; i < 6; ++i) f.add_feed("feed" + std::to_string(i), 4, 15, 400);
+  f.cluster->sim().run_for(seconds(40));
+
+  EXPECT_GT(f.cluster->active_servers(), 1u);
+  EXPECT_EQ(f.lb->ring().server_count(), f.cluster->active_servers());
+  EXPECT_GE(f.lb->stats().plans_generated, 1u);
+
+  // The emitted plan maps channels per the grown ring, all unreplicated.
+  for (const auto& [channel, entry] : f.lb->current_plan()->entries()) {
+    EXPECT_EQ(entry.mode, core::ReplicationMode::kNone) << channel;
+    EXPECT_EQ(entry.servers.size(), 1u) << channel;
+    EXPECT_EQ(entry.primary(), f.lb->ring().lookup(channel)) << channel;
+  }
+}
+
+TEST(Baseline, NeverScalesDown) {
+  BaselineFixture f(100e3);
+  for (int i = 0; i < 6; ++i) f.add_feed("feed" + std::to_string(i), 4, 15, 400);
+  f.cluster->sim().run_for(seconds(40));
+  const std::size_t peak = f.cluster->active_servers();
+  ASSERT_GT(peak, 1u);
+  f.feeds.clear();
+  f.cluster->sim().run_for(seconds(120));
+  EXPECT_EQ(f.cluster->active_servers(), peak);
+}
+
+TEST(Baseline, EveryEventIsARingGrowth) {
+  BaselineFixture f(100e3);
+  for (int i = 0; i < 6; ++i) f.add_feed("feed" + std::to_string(i), 4, 15, 400);
+  f.cluster->sim().run_for(seconds(60));
+  ASSERT_FALSE(f.lb->events().empty());
+  std::size_t last_servers = 1;
+  for (const auto& event : f.lb->events()) {
+    EXPECT_EQ(event.kind, core::RebalanceKind::kHashing);
+    EXPECT_GT(event.active_servers, last_servers);
+    last_servers = event.active_servers;
+  }
+}
+
+TEST(Baseline, StopsAtMaxServers) {
+  BaselineFixture f(40e3);  // absurdly small servers
+  for (int i = 0; i < 8; ++i) f.add_feed("feed" + std::to_string(i), 5, 20, 500);
+  f.cluster->sim().run_for(seconds(90));
+  EXPECT_LE(f.cluster->active_servers(), 4u);
+}
+
+}  // namespace
+}  // namespace dynamoth::baseline

@@ -1,0 +1,49 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace dynamoth {
+namespace {
+
+TEST(Hash, Fnv1aIsStable) {
+  // Known FNV-1a 64 test vector.
+  EXPECT_EQ(fnv1a64(""), 0xCBF29CE484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xAF63DC4C8601EC8Cull);
+}
+
+TEST(Hash, Fnv1aDistinguishesSimilarStrings) {
+  std::set<std::uint64_t> hashes;
+  for (int i = 0; i < 1000; ++i) hashes.insert(fnv1a64("tile:" + std::to_string(i)));
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(Hash, Mix64AvalanchesLowBits) {
+  // Sequential inputs must not produce sequential outputs.
+  std::set<std::uint64_t> high_bytes;
+  for (std::uint64_t i = 0; i < 256; ++i) high_bytes.insert(mix64(i) >> 56);
+  EXPECT_GT(high_bytes.size(), 150u);  // spread over most of the byte range
+}
+
+TEST(Hash, Mix64IsInjectiveOnSample) {
+  std::set<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 100'000; ++i) out.insert(mix64(i));
+  EXPECT_EQ(out.size(), 100'000u);
+}
+
+TEST(Hash, CombineDependsOnBothInputs) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_NE(hash_combine(1, 2), hash_combine(1, 3));
+  EXPECT_EQ(hash_combine(1, 2), hash_combine(1, 2));
+}
+
+TEST(Hash, ConstexprUsable) {
+  static_assert(fnv1a64("channel") != 0);
+  static_assert(mix64(42) != 42);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dynamoth

@@ -1,0 +1,86 @@
+#include "common/lru_set.h"
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+
+namespace dynamoth {
+namespace {
+
+TEST(LruSet, InsertReturnsTrueOnlyForNewValues) {
+  LruSet<int> set(4);
+  EXPECT_TRUE(set.insert(1));
+  EXPECT_TRUE(set.insert(2));
+  EXPECT_FALSE(set.insert(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(LruSet, EvictsLeastRecentlyUsed) {
+  LruSet<int> set(3);
+  set.insert(1);
+  set.insert(2);
+  set.insert(3);
+  set.insert(4);  // evicts 1
+  EXPECT_FALSE(set.contains(1));
+  EXPECT_TRUE(set.contains(2));
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_TRUE(set.contains(4));
+}
+
+TEST(LruSet, ReinsertRefreshesRecency) {
+  LruSet<int> set(3);
+  set.insert(1);
+  set.insert(2);
+  set.insert(3);
+  set.insert(1);  // refresh 1 -> 2 is now LRU
+  set.insert(4);  // evicts 2
+  EXPECT_TRUE(set.contains(1));
+  EXPECT_FALSE(set.contains(2));
+}
+
+TEST(LruSet, CapacityOneKeepsOnlyLatest) {
+  LruSet<int> set(1);
+  set.insert(1);
+  set.insert(2);
+  EXPECT_FALSE(set.contains(1));
+  EXPECT_TRUE(set.contains(2));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(LruSet, ZeroCapacityIsPromotedToOne) {
+  LruSet<int> set(0);
+  EXPECT_EQ(set.capacity(), 1u);
+  EXPECT_TRUE(set.insert(5));
+  EXPECT_TRUE(set.contains(5));
+}
+
+TEST(LruSet, ClearEmptiesEverything) {
+  LruSet<int> set(4);
+  set.insert(1);
+  set.insert(2);
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.contains(1));
+  EXPECT_TRUE(set.insert(1));
+}
+
+TEST(LruSet, WorksWithMessageIds) {
+  LruSet<MessageId> set(1000);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    EXPECT_TRUE(set.insert(MessageId{1, i}));
+    EXPECT_FALSE(set.insert(MessageId{1, i}));
+  }
+  // Same seq, different origin is a different message.
+  EXPECT_TRUE(set.insert(MessageId{2, 10}));
+}
+
+TEST(LruSet, DedupWindowSlides) {
+  LruSet<MessageId> set(100);
+  for (std::uint64_t i = 0; i < 250; ++i) set.insert(MessageId{1, i});
+  EXPECT_EQ(set.size(), 100u);
+  EXPECT_FALSE(set.contains(MessageId{1, 0}));
+  EXPECT_TRUE(set.contains(MessageId{1, 249}));
+}
+
+}  // namespace
+}  // namespace dynamoth

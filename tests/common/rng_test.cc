@@ -1,0 +1,116 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace dynamoth {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ForkByNameIsIndependentAndStable) {
+  Rng root(42);
+  Rng f1 = root.fork("latency");
+  Rng f2 = root.fork("latency");
+  Rng f3 = root.fork("players");
+  EXPECT_EQ(f1.next(), f2.next());
+  EXPECT_NE(Rng(42).fork("latency").next(), f3.next());
+}
+
+TEST(Rng, ForkByIndexIsIndependentAndStable) {
+  Rng root(42);
+  EXPECT_EQ(root.fork(std::uint64_t{7}).next(), root.fork(std::uint64_t{7}).next());
+  EXPECT_NE(root.fork(std::uint64_t{7}).next(), root.fork(std::uint64_t{8}).next());
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a(9), b(9);
+  (void)a.fork("x");
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(6);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(40.0);
+  EXPECT_NEAR(sum / n, 40.0, 1.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(10);
+  double sum = 0, sq = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng(11);
+  const int n = 100'001;
+  std::vector<double> xs(n);
+  for (int i = 0; i < n; ++i) xs[static_cast<std::size_t>(i)] = rng.lognormal(std::log(40.0), 0.5);
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[static_cast<std::size_t>(n / 2)], 40.0, 1.5);
+}
+
+}  // namespace
+}  // namespace dynamoth

@@ -1,0 +1,107 @@
+#include "core/cloud.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace dynamoth::core {
+namespace {
+
+TEST(Cloud, SpawnFiresAfterProvisioningDelay) {
+  sim::Simulator sim;
+  int spawned = 0;
+  Cloud cloud(sim, {seconds(5)}, [&] { return static_cast<ServerId>(100 + spawned++); },
+              nullptr);
+  ServerId ready_id = kInvalidServer;
+  SimTime ready_at = -1;
+  cloud.request_spawn([&](ServerId id) {
+    ready_id = id;
+    ready_at = sim.now();
+  });
+  EXPECT_EQ(cloud.spawns_in_flight(), 1);
+  sim.run();
+  EXPECT_EQ(ready_id, 100u);
+  EXPECT_EQ(ready_at, seconds(5));
+  EXPECT_EQ(cloud.spawns_in_flight(), 0);
+  EXPECT_EQ(cloud.total_spawned(), 1u);
+}
+
+TEST(Cloud, MultipleOutstandingSpawns) {
+  sim::Simulator sim;
+  int created = 0;
+  Cloud cloud(sim, {seconds(2)}, [&] { return static_cast<ServerId>(created++); }, nullptr);
+  std::vector<ServerId> got;
+  cloud.request_spawn([&](ServerId id) { got.push_back(id); });
+  cloud.request_spawn([&](ServerId id) { got.push_back(id); });
+  EXPECT_EQ(cloud.spawns_in_flight(), 2);
+  sim.run();
+  EXPECT_EQ(got, (std::vector<ServerId>{0, 1}));
+}
+
+TEST(Cloud, DespawnInvokesCallbackAndCounts) {
+  sim::Simulator sim;
+  std::vector<ServerId> released;
+  Cloud cloud(sim, {}, [] { return ServerId{0}; },
+              [&](ServerId id) { released.push_back(id); });
+  cloud.despawn(42);
+  EXPECT_EQ(released, (std::vector<ServerId>{42}));
+  EXPECT_EQ(cloud.total_despawned(), 1u);
+}
+
+TEST(Cloud, BillingTracksRentalIntervals) {
+  sim::Simulator sim;
+  Cloud cloud(sim, {}, [] { return ServerId{0}; }, nullptr);
+  cloud.note_server_started(1);  // t = 0
+  sim.run_until(seconds(1800));
+  cloud.note_server_started(2);  // t = 30 min
+  sim.run_until(seconds(3600));
+  cloud.note_server_stopped(1);  // server 1 ran 1 h
+  sim.run_until(seconds(7200));
+  // server 1: 1 h; server 2: 30 min .. 2 h = 1.5 h.
+  EXPECT_NEAR(cloud.server_hours(sim.now()), 2.5, 1e-9);
+}
+
+TEST(Cloud, OpenRentalsAccrueUntilNow) {
+  sim::Simulator sim;
+  Cloud cloud(sim, {}, [] { return ServerId{0}; }, nullptr);
+  cloud.note_server_started(7);
+  sim.run_until(seconds(900));
+  EXPECT_NEAR(cloud.server_hours(sim.now()), 0.25, 1e-9);
+  sim.run_until(seconds(1800));
+  EXPECT_NEAR(cloud.server_hours(sim.now()), 0.5, 1e-9);
+}
+
+TEST(Cloud, RentalCostUsesModel) {
+  sim::Simulator sim;
+  Cloud cloud(sim, {}, [] { return ServerId{0}; }, nullptr);
+  cloud.note_server_started(1);
+  sim.run_until(seconds(36000));  // 10 h
+  CostModel model;
+  model.server_hour_dollars = 0.20;
+  EXPECT_NEAR(cloud.rental_cost(sim.now(), model), 2.0, 1e-9);
+}
+
+TEST(Cloud, StaticFleetComparison) {
+  EXPECT_NEAR(Cloud::static_fleet_hours(8, seconds(3600)), 8.0, 1e-9);
+  EXPECT_NEAR(Cloud::static_fleet_hours(3, seconds(1800)), 1.5, 1e-9);
+}
+
+TEST(Cloud, StopUnknownServerIsNoop) {
+  sim::Simulator sim;
+  Cloud cloud(sim, {}, [] { return ServerId{0}; }, nullptr);
+  cloud.note_server_stopped(99);
+  EXPECT_EQ(cloud.server_hours(sim.now()), 0.0);
+}
+
+TEST(Cloud, NullReadyCallbackIsAllowed) {
+  sim::Simulator sim;
+  Cloud cloud(sim, {seconds(1)}, [] { return ServerId{7}; }, nullptr);
+  cloud.request_spawn(nullptr);
+  sim.run();
+  EXPECT_EQ(cloud.total_spawned(), 1u);
+}
+
+}  // namespace
+}  // namespace dynamoth::core

@@ -1,0 +1,116 @@
+#include "core/consistent_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace dynamoth::core {
+namespace {
+
+std::map<ServerId, int> distribute(const ConsistentHashRing& ring, int channels) {
+  std::map<ServerId, int> counts;
+  for (int i = 0; i < channels; ++i) counts[ring.lookup("channel:" + std::to_string(i))]++;
+  return counts;
+}
+
+TEST(ConsistentHashRing, SingleServerGetsEverything) {
+  ConsistentHashRing ring;
+  ring.add_server(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.lookup("c" + std::to_string(i)), 7u);
+  }
+}
+
+TEST(ConsistentHashRing, LookupIsDeterministic) {
+  ConsistentHashRing a, b;
+  for (ServerId s : {1u, 2u, 3u}) {
+    a.add_server(s);
+    b.add_server(s);
+  }
+  for (int i = 0; i < 200; ++i) {
+    const Channel c = "x" + std::to_string(i);
+    EXPECT_EQ(a.lookup(c), b.lookup(c));
+  }
+}
+
+TEST(ConsistentHashRing, ReasonablyBalanced) {
+  ConsistentHashRing ring(128);
+  for (ServerId s = 0; s < 4; ++s) ring.add_server(s);
+  const auto counts = distribute(ring, 10'000);
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [server, count] : counts) {
+    EXPECT_GT(count, 1000) << "server " << server;   // >10% of fair share floor
+    EXPECT_LT(count, 5000) << "server " << server;   // not dominating
+  }
+}
+
+TEST(ConsistentHashRing, AddingServerMovesOnlyAFraction) {
+  ConsistentHashRing ring(128);
+  for (ServerId s = 0; s < 4; ++s) ring.add_server(s);
+  std::map<Channel, ServerId> before;
+  for (int i = 0; i < 5000; ++i) {
+    const Channel c = "c" + std::to_string(i);
+    before[c] = ring.lookup(c);
+  }
+  ring.add_server(4);
+  int moved = 0;
+  for (const auto& [c, old] : before) {
+    if (ring.lookup(c) != old) ++moved;
+  }
+  // Ideal: 1/5 of channels move to the new server; none shuffle elsewhere.
+  EXPECT_GT(moved, 5000 / 10);
+  EXPECT_LT(moved, 5000 / 3);
+  for (const auto& [c, old] : before) {
+    const ServerId now = ring.lookup(c);
+    EXPECT_TRUE(now == old || now == 4u) << c;  // moves only onto the newcomer
+  }
+}
+
+TEST(ConsistentHashRing, RemovingServerRedistributesOnlyItsChannels) {
+  ConsistentHashRing ring(128);
+  for (ServerId s = 0; s < 4; ++s) ring.add_server(s);
+  std::map<Channel, ServerId> before;
+  for (int i = 0; i < 3000; ++i) {
+    const Channel c = "c" + std::to_string(i);
+    before[c] = ring.lookup(c);
+  }
+  ring.remove_server(2);
+  for (const auto& [c, old] : before) {
+    const ServerId now = ring.lookup(c);
+    if (old != 2u) EXPECT_EQ(now, old) << c;
+    if (old == 2u) EXPECT_NE(now, 2u) << c;
+  }
+}
+
+TEST(ConsistentHashRing, ContainsAndCount) {
+  ConsistentHashRing ring;
+  EXPECT_TRUE(ring.empty());
+  ring.add_server(1);
+  ring.add_server(2);
+  EXPECT_TRUE(ring.contains(1));
+  EXPECT_FALSE(ring.contains(3));
+  EXPECT_EQ(ring.server_count(), 2u);
+  ring.remove_server(1);
+  EXPECT_FALSE(ring.contains(1));
+  EXPECT_EQ(ring.server_count(), 1u);
+}
+
+TEST(ConsistentHashRing, DuplicateAddIsIgnored) {
+  ConsistentHashRing ring(16);
+  ring.add_server(1);
+  ring.add_server(1);
+  EXPECT_EQ(ring.server_count(), 1u);
+  ring.remove_server(1);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(ConsistentHashRing, RemoveUnknownIsNoop) {
+  ConsistentHashRing ring;
+  ring.add_server(1);
+  ring.remove_server(99);
+  EXPECT_EQ(ring.server_count(), 1u);
+}
+
+}  // namespace
+}  // namespace dynamoth::core

@@ -1,0 +1,81 @@
+#include "core/control.h"
+
+#include <gtest/gtest.h>
+
+namespace dynamoth::core {
+namespace {
+
+TEST(Control, ControlChannelDetection) {
+  EXPECT_TRUE(is_control_channel("@ctl:plan"));
+  EXPECT_TRUE(is_control_channel("@ctl:c:42"));
+  EXPECT_TRUE(is_control_channel("@ctl:lla"));
+  EXPECT_FALSE(is_control_channel("tile:1:2"));
+  EXPECT_FALSE(is_control_channel(""));
+  EXPECT_FALSE(is_control_channel("ctl:plan"));
+  EXPECT_FALSE(is_control_channel("x@ctl:plan"));
+}
+
+TEST(Control, ClientControlChannelRoundTrip) {
+  EXPECT_EQ(client_control_channel(7), "@ctl:c:7");
+  EXPECT_EQ(client_control_channel(123456789), "@ctl:c:123456789");
+  EXPECT_TRUE(is_control_channel(client_control_channel(1)));
+}
+
+TEST(Control, EntryUpdateWireSizeScalesWithServers) {
+  EntryUpdateBody small;
+  small.channel = "c";
+  small.entry.servers = {1};
+  EntryUpdateBody big;
+  big.channel = "c";
+  big.entry.servers = {1, 2, 3, 4};
+  EXPECT_GT(big.wire_size(), small.wire_size());
+}
+
+TEST(Control, PlanUpdateWireSizeScalesWithPlan) {
+  auto plan = std::make_shared<Plan>();
+  PlanUpdateBody empty;
+  empty.plan = plan;
+  const std::size_t base = empty.wire_size();
+
+  auto bigger = std::make_shared<Plan>();
+  for (int i = 0; i < 50; ++i) {
+    PlanEntry entry;
+    entry.servers = {1, 2};
+    bigger->set_entry("channel-" + std::to_string(i), entry);
+  }
+  PlanUpdateBody full;
+  full.plan = bigger;
+  EXPECT_GT(full.wire_size(), base + 50 * 10);
+}
+
+TEST(Control, NullPlanBodyHasFallbackSize) {
+  PlanUpdateBody body;
+  EXPECT_GT(body.wire_size(), 0u);
+}
+
+TEST(Control, LoadRatioComputation) {
+  LoadReport report;
+  report.measured_out_bytes_per_sec = 750e3;
+  report.advertised_capacity = 1.5e6;
+  EXPECT_DOUBLE_EQ(report.load_ratio(), 0.5);
+
+  LoadReport zero_capacity;
+  zero_capacity.measured_out_bytes_per_sec = 100;
+  EXPECT_DOUBLE_EQ(zero_capacity.load_ratio(), 0.0);
+}
+
+TEST(Control, LlaReportWireSizeScalesWithChannels) {
+  LlaReportBody small;
+  LlaReportBody big;
+  for (int i = 0; i < 20; ++i) big.report.channels["channel-" + std::to_string(i)] = {};
+  EXPECT_GT(big.wire_size(), small.wire_size() + 20 * 40);
+}
+
+TEST(Control, DrainNoticeWireSize) {
+  DrainNoticeBody body;
+  body.channel = "some-channel";
+  EXPECT_EQ(body.wire_size(), 16 + body.channel.size());
+}
+
+}  // namespace
+}  // namespace dynamoth::core

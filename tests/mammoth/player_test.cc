@@ -1,0 +1,141 @@
+#include "mammoth/player.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+#include "mammoth/game.h"
+
+namespace dynamoth::mammoth {
+namespace {
+
+harness::ClusterConfig config1() {
+  harness::ClusterConfig config;
+  config.seed = 37;
+  config.initial_servers = 1;
+  config.fixed_latency = true;
+  config.fixed_latency_value = millis(10);
+  return config;
+}
+
+TEST(Player, PublishesAtConfiguredRate) {
+  harness::Cluster cluster(config1());
+  World world(400, 4);
+  auto& client = cluster.add_client();
+  PlayerConfig pc;
+  pc.updates_per_sec = 3;
+  Player player(cluster.sim(), world, client, pc, cluster.fork_rng("p"), nullptr);
+  player.join();
+  cluster.sim().run_for(seconds(10));
+  // ~3/s for 10s.
+  EXPECT_GE(player.updates_published(), 28u);
+  EXPECT_LE(player.updates_published(), 32u);
+}
+
+TEST(Player, SubscribedToItsTileAndHearsItself) {
+  harness::Cluster cluster(config1());
+  World world(400, 4);
+  auto& client = cluster.add_client();
+  int rtts = 0;
+  PlayerConfig pc;
+  Player player(cluster.sim(), world, client, pc, cluster.fork_rng("p"),
+                [&](SimTime rtt) {
+                  ++rtts;
+                  EXPECT_GT(rtt, millis(19));
+                });
+  player.join();
+  EXPECT_TRUE(client.subscribed(World::tile_channel(player.tile())));
+  cluster.sim().run_for(seconds(5));
+  EXPECT_GT(rtts, 10);
+  EXPECT_EQ(player.updates_received(), static_cast<std::uint64_t>(rtts));
+}
+
+TEST(Player, MovesTowardWaypointsAndCrossesTiles) {
+  harness::Cluster cluster(config1());
+  World world(400, 8);  // small tiles: crossings guaranteed
+  auto& client = cluster.add_client();
+  PlayerConfig pc;
+  pc.speed = 80;
+  pc.pause_min = millis(100);
+  pc.pause_max = millis(300);
+  Player player(cluster.sim(), world, client, pc, cluster.fork_rng("p"), nullptr);
+  player.join();
+  const Position start = player.position();
+  cluster.sim().run_for(seconds(60));
+  EXPECT_GT(player.tile_crossings(), 2u);
+  // Position actually changed, and subscription follows the current tile.
+  EXPECT_TRUE(!(player.position() == start));
+  EXPECT_TRUE(client.subscribed(World::tile_channel(player.tile())));
+  EXPECT_EQ(world.tile_of(player.position()), player.tile());
+}
+
+TEST(Player, LeaveStopsPublishingAndUnsubscribes) {
+  harness::Cluster cluster(config1());
+  World world(400, 4);
+  auto& client = cluster.add_client();
+  Player player(cluster.sim(), world, client, {}, cluster.fork_rng("p"), nullptr);
+  player.join();
+  cluster.sim().run_for(seconds(5));
+  player.leave();
+  const auto published = player.updates_published();
+  EXPECT_FALSE(client.subscribed(World::tile_channel(player.tile())));
+  cluster.sim().run_for(seconds(5));
+  EXPECT_EQ(player.updates_published(), published);
+  EXPECT_FALSE(player.active());
+}
+
+TEST(Player, TwoPlayersInSameTileHearEachOther) {
+  harness::Cluster cluster(config1());
+  World world(100, 1);  // single tile: always together
+  auto& c1 = cluster.add_client();
+  auto& c2 = cluster.add_client();
+  Player p1(cluster.sim(), world, c1, {}, cluster.fork_rng("a"), nullptr);
+  Player p2(cluster.sim(), world, c2, {}, cluster.fork_rng("b"), nullptr);
+  p1.join();
+  p2.join();
+  cluster.sim().run_for(seconds(10));
+  // Each hears itself AND the other: received > published.
+  EXPECT_GT(p1.updates_received(), p1.updates_published());
+  EXPECT_GT(p2.updates_received(), p2.updates_published());
+}
+
+TEST(Game, PopulationRampUpAndDown) {
+  harness::Cluster cluster(config1());
+  harness::ResponseProbe probe;
+  GameConfig gc;
+  gc.world_size = 400;
+  gc.tiles_per_side = 4;
+  Game game(cluster, gc, &probe);
+
+  game.set_population(10);
+  EXPECT_EQ(game.active_players(), 10u);
+  cluster.sim().run_for(seconds(5));
+  game.set_population(25);
+  EXPECT_EQ(game.active_players(), 25u);
+  cluster.sim().run_for(seconds(5));
+  game.set_population(5);
+  EXPECT_EQ(game.active_players(), 5u);
+  cluster.sim().run_for(seconds(5));
+
+  // Players are reused, not duplicated.
+  EXPECT_EQ(game.total_players_created(), 25u);
+  EXPECT_GT(probe.histogram().count(), 0u);
+}
+
+TEST(Game, RejoinedPlayersResumePublishing) {
+  harness::Cluster cluster(config1());
+  GameConfig gc;
+  gc.world_size = 400;
+  gc.tiles_per_side = 4;
+  Game game(cluster, gc, nullptr);
+  game.set_population(5);
+  cluster.sim().run_for(seconds(5));
+  game.set_population(0);
+  cluster.sim().run_for(seconds(5));
+  const auto before = game.total_updates_published();
+  game.set_population(5);
+  cluster.sim().run_for(seconds(5));
+  EXPECT_GT(game.total_updates_published(), before + 5 * 3 * 3);
+}
+
+}  // namespace
+}  // namespace dynamoth::mammoth

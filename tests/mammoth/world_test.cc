@@ -1,0 +1,46 @@
+#include "mammoth/world.h"
+
+#include <gtest/gtest.h>
+
+namespace dynamoth::mammoth {
+namespace {
+
+TEST(World, TileOfMapsPositionsToGrid) {
+  World world(100.0, 4);  // 25-unit tiles
+  EXPECT_EQ(world.tile_of({0, 0}), (TileCoord{0, 0}));
+  EXPECT_EQ(world.tile_of({24.9, 24.9}), (TileCoord{0, 0}));
+  EXPECT_EQ(world.tile_of({25.0, 0}), (TileCoord{1, 0}));
+  EXPECT_EQ(world.tile_of({99.9, 99.9}), (TileCoord{3, 3}));
+  EXPECT_EQ(world.tile_count(), 16);
+}
+
+TEST(World, PositionsOutsideAreClamped) {
+  World world(100.0, 4);
+  EXPECT_EQ(world.tile_of({-5, -5}), (TileCoord{0, 0}));
+  EXPECT_EQ(world.tile_of({150, 150}), (TileCoord{3, 3}));
+  // Exactly on the far edge stays in the last tile.
+  EXPECT_EQ(world.tile_of({100, 100}), (TileCoord{3, 3}));
+}
+
+TEST(World, ClampKeepsInteriorPointsUntouched) {
+  World world(100.0, 4);
+  const Position p{12.5, 77.0};
+  EXPECT_EQ(world.clamp(p), p);
+}
+
+TEST(World, TileChannelNames) {
+  EXPECT_EQ(World::tile_channel({0, 0}), "tile:0:0");
+  EXPECT_EQ(World::tile_channel({3, 11}), "tile:3:11");
+}
+
+TEST(World, DistinctTilesDistinctChannels) {
+  World world(120.0, 12);
+  std::set<Channel> names;
+  for (int x = 0; x < 12; ++x) {
+    for (int y = 0; y < 12; ++y) names.insert(World::tile_channel({x, y}));
+  }
+  EXPECT_EQ(names.size(), 144u);
+}
+
+}  // namespace
+}  // namespace dynamoth::mammoth

@@ -1,0 +1,132 @@
+#include "metrics/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace dynamoth::metrics {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1000.0);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_EQ(h.percentile(0), 1000);
+  EXPECT_EQ(h.percentile(100), 1000);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (int i = 0; i <= 31; ++i) h.record(i);
+  EXPECT_EQ(h.percentile(0), 0);
+  EXPECT_EQ(h.percentile(100), 31);
+  EXPECT_EQ(h.count(), 32u);
+}
+
+TEST(Histogram, PercentileBoundedRelativeError) {
+  Histogram h;
+  for (int i = 1; i <= 100'000; ++i) h.record(i);
+  // 1/32 sub-bucket resolution -> <= ~3.2% relative error + bucket rounding.
+  const auto p50 = static_cast<double>(h.percentile(50));
+  const auto p99 = static_cast<double>(h.percentile(99));
+  EXPECT_NEAR(p50, 50'000, 50'000 * 0.04);
+  EXPECT_NEAR(p99, 99'000, 99'000 * 0.04);
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  h.record(60);
+  EXPECT_DOUBLE_EQ(h.mean(), 30.0);
+}
+
+TEST(Histogram, NegativeValuesClampToZero) {
+  Histogram h;
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.percentile(100), 0);
+}
+
+TEST(Histogram, RecordNWeights) {
+  Histogram h;
+  h.record_n(100, 99);
+  h.record_n(1'000'000, 1);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_LE(h.percentile(50), 110);
+  EXPECT_GT(h.percentile(99.5), 900'000);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(10);
+  for (int i = 0; i < 100; ++i) b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_GE(a.max(), 1000);
+  EXPECT_NEAR(a.mean(), 505.0, 0.001);
+}
+
+TEST(Histogram, MergeEmptyIsNoop) {
+  Histogram a, b;
+  a.record(5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.min(), 5);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(42);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0);
+}
+
+TEST(Histogram, LargeValuesDoNotOverflow) {
+  Histogram h;
+  h.record(1'000'000'000'000ll);  // ~11.5 days in us
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.percentile(100), 900'000'000'000ll);
+}
+
+TEST(Welford, MeanAndVariance) {
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_NEAR(w.variance(), 4.571428, 1e-5);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_EQ(w.count(), 8u);
+}
+
+TEST(Welford, EmptyIsZero) {
+  Welford w;
+  EXPECT_EQ(w.mean(), 0.0);
+  EXPECT_EQ(w.variance(), 0.0);
+  EXPECT_EQ(w.count(), 0u);
+}
+
+TEST(Welford, ResetClears) {
+  Welford w;
+  w.add(10);
+  w.reset();
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_EQ(w.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace dynamoth::metrics

@@ -1,0 +1,89 @@
+#include "metrics/series.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dynamoth::metrics {
+namespace {
+
+TEST(Series, StoresRows) {
+  Series s({"t", "players", "rt_ms"});
+  s.add_row({0, 120, 75.5});
+  s.add_row({1, 130, 80.25});
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_DOUBLE_EQ(s.value(0, 1), 120);
+  EXPECT_DOUBLE_EQ(s.value(1, 2), 80.25);
+}
+
+TEST(Series, ColumnIndexByName) {
+  Series s({"a", "b", "c"});
+  EXPECT_EQ(s.column_index("a"), 0u);
+  EXPECT_EQ(s.column_index("c"), 2u);
+}
+
+TEST(Series, ColumnMax) {
+  Series s({"t", "v"});
+  s.add_row({0, 5});
+  s.add_row({1, 17});
+  s.add_row({2, 3});
+  EXPECT_DOUBLE_EQ(s.column_max("v"), 17);
+  EXPECT_DOUBLE_EQ(s.column_max("t"), 2);
+}
+
+TEST(Series, ColumnMaxEmptyIsZero) {
+  Series s({"v"});
+  EXPECT_DOUBLE_EQ(s.column_max("v"), 0);
+}
+
+TEST(Series, CsvFormat) {
+  Series s({"t", "v"});
+  s.add_row({1, 2.5});
+  std::ostringstream out;
+  s.print_csv(out);
+  EXPECT_EQ(out.str(), "t,v\n1,2.500\n");
+}
+
+TEST(Series, TableIsAligned) {
+  Series s({"time", "x"});
+  s.add_row({100, 1});
+  std::ostringstream out;
+  s.print_table(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("time"), std::string::npos);
+  EXPECT_NE(text.find("100"), std::string::npos);
+  // Two lines: header + row.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(Series, SaveCsvRoundTrip) {
+  Series s({"a", "b"});
+  s.add_row({1, 2});
+  const std::string path = "/tmp/dyn_series_test.csv";
+  ASSERT_TRUE(s.save_csv(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(Series, SaveCsvFailsOnBadPath) {
+  Series s({"a"});
+  EXPECT_FALSE(s.save_csv("/nonexistent-dir/x.csv"));
+}
+
+TEST(Series, IntegersPrintWithoutDecimals) {
+  Series s({"v"});
+  s.add_row({42.0});
+  std::ostringstream out;
+  s.print_csv(out);
+  EXPECT_EQ(out.str(), "v\n42\n");
+}
+
+}  // namespace
+}  // namespace dynamoth::metrics

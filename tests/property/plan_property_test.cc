@@ -1,0 +1,146 @@
+// Property-style sweeps over plan/ring/balancer invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/consistent_hash.h"
+#include "core/plan.h"
+#include "harness/cluster.h"
+
+namespace dynamoth {
+namespace {
+
+// ---- Ring properties across seeds and fleet sizes ----
+
+class RingProperty : public testing::TestWithParam<int> {};
+
+TEST_P(RingProperty, GrowthOnlyMovesChannelsToTheNewcomer) {
+  const int fleet = GetParam();
+  core::ConsistentHashRing ring(96);
+  for (ServerId s = 0; s < static_cast<ServerId>(fleet); ++s) ring.add_server(s);
+
+  std::map<Channel, ServerId> before;
+  for (int i = 0; i < 2000; ++i) {
+    const Channel c = "k" + std::to_string(i * 31);
+    before[c] = ring.lookup(c);
+  }
+  const ServerId newcomer = static_cast<ServerId>(fleet);
+  ring.add_server(newcomer);
+  int moved = 0;
+  for (const auto& [c, old] : before) {
+    const ServerId now = ring.lookup(c);
+    if (now != old) {
+      EXPECT_EQ(now, newcomer) << c;  // consistent hashing's core promise
+      ++moved;
+    }
+  }
+  // Roughly 1/(fleet+1) of the channels move (generous tolerance).
+  const double expected = 2000.0 / (fleet + 1);
+  EXPECT_GT(moved, expected * 0.4);
+  EXPECT_LT(moved, expected * 2.2);
+}
+
+TEST_P(RingProperty, RemovalIsInverseOfAddition) {
+  const int fleet = GetParam();
+  core::ConsistentHashRing ring(96);
+  for (ServerId s = 0; s < static_cast<ServerId>(fleet); ++s) ring.add_server(s);
+  std::map<Channel, ServerId> before;
+  for (int i = 0; i < 1000; ++i) {
+    const Channel c = "k" + std::to_string(i);
+    before[c] = ring.lookup(c);
+  }
+  ring.add_server(99);
+  ring.remove_server(99);
+  for (const auto& [c, old] : before) EXPECT_EQ(ring.lookup(c), old) << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(FleetSizes, RingProperty, testing::Values(1, 2, 3, 5, 8));
+
+// ---- Plan resolve properties ----
+
+class PlanResolveProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlanResolveProperty, ResolveIsDeterministicAndTotal) {
+  Rng rng(GetParam());
+  core::ConsistentHashRing ring;
+  const int fleet = static_cast<int>(rng.uniform_int(1, 6));
+  for (ServerId s = 0; s < static_cast<ServerId>(fleet); ++s) ring.add_server(s);
+
+  core::Plan plan;
+  for (int i = 0; i < 50; ++i) {
+    if (!rng.chance(0.5)) continue;
+    core::PlanEntry entry;
+    entry.version = static_cast<std::uint64_t>(rng.uniform_int(1, 10));
+    const int n = static_cast<int>(rng.uniform_int(1, fleet));
+    for (ServerId s = 0; s < static_cast<ServerId>(n); ++s) entry.servers.push_back(s);
+    entry.mode = n == 1 ? core::ReplicationMode::kNone
+                        : (rng.chance(0.5) ? core::ReplicationMode::kAllSubscribers
+                                           : core::ReplicationMode::kAllPublishers);
+    plan.set_entry("c" + std::to_string(i), entry);
+  }
+
+  for (int i = 0; i < 100; ++i) {
+    const Channel c = "c" + std::to_string(i);
+    const core::PlanEntry a = plan.resolve(c, ring);
+    const core::PlanEntry b = plan.resolve(c, ring);
+    EXPECT_EQ(a, b);
+    ASSERT_FALSE(a.servers.empty());
+    if (plan.find(c) == nullptr) {
+      EXPECT_EQ(a.version, 0u);
+      EXPECT_EQ(a.mode, core::ReplicationMode::kNone);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanResolveProperty, testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---- Balancer safety property: under random sustained workloads the
+// balancer keeps the busiest server below the Redis failure point (1.15)
+// or has exhausted the fleet. ----
+
+class BalancerSafety : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BalancerSafety, BusiestServerStaysBelowFailureOrFleetExhausted) {
+  harness::ClusterConfig config;
+  config.seed = GetParam();
+  config.initial_servers = 1;
+  config.fixed_latency = true;
+  config.fixed_latency_value = millis(10);
+  config.server_capacity = 150e3;
+  config.cloud.spawn_delay = seconds(2);
+  harness::Cluster cluster(config);
+  core::DynamothLoadBalancer::Config lb_config;
+  lb_config.t_wait = seconds(5);
+  lb_config.max_servers = 5;
+  auto& lb = cluster.use_dynamoth(lb_config);
+
+  Rng rng = cluster.fork_rng("workload");
+  std::vector<std::unique_ptr<sim::PeriodicTask>> feeds;
+  const int channels = static_cast<int>(rng.uniform_int(4, 10));
+  for (int i = 0; i < channels; ++i) {
+    const Channel c = "w" + std::to_string(i);
+    const int subs = static_cast<int>(rng.uniform_int(2, 6));
+    for (int s = 0; s < subs; ++s) {
+      cluster.add_client().subscribe(c, [](const ps::EnvelopePtr&) {});
+    }
+    auto* p = &cluster.add_client();
+    const auto period = static_cast<SimTime>(rng.uniform_int(40, 120)) * kMillisecond;
+    feeds.push_back(
+        std::make_unique<sim::PeriodicTask>(cluster.sim(), period, [p, c] { p->publish(c, 350); }));
+    feeds.back()->start();
+  }
+
+  cluster.sim().run_for(seconds(90));
+  const auto [_, max_lr] = lb.max_load_ratio();
+  const bool fleet_exhausted = cluster.active_servers() >= lb_config.max_servers;
+  EXPECT_TRUE(max_lr < 1.15 || fleet_exhausted)
+      << "max LR " << max_lr << " with " << cluster.active_servers() << " servers";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BalancerSafety,
+                         testing::Values(201u, 202u, 203u, 204u, 205u, 206u));
+
+}  // namespace
+}  // namespace dynamoth

@@ -1,0 +1,164 @@
+// Tests for the client-side connection stub: command transport timing,
+// delivery path, close semantics and lifetime safety.
+#include "pubsub/remote_connection.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "pubsub/server.h"
+
+namespace dynamoth::ps {
+namespace {
+
+EnvelopePtr make_data(const Channel& channel, std::uint64_t seq, SimTime now = 0) {
+  auto env = std::make_shared<Envelope>();
+  env->id = MessageId{99, seq};
+  env->kind = MsgKind::kData;
+  env->channel = channel;
+  env->payload_bytes = 50;
+  env->publish_time = now;
+  env->publisher = 99;
+  return env;
+}
+
+struct Fixture {
+  Fixture()
+      : network(sim, std::make_unique<net::FixedLatencyModel>(millis(10), millis(1)), Rng(1)),
+        server_node(network.add_node({net::NodeKind::kInfrastructure, 1e7})),
+        server(sim, network, server_node, {}) {}
+
+  NodeId add_client_node() { return network.add_node({net::NodeKind::kClient, 1e7}); }
+
+  sim::Simulator sim;
+  net::Network network;
+  NodeId server_node;
+  PubSubServer server;
+};
+
+TEST(RemoteConnection, CommandsTravelOverTheNetwork) {
+  Fixture f;
+  const NodeId cn = f.add_client_node();
+  RemoteConnection conn(f.sim, f.network, cn, f.server, nullptr, nullptr);
+  conn.subscribe("c");
+  // Not yet processed: the SUBSCRIBE is in flight for ~10ms.
+  EXPECT_EQ(f.server.subscriber_count("c"), 0u);
+  f.sim.run_until(millis(15));
+  EXPECT_EQ(f.server.subscriber_count("c"), 1u);
+}
+
+TEST(RemoteConnection, RoundTripDeliveryTiming) {
+  Fixture f;
+  const NodeId cn = f.add_client_node();
+  SimTime got_at = -1;
+  RemoteConnection sub(f.sim, f.network, cn, f.server,
+                       [&](const EnvelopePtr&) { got_at = f.sim.now(); }, nullptr);
+  RemoteConnection pub(f.sim, f.network, cn, f.server, nullptr, nullptr);
+  sub.subscribe("c");
+  f.sim.run_until(millis(20));
+  pub.publish(make_data("c", 1, f.sim.now()));
+  f.sim.run();
+  // ~10ms up + processing + ~10ms down.
+  EXPECT_GE(got_at, millis(40));
+  EXPECT_LT(got_at, millis(60));
+}
+
+TEST(RemoteConnection, CloseStopsFurtherCommands) {
+  Fixture f;
+  const NodeId cn = f.add_client_node();
+  RemoteConnection conn(f.sim, f.network, cn, f.server, nullptr, nullptr);
+  conn.close();
+  EXPECT_FALSE(conn.open());
+  conn.subscribe("c");
+  f.sim.run();
+  EXPECT_EQ(f.server.subscriber_count("c"), 0u);
+}
+
+TEST(RemoteConnection, ServerSideCloseNotifiesClient) {
+  PubSubServer::Config config;
+  config.conn_drain_bytes_per_sec = 100;
+  config.conn_output_buffer_limit = 500;
+  Fixture f;
+  // Build a slow-drain server.
+  PubSubServer slow(f.sim, f.network, f.server_node, config);
+  const NodeId cn = f.add_client_node();
+  bool closed = false;
+  RemoteConnection sub(f.sim, f.network, cn, slow,
+                       nullptr, [&](CloseReason r) {
+                         closed = true;
+                         EXPECT_EQ(r, CloseReason::kOutputBufferOverflow);
+                       });
+  RemoteConnection pub(f.sim, f.network, cn, slow, nullptr, nullptr);
+  sub.subscribe("c");
+  f.sim.run_until(millis(20));
+  for (std::uint64_t i = 0; i < 50; ++i) pub.publish(make_data("c", i, f.sim.now()));
+  f.sim.run();
+  EXPECT_TRUE(closed);
+  EXPECT_FALSE(sub.open());
+}
+
+TEST(RemoteConnection, DestructionDropsInFlightDeliveries) {
+  Fixture f;
+  const NodeId cn = f.add_client_node();
+  int got = 0;
+  auto sub = std::make_unique<RemoteConnection>(
+      f.sim, f.network, cn, f.server, [&](const EnvelopePtr&) { ++got; }, nullptr);
+  RemoteConnection pub(f.sim, f.network, cn, f.server, nullptr, nullptr);
+  sub->subscribe("c");
+  f.sim.run_until(millis(20));
+  pub.publish(make_data("c", 1, f.sim.now()));
+  // Destroy the stub while the publication is in flight.
+  f.sim.run_until(millis(25));
+  sub.reset();
+  f.sim.run();
+  EXPECT_EQ(got, 0);  // no use-after-free, no delivery
+}
+
+TEST(RemoteConnection, PublishToStoppedServerIsDropped) {
+  Fixture f;
+  const NodeId cn = f.add_client_node();
+  RemoteConnection pub(f.sim, f.network, cn, f.server, nullptr, nullptr);
+  f.server.shutdown();
+  pub.publish(make_data("c", 1, 0));
+  f.sim.run();  // no crash, nothing delivered
+  SUCCEED();
+}
+
+TEST(RemoteConnection, MultipleSubscriptionsOneConnection) {
+  Fixture f;
+  const NodeId cn = f.add_client_node();
+  std::vector<Channel> got;
+  RemoteConnection sub(f.sim, f.network, cn, f.server,
+                       [&](const EnvelopePtr& e) { got.push_back(e->channel); }, nullptr);
+  RemoteConnection pub(f.sim, f.network, cn, f.server, nullptr, nullptr);
+  sub.subscribe("a");
+  sub.subscribe("b");
+  f.sim.run_until(millis(20));
+  pub.publish(make_data("a", 1, f.sim.now()));
+  pub.publish(make_data("b", 2, f.sim.now()));
+  f.sim.run();
+  EXPECT_EQ(got.size(), 2u);
+}
+
+TEST(RemoteConnection, PsubscribeThroughStub) {
+  Fixture f;
+  const NodeId cn = f.add_client_node();
+  int got = 0;
+  RemoteConnection sub(f.sim, f.network, cn, f.server,
+                       [&](const EnvelopePtr&) { ++got; }, nullptr);
+  RemoteConnection pub(f.sim, f.network, cn, f.server, nullptr, nullptr);
+  sub.psubscribe("t:*");
+  f.sim.run_until(millis(20));
+  pub.publish(make_data("t:x", 1, f.sim.now()));
+  f.sim.run();
+  EXPECT_EQ(got, 1);
+  sub.punsubscribe("t:*");
+  f.sim.run_until(f.sim.now() + millis(20));
+  pub.publish(make_data("t:y", 2, f.sim.now()));
+  f.sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+}  // namespace
+}  // namespace dynamoth::ps

@@ -1,0 +1,424 @@
+// Unit tests for the Redis-like pub/sub substrate: subscription tables,
+// fan-out, CPU queueing, pattern subscriptions, output-buffer overflow and
+// observer hooks.
+#include "pubsub/server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "pubsub/remote_connection.h"
+
+namespace dynamoth::ps {
+namespace {
+
+EnvelopePtr make_data(const Channel& channel, ClientId publisher, std::uint64_t seq,
+                      std::size_t payload = 100, SimTime now = 0) {
+  auto env = std::make_shared<Envelope>();
+  env->id = MessageId{publisher, seq};
+  env->kind = MsgKind::kData;
+  env->channel = channel;
+  env->payload_bytes = payload;
+  env->publish_time = now;
+  env->publisher = publisher;
+  return env;
+}
+
+struct ServerFixture {
+  explicit ServerFixture(PubSubServer::Config config = {})
+      : network(sim, std::make_unique<net::FixedLatencyModel>(millis(10), millis(1)), Rng(1)),
+        server_node(network.add_node({net::NodeKind::kInfrastructure, 1e6})),
+        server(sim, network, server_node, config) {}
+
+  NodeId add_client_node() { return network.add_node({net::NodeKind::kClient, 1e6}); }
+
+  sim::Simulator sim;
+  net::Network network;
+  NodeId server_node;
+  PubSubServer server;
+};
+
+TEST(PubSubServer, SubscribePublishDeliver) {
+  ServerFixture f;
+  const NodeId cn = f.add_client_node();
+  std::vector<EnvelopePtr> got;
+  const ConnId sub = f.server.open_connection(cn, [&](const EnvelopePtr& e) { got.push_back(e); },
+                                              nullptr);
+  const ConnId pub = f.server.open_connection(cn, nullptr, nullptr);
+  f.server.handle_subscribe(sub, "c");
+  f.server.handle_publish(pub, make_data("c", 1, 1));
+  f.sim.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0]->channel, "c");
+}
+
+TEST(PubSubServer, NoDeliveryWithoutSubscription) {
+  ServerFixture f;
+  const NodeId cn = f.add_client_node();
+  int got = 0;
+  const ConnId sub = f.server.open_connection(cn, [&](const EnvelopePtr&) { ++got; }, nullptr);
+  const ConnId pub = f.server.open_connection(cn, nullptr, nullptr);
+  f.server.handle_subscribe(sub, "other");
+  f.server.handle_publish(pub, make_data("c", 1, 1));
+  f.sim.run();
+  EXPECT_EQ(got, 0);
+}
+
+TEST(PubSubServer, SubscribeIsIdempotent) {
+  ServerFixture f;
+  const NodeId cn = f.add_client_node();
+  int got = 0;
+  const ConnId sub = f.server.open_connection(cn, [&](const EnvelopePtr&) { ++got; }, nullptr);
+  const ConnId pub = f.server.open_connection(cn, nullptr, nullptr);
+  f.server.handle_subscribe(sub, "c");
+  f.server.handle_subscribe(sub, "c");
+  EXPECT_EQ(f.server.subscriber_count("c"), 1u);
+  f.server.handle_publish(pub, make_data("c", 1, 1));
+  f.sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(PubSubServer, UnsubscribeStopsDelivery) {
+  ServerFixture f;
+  const NodeId cn = f.add_client_node();
+  int got = 0;
+  const ConnId sub = f.server.open_connection(cn, [&](const EnvelopePtr&) { ++got; }, nullptr);
+  const ConnId pub = f.server.open_connection(cn, nullptr, nullptr);
+  f.server.handle_subscribe(sub, "c");
+  f.server.handle_unsubscribe(sub, "c");
+  EXPECT_EQ(f.server.subscriber_count("c"), 0u);
+  f.server.handle_publish(pub, make_data("c", 1, 1));
+  f.sim.run();
+  EXPECT_EQ(got, 0);
+}
+
+TEST(PubSubServer, FanOutToManySubscribers) {
+  ServerFixture f;
+  int got = 0;
+  for (int i = 0; i < 100; ++i) {
+    const ConnId c = f.server.open_connection(f.add_client_node(),
+                                              [&](const EnvelopePtr&) { ++got; }, nullptr);
+    f.server.handle_subscribe(c, "c");
+  }
+  const ConnId pub = f.server.open_connection(f.add_client_node(), nullptr, nullptr);
+  f.server.handle_publish(pub, make_data("c", 1, 1));
+  f.sim.run();
+  EXPECT_EQ(got, 100);
+}
+
+TEST(PubSubServer, CpuCostScalesWithFanout) {
+  PubSubServer::Config config;
+  config.cpu_publish_cost_us = 0;
+  config.cpu_delivery_cost_us = 100;  // 100us per subscriber
+  config.cpu_command_cost_us = 0;     // isolate the fan-out cost
+  ServerFixture f(config);
+  for (int i = 0; i < 50; ++i) {
+    const ConnId c = f.server.open_connection(f.add_client_node(), nullptr, nullptr);
+    f.server.handle_subscribe(c, "c");
+  }
+  const ConnId pub = f.server.open_connection(f.add_client_node(), nullptr, nullptr);
+  f.server.handle_publish(pub, make_data("c", 1, 1));
+  // 50 deliveries x 100us = 5ms of CPU backlog.
+  EXPECT_EQ(f.server.cpu_backlog(), millis(5));
+  f.sim.run();
+  EXPECT_EQ(f.server.cpu_backlog(), 0);
+}
+
+TEST(PubSubServer, CpuSaturationDelaysDelivery) {
+  PubSubServer::Config config;
+  config.cpu_publish_cost_us = 1000;  // 1ms per publish: max 1000/s
+  config.cpu_delivery_cost_us = 0;
+  ServerFixture f(config);
+  const NodeId cn = f.add_client_node();
+  std::vector<SimTime> at;
+  const ConnId sub = f.server.open_connection(cn, [&](const EnvelopePtr&) {
+    at.push_back(f.sim.now());
+  }, nullptr);
+  f.server.handle_subscribe(sub, "c");
+  const ConnId pub = f.server.open_connection(cn, nullptr, nullptr);
+  for (std::uint64_t i = 0; i < 100; ++i) f.server.handle_publish(pub, make_data("c", 1, i));
+  f.sim.run();
+  ASSERT_EQ(at.size(), 100u);
+  // The 100th message waited ~100ms of CPU queue.
+  EXPECT_GE(at.back() - at.front(), millis(99));
+}
+
+TEST(PubSubServer, OutputBufferOverflowDisconnectsSlowSubscriber) {
+  PubSubServer::Config config;
+  config.conn_drain_bytes_per_sec = 1000;       // very slow consumer
+  config.conn_output_buffer_limit = 5000;       // small buffer
+  config.cpu_publish_cost_us = 0;
+  config.cpu_delivery_cost_us = 0;
+  ServerFixture f(config);
+  const NodeId cn = f.add_client_node();
+  CloseReason reason{};
+  bool closed = false;
+  const ConnId sub = f.server.open_connection(cn, nullptr, [&](CloseReason r) {
+    closed = true;
+    reason = r;
+  });
+  f.server.handle_subscribe(sub, "c");
+  const ConnId pub = f.server.open_connection(cn, nullptr, nullptr);
+  // Each message is ~164 B wire; ~30 of them overflow a 5000 B buffer
+  // against a 1 kB/s drain.
+  for (std::uint64_t i = 0; i < 100; ++i) f.server.handle_publish(pub, make_data("c", 1, i));
+  f.sim.run();
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(reason, CloseReason::kOutputBufferOverflow);
+  EXPECT_FALSE(f.server.connection_alive(sub));
+  EXPECT_EQ(f.server.subscriber_count("c"), 0u);
+}
+
+TEST(PubSubServer, FastConsumerIsNotDisconnected) {
+  PubSubServer::Config config;
+  config.conn_drain_bytes_per_sec = 1e6;
+  config.conn_output_buffer_limit = 64 * 1024;
+  ServerFixture f(config);
+  const NodeId cn = f.add_client_node();
+  int got = 0;
+  const ConnId sub = f.server.open_connection(cn, [&](const EnvelopePtr&) { ++got; }, nullptr);
+  f.server.handle_subscribe(sub, "c");
+  const ConnId pub = f.server.open_connection(cn, nullptr, nullptr);
+  for (std::uint64_t i = 0; i < 100; ++i) f.server.handle_publish(pub, make_data("c", 1, i));
+  f.sim.run();
+  EXPECT_EQ(got, 100);
+  EXPECT_TRUE(f.server.connection_alive(sub));
+}
+
+TEST(PubSubServer, PatternSubscriptionMatches) {
+  ServerFixture f;
+  const NodeId cn = f.add_client_node();
+  std::vector<Channel> got;
+  const ConnId sub = f.server.open_connection(cn, [&](const EnvelopePtr& e) {
+    got.push_back(e->channel);
+  }, nullptr);
+  f.server.handle_psubscribe(sub, "tile:*");
+  const ConnId pub = f.server.open_connection(cn, nullptr, nullptr);
+  f.server.handle_publish(pub, make_data("tile:1:2", 1, 1));
+  f.server.handle_publish(pub, make_data("room:5", 1, 2));
+  f.server.handle_publish(pub, make_data("tile:9:9", 1, 3));
+  f.sim.run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "tile:1:2");
+  EXPECT_EQ(got[1], "tile:9:9");
+}
+
+TEST(PubSubServer, ChannelAndPatternOverlapDeliversOnce) {
+  ServerFixture f;
+  const NodeId cn = f.add_client_node();
+  int got = 0;
+  const ConnId sub = f.server.open_connection(cn, [&](const EnvelopePtr&) { ++got; }, nullptr);
+  f.server.handle_subscribe(sub, "tile:1");
+  f.server.handle_psubscribe(sub, "tile:*");
+  const ConnId pub = f.server.open_connection(cn, nullptr, nullptr);
+  f.server.handle_publish(pub, make_data("tile:1", 1, 1));
+  f.sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(PubSubServer, PunsubscribeStopsPatternDelivery) {
+  ServerFixture f;
+  const NodeId cn = f.add_client_node();
+  int got = 0;
+  const ConnId sub = f.server.open_connection(cn, [&](const EnvelopePtr&) { ++got; }, nullptr);
+  f.server.handle_psubscribe(sub, "a*");
+  f.server.handle_punsubscribe(sub, "a*");
+  const ConnId pub = f.server.open_connection(cn, nullptr, nullptr);
+  f.server.handle_publish(pub, make_data("abc", 1, 1));
+  f.sim.run();
+  EXPECT_EQ(got, 0);
+}
+
+TEST(PubSubServer, GlobMatching) {
+  EXPECT_TRUE(PubSubServer::glob_match("*", "anything"));
+  EXPECT_TRUE(PubSubServer::glob_match("tile:*", "tile:1:2"));
+  EXPECT_FALSE(PubSubServer::glob_match("tile:*", "room:1"));
+  EXPECT_TRUE(PubSubServer::glob_match("a*c", "abc"));
+  EXPECT_TRUE(PubSubServer::glob_match("a*c", "ac"));
+  EXPECT_FALSE(PubSubServer::glob_match("a*c", "ab"));
+  EXPECT_TRUE(PubSubServer::glob_match("*:end", "x:y:end"));
+  EXPECT_TRUE(PubSubServer::glob_match("a**b", "a123b"));
+  EXPECT_FALSE(PubSubServer::glob_match("", "x"));
+  EXPECT_TRUE(PubSubServer::glob_match("", ""));
+}
+
+struct RecordingObserver : LocalObserver {
+  void on_publish(const EnvelopePtr& env, std::size_t subs) override {
+    publishes.emplace_back(env->channel, subs);
+  }
+  void on_subscribe(ConnId, const Channel& channel, NodeId) override {
+    subscribes.push_back(channel);
+  }
+  void on_unsubscribe(ConnId, const Channel& channel, NodeId) override {
+    unsubscribes.push_back(channel);
+  }
+  void on_disconnect(ConnId, const std::vector<Channel>& channels, CloseReason) override {
+    disconnect_channels = channels;
+    ++disconnects;
+  }
+  std::vector<std::pair<Channel, std::size_t>> publishes;
+  std::vector<Channel> subscribes;
+  std::vector<Channel> unsubscribes;
+  std::vector<Channel> disconnect_channels;
+  int disconnects = 0;
+};
+
+TEST(PubSubServer, ObserverSeesAllEvents) {
+  ServerFixture f;
+  RecordingObserver obs;
+  f.server.add_observer(&obs);
+  const NodeId cn = f.add_client_node();
+  const ConnId sub = f.server.open_connection(cn, nullptr, nullptr);
+  const ConnId pub = f.server.open_connection(cn, nullptr, nullptr);
+  f.server.handle_subscribe(sub, "a");
+  f.server.handle_subscribe(sub, "b");
+  f.server.handle_publish(pub, make_data("a", 1, 1));
+  f.server.handle_unsubscribe(sub, "b");
+  f.sim.run();
+  f.server.close_connection(sub);
+  ASSERT_EQ(obs.publishes.size(), 1u);
+  EXPECT_EQ(obs.publishes[0], std::make_pair(Channel("a"), std::size_t{1}));
+  EXPECT_EQ(obs.subscribes, (std::vector<Channel>{"a", "b"}));
+  EXPECT_EQ(obs.unsubscribes, (std::vector<Channel>{"b"}));
+  EXPECT_EQ(obs.disconnects, 1);
+  EXPECT_EQ(obs.disconnect_channels, (std::vector<Channel>{"a"}));
+}
+
+TEST(PubSubServer, RemoveObserverStopsCallbacks) {
+  ServerFixture f;
+  RecordingObserver obs;
+  f.server.add_observer(&obs);
+  f.server.remove_observer(&obs);
+  const ConnId pub = f.server.open_connection(f.add_client_node(), nullptr, nullptr);
+  f.server.handle_publish(pub, make_data("a", 1, 1));
+  f.sim.run();
+  EXPECT_TRUE(obs.publishes.empty());
+}
+
+TEST(PubSubServer, ShutdownClosesAllConnections) {
+  ServerFixture f;
+  int closed = 0;
+  for (int i = 0; i < 5; ++i) {
+    f.server.open_connection(f.add_client_node(), nullptr, [&](CloseReason r) {
+      EXPECT_EQ(r, CloseReason::kServerShutdown);
+      ++closed;
+    });
+  }
+  f.server.shutdown();
+  f.sim.run();
+  EXPECT_EQ(closed, 5);
+  EXPECT_EQ(f.server.connection_count(), 0u);
+  EXPECT_FALSE(f.server.running());
+}
+
+TEST(PubSubServer, LocalConnectionSkipsDrainModel) {
+  PubSubServer::Config config;
+  config.conn_drain_bytes_per_sec = 1.0;  // would take ages if applied
+  config.conn_output_buffer_limit = 10;
+  ServerFixture f(config);
+  int got = 0;
+  // Connection from the server's own node = colocated component.
+  const ConnId sub = f.server.open_connection(f.server_node,
+                                              [&](const EnvelopePtr&) { ++got; }, nullptr);
+  f.server.handle_subscribe(sub, "c");
+  const ConnId pub = f.server.open_connection(f.add_client_node(), nullptr, nullptr);
+  f.server.handle_publish(pub, make_data("c", 1, 1));
+  f.sim.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_TRUE(f.server.connection_alive(sub));
+}
+
+
+TEST(PubSubServer, BoundedEgressDropsSlowConnectionsNotTheQueue) {
+  // When the NIC queue exceeds max_egress_backlog, further deliveries close
+  // their connections instead of buffering without limit, so the shared
+  // queue stays short and control traffic keeps flowing.
+  PubSubServer::Config config;
+  config.cpu_publish_cost_us = 0;
+  config.cpu_delivery_cost_us = 0;
+  config.conn_drain_bytes_per_sec = 100e6;     // drain never binds
+  config.conn_output_buffer_limit = 1 << 30;   // per-conn limit never binds
+  config.max_egress_backlog = millis(100);
+
+  sim::Simulator sim;
+  net::Network network(sim, std::make_unique<net::FixedLatencyModel>(millis(5)), Rng(1));
+  // Slow NIC: 10 kB/s, so ~1 kB of queued data = 100 ms backlog.
+  const NodeId node = network.add_node({net::NodeKind::kInfrastructure, 10'000});
+  PubSubServer server(sim, network, node, config);
+
+  const NodeId client = network.add_node({net::NodeKind::kClient, 1e6});
+  int closed = 0;
+  const ConnId sub = server.open_connection(client, nullptr, [&](CloseReason r) {
+    ++closed;
+    EXPECT_EQ(r, CloseReason::kOutputBufferOverflow);
+  });
+  server.handle_subscribe(sub, "c");
+  const ConnId pub = server.open_connection(client, nullptr, nullptr);
+  // Each message ~165 B wire; ~7 fill 100 ms of a 10 kB/s NIC.
+  for (std::uint64_t i = 0; i < 50; ++i) server.handle_publish(pub, make_data("c", 1, i));
+  // The queue never grew far past the bound.
+  EXPECT_LT(network.egress_backlog(node), millis(300));
+  sim.run();
+  EXPECT_EQ(closed, 1);
+  EXPECT_FALSE(server.connection_alive(sub));
+}
+
+TEST(PubSubServer, BoundedEgressSparesLocalConnections) {
+  PubSubServer::Config config;
+  config.max_egress_backlog = millis(1);
+  sim::Simulator sim;
+  net::Network network(sim, std::make_unique<net::FixedLatencyModel>(millis(5)), Rng(1));
+  const NodeId node = network.add_node({net::NodeKind::kInfrastructure, 1000});
+  PubSubServer server(sim, network, node, config);
+  int got = 0;
+  // Local (colocated) connection: loopback, never dropped by the NIC bound.
+  const ConnId sub = server.open_connection(node, [&](const EnvelopePtr&) { ++got; }, nullptr);
+  server.handle_subscribe(sub, "c");
+  const ConnId pub = server.open_connection(network.add_node({net::NodeKind::kClient, 1e6}),
+                                            nullptr, nullptr);
+  for (std::uint64_t i = 0; i < 20; ++i) server.handle_publish(pub, make_data("c", 1, i));
+  sim.run();
+  EXPECT_EQ(got, 20);
+  EXPECT_TRUE(server.connection_alive(sub));
+}
+
+TEST(PubSubServer, InfrastructureConnectionsDrainAtLanRate) {
+  PubSubServer::Config config;
+  config.conn_drain_bytes_per_sec = 1000;    // WAN clients: ~6 msg/s
+  config.infra_drain_bytes_per_sec = 1e6;    // infra: plenty
+  config.conn_output_buffer_limit = 10'000;
+  config.cpu_publish_cost_us = 0;
+  config.cpu_delivery_cost_us = 0;
+  sim::Simulator sim;
+  net::Network network(sim, std::make_unique<net::FixedLatencyModel>(millis(5), millis(1)),
+                       Rng(1));
+  const NodeId node = network.add_node({net::NodeKind::kInfrastructure, 1e7});
+  PubSubServer server(sim, network, node, config);
+
+  const NodeId wan_client = network.add_node({net::NodeKind::kClient, 1e6});
+  const NodeId infra_client = network.add_node({net::NodeKind::kInfrastructure, 1e7});
+  int wan_got = 0, infra_got = 0;
+  bool wan_closed = false;
+  const ConnId wan_sub = server.open_connection(
+      wan_client, [&](const EnvelopePtr&) { ++wan_got; }, [&](CloseReason) { wan_closed = true; });
+  const ConnId infra_sub = server.open_connection(
+      infra_client, [&](const EnvelopePtr&) { ++infra_got; }, nullptr);
+  server.handle_subscribe(wan_sub, "c");
+  server.handle_subscribe(infra_sub, "c");
+  const ConnId pub = server.open_connection(wan_client, nullptr, nullptr);
+  // Sustained 20 msg/s: far beyond the WAN drain (~6 msg/s), while the LAN
+  // consumer drains each message instantly.
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    sim.schedule_at(static_cast<SimTime>(i) * millis(50),
+                    [&server, pub, i] { server.handle_publish(pub, make_data("c", 1, i)); });
+  }
+  sim.run();
+  // The sustained stream kills the slow WAN subscriber, not the LAN consumer.
+  EXPECT_TRUE(wan_closed);
+  EXPECT_EQ(infra_got, 200);
+  EXPECT_TRUE(server.connection_alive(infra_sub));
+}
+
+}  // namespace
+}  // namespace dynamoth::ps

@@ -1,0 +1,80 @@
+#include "reliability/history_store.h"
+
+#include <gtest/gtest.h>
+
+namespace dynamoth::rel {
+namespace {
+
+ps::EnvelopePtr make_msg(const Channel& channel, ClientId publisher, std::uint64_t seq) {
+  auto env = std::make_shared<ps::Envelope>();
+  env->id = MessageId{publisher, seq};
+  env->kind = ps::MsgKind::kData;
+  env->channel = channel;
+  env->publisher = publisher;
+  env->channel_seq = seq;
+  env->payload_bytes = 32;
+  return env;
+}
+
+TEST(HistoryStore, RecordsAndLooksUpBySequenceRange) {
+  HistoryStore store(100);
+  for (std::uint64_t s = 1; s <= 10; ++s) store.record(make_msg("c", 7, s));
+  const auto found = store.lookup("c", 7, 4, 6);
+  ASSERT_EQ(found.size(), 3u);
+  EXPECT_EQ(found[0]->channel_seq, 4u);
+  EXPECT_EQ(found[2]->channel_seq, 6u);
+}
+
+TEST(HistoryStore, FiltersByPublisher) {
+  HistoryStore store(100);
+  store.record(make_msg("c", 1, 5));
+  store.record(make_msg("c", 2, 5));
+  EXPECT_EQ(store.lookup("c", 1, 1, 10).size(), 1u);
+  EXPECT_EQ(store.lookup("c", 3, 1, 10).size(), 0u);
+}
+
+TEST(HistoryStore, UnknownChannelIsEmpty) {
+  HistoryStore store(10);
+  EXPECT_TRUE(store.lookup("nothing", 1, 1, 5).empty());
+  EXPECT_EQ(store.stored("nothing"), 0u);
+}
+
+TEST(HistoryStore, EvictsOldestBeyondCapacity) {
+  HistoryStore store(5);
+  for (std::uint64_t s = 1; s <= 8; ++s) store.record(make_msg("c", 1, s));
+  EXPECT_EQ(store.stored("c"), 5u);
+  EXPECT_EQ(store.evicted(), 3u);
+  EXPECT_TRUE(store.lookup("c", 1, 1, 3).empty());      // evicted
+  EXPECT_EQ(store.lookup("c", 1, 4, 8).size(), 5u);     // retained
+}
+
+TEST(HistoryStore, UnsequencedMessagesIgnored) {
+  HistoryStore store(10);
+  auto env = make_msg("c", 1, 0);  // channel_seq == 0
+  store.record(env);
+  EXPECT_EQ(store.stored("c"), 0u);
+}
+
+TEST(HistoryStore, ForgetDropsChannel) {
+  HistoryStore store(10);
+  store.record(make_msg("a", 1, 1));
+  store.record(make_msg("b", 1, 1));
+  store.forget("a");
+  EXPECT_EQ(store.stored("a"), 0u);
+  EXPECT_EQ(store.stored("b"), 1u);
+  EXPECT_EQ(store.channels(), 1u);
+}
+
+TEST(HistoryStore, CapacityIsPerChannel) {
+  HistoryStore store(3);
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    store.record(make_msg("a", 1, s));
+    store.record(make_msg("b", 1, s));
+  }
+  EXPECT_EQ(store.stored("a"), 3u);
+  EXPECT_EQ(store.stored("b"), 3u);
+  EXPECT_EQ(store.evicted(), 0u);
+}
+
+}  // namespace
+}  // namespace dynamoth::rel
