@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4a_all_publishers"
+  "../bench/fig4a_all_publishers.pdb"
+  "CMakeFiles/fig4a_all_publishers.dir/fig4a_all_publishers.cc.o"
+  "CMakeFiles/fig4a_all_publishers.dir/fig4a_all_publishers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_all_publishers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4b_all_subscribers"
+  "../bench/fig4b_all_subscribers.pdb"
+  "CMakeFiles/fig4b_all_subscribers.dir/fig4b_all_subscribers.cc.o"
+  "CMakeFiles/fig4b_all_subscribers.dir/fig4b_all_subscribers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_all_subscribers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_load_ratio"
+  "../bench/fig6_load_ratio.pdb"
+  "CMakeFiles/fig6_load_ratio.dir/fig6_load_ratio.cc.o"
+  "CMakeFiles/fig6_load_ratio.dir/fig6_load_ratio.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_load_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

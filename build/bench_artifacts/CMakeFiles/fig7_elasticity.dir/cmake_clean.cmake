@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_elasticity"
+  "../bench/fig7_elasticity.pdb"
+  "CMakeFiles/fig7_elasticity.dir/fig7_elasticity.cc.o"
+  "CMakeFiles/fig7_elasticity.dir/fig7_elasticity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daily_cycle.dir/daily_cycle.cpp.o"
+  "CMakeFiles/daily_cycle.dir/daily_cycle.cpp.o.d"
+  "daily_cycle"
+  "daily_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daily_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_chat.dir/reliable_chat.cpp.o"
+  "CMakeFiles/reliable_chat.dir/reliable_chat.cpp.o.d"
+  "reliable_chat"
+  "reliable_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyn_baseline.dir/consistent_hash_balancer.cc.o"
+  "CMakeFiles/dyn_baseline.dir/consistent_hash_balancer.cc.o.d"
+  "libdyn_baseline.a"
+  "libdyn_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyn_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

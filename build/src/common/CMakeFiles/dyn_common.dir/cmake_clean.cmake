@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyn_common.dir/rng.cc.o"
+  "CMakeFiles/dyn_common.dir/rng.cc.o.d"
+  "libdyn_common.a"
+  "libdyn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/balancer_base.cc" "src/core/CMakeFiles/dyn_core.dir/balancer_base.cc.o" "gcc" "src/core/CMakeFiles/dyn_core.dir/balancer_base.cc.o.d"
+  "/root/repo/src/core/client.cc" "src/core/CMakeFiles/dyn_core.dir/client.cc.o" "gcc" "src/core/CMakeFiles/dyn_core.dir/client.cc.o.d"
+  "/root/repo/src/core/cloud.cc" "src/core/CMakeFiles/dyn_core.dir/cloud.cc.o" "gcc" "src/core/CMakeFiles/dyn_core.dir/cloud.cc.o.d"
+  "/root/repo/src/core/consistent_hash.cc" "src/core/CMakeFiles/dyn_core.dir/consistent_hash.cc.o" "gcc" "src/core/CMakeFiles/dyn_core.dir/consistent_hash.cc.o.d"
+  "/root/repo/src/core/dispatcher.cc" "src/core/CMakeFiles/dyn_core.dir/dispatcher.cc.o" "gcc" "src/core/CMakeFiles/dyn_core.dir/dispatcher.cc.o.d"
+  "/root/repo/src/core/lla.cc" "src/core/CMakeFiles/dyn_core.dir/lla.cc.o" "gcc" "src/core/CMakeFiles/dyn_core.dir/lla.cc.o.d"
+  "/root/repo/src/core/load_balancer.cc" "src/core/CMakeFiles/dyn_core.dir/load_balancer.cc.o" "gcc" "src/core/CMakeFiles/dyn_core.dir/load_balancer.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/core/CMakeFiles/dyn_core.dir/plan.cc.o" "gcc" "src/core/CMakeFiles/dyn_core.dir/plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dyn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dyn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dyn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/dyn_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dyn_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/latency/CMakeFiles/dyn_latency.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyn_core.dir/balancer_base.cc.o"
+  "CMakeFiles/dyn_core.dir/balancer_base.cc.o.d"
+  "CMakeFiles/dyn_core.dir/client.cc.o"
+  "CMakeFiles/dyn_core.dir/client.cc.o.d"
+  "CMakeFiles/dyn_core.dir/cloud.cc.o"
+  "CMakeFiles/dyn_core.dir/cloud.cc.o.d"
+  "CMakeFiles/dyn_core.dir/consistent_hash.cc.o"
+  "CMakeFiles/dyn_core.dir/consistent_hash.cc.o.d"
+  "CMakeFiles/dyn_core.dir/dispatcher.cc.o"
+  "CMakeFiles/dyn_core.dir/dispatcher.cc.o.d"
+  "CMakeFiles/dyn_core.dir/lla.cc.o"
+  "CMakeFiles/dyn_core.dir/lla.cc.o.d"
+  "CMakeFiles/dyn_core.dir/load_balancer.cc.o"
+  "CMakeFiles/dyn_core.dir/load_balancer.cc.o.d"
+  "CMakeFiles/dyn_core.dir/plan.cc.o"
+  "CMakeFiles/dyn_core.dir/plan.cc.o.d"
+  "libdyn_core.a"
+  "libdyn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

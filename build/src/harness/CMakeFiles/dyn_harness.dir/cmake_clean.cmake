@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyn_harness.dir/cluster.cc.o"
+  "CMakeFiles/dyn_harness.dir/cluster.cc.o.d"
+  "libdyn_harness.a"
+  "libdyn_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyn_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyn_latency.dir/latency_model.cc.o"
+  "CMakeFiles/dyn_latency.dir/latency_model.cc.o.d"
+  "libdyn_latency.a"
+  "libdyn_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyn_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

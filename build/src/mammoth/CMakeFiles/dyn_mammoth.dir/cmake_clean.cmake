@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyn_mammoth.dir/experiments.cc.o"
+  "CMakeFiles/dyn_mammoth.dir/experiments.cc.o.d"
+  "CMakeFiles/dyn_mammoth.dir/game.cc.o"
+  "CMakeFiles/dyn_mammoth.dir/game.cc.o.d"
+  "CMakeFiles/dyn_mammoth.dir/player.cc.o"
+  "CMakeFiles/dyn_mammoth.dir/player.cc.o.d"
+  "CMakeFiles/dyn_mammoth.dir/world.cc.o"
+  "CMakeFiles/dyn_mammoth.dir/world.cc.o.d"
+  "libdyn_mammoth.a"
+  "libdyn_mammoth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyn_mammoth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyn_metrics.dir/histogram.cc.o"
+  "CMakeFiles/dyn_metrics.dir/histogram.cc.o.d"
+  "CMakeFiles/dyn_metrics.dir/series.cc.o"
+  "CMakeFiles/dyn_metrics.dir/series.cc.o.d"
+  "libdyn_metrics.a"
+  "libdyn_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyn_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

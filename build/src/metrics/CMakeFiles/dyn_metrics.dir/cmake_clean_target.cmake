@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdyn_metrics.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyn_net.dir/network.cc.o"
+  "CMakeFiles/dyn_net.dir/network.cc.o.d"
+  "libdyn_net.a"
+  "libdyn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pubsub/remote_connection.cc" "src/pubsub/CMakeFiles/dyn_pubsub.dir/remote_connection.cc.o" "gcc" "src/pubsub/CMakeFiles/dyn_pubsub.dir/remote_connection.cc.o.d"
+  "/root/repo/src/pubsub/server.cc" "src/pubsub/CMakeFiles/dyn_pubsub.dir/server.cc.o" "gcc" "src/pubsub/CMakeFiles/dyn_pubsub.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dyn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dyn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dyn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/latency/CMakeFiles/dyn_latency.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyn_pubsub.dir/remote_connection.cc.o"
+  "CMakeFiles/dyn_pubsub.dir/remote_connection.cc.o.d"
+  "CMakeFiles/dyn_pubsub.dir/server.cc.o"
+  "CMakeFiles/dyn_pubsub.dir/server.cc.o.d"
+  "libdyn_pubsub.a"
+  "libdyn_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyn_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

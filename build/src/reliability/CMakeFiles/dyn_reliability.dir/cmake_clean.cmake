@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyn_reliability.dir/history_store.cc.o"
+  "CMakeFiles/dyn_reliability.dir/history_store.cc.o.d"
+  "CMakeFiles/dyn_reliability.dir/reliable_subscriber.cc.o"
+  "CMakeFiles/dyn_reliability.dir/reliable_subscriber.cc.o.d"
+  "CMakeFiles/dyn_reliability.dir/replay_service.cc.o"
+  "CMakeFiles/dyn_reliability.dir/replay_service.cc.o.d"
+  "libdyn_reliability.a"
+  "libdyn_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyn_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

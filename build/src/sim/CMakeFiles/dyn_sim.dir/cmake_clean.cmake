@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyn_sim.dir/simulator.cc.o"
+  "CMakeFiles/dyn_sim.dir/simulator.cc.o.d"
+  "libdyn_sim.a"
+  "libdyn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdyn_sim.a"
+)

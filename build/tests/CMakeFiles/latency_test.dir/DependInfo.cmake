@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/latency/latency_model_test.cc" "tests/CMakeFiles/latency_test.dir/latency/latency_model_test.cc.o" "gcc" "tests/CMakeFiles/latency_test.dir/latency/latency_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mammoth/CMakeFiles/dyn_mammoth.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/dyn_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/dyn_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dyn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dyn_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/dyn_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dyn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/latency/CMakeFiles/dyn_latency.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dyn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dyn_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dyn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

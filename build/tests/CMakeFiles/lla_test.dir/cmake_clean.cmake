@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lla_test.dir/core/lla_test.cc.o"
+  "CMakeFiles/lla_test.dir/core/lla_test.cc.o.d"
+  "lla_test"
+  "lla_test.pdb"
+  "lla_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lla_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

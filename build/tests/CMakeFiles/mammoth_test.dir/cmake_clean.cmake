@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mammoth_test.dir/mammoth/experiments_test.cc.o"
+  "CMakeFiles/mammoth_test.dir/mammoth/experiments_test.cc.o.d"
+  "CMakeFiles/mammoth_test.dir/mammoth/player_test.cc.o"
+  "CMakeFiles/mammoth_test.dir/mammoth/player_test.cc.o.d"
+  "CMakeFiles/mammoth_test.dir/mammoth/world_test.cc.o"
+  "CMakeFiles/mammoth_test.dir/mammoth/world_test.cc.o.d"
+  "mammoth_test"
+  "mammoth_test.pdb"
+  "mammoth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mammoth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
