@@ -7,11 +7,14 @@
 #include <string>
 #include <vector>
 
+#include "common/channel_table.h"
 #include "common/lru_set.h"
 #include "common/rng.h"
 #include "core/consistent_hash.h"
 #include "core/plan.h"
+#include "latency/latency_model.h"
 #include "metrics/histogram.h"
+#include "net/network.h"
 #include "pubsub/server.h"
 #include "sim/simulator.h"
 
@@ -79,6 +82,43 @@ void BM_PlanResolveFallback(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanResolveFallback);
 
+void BM_PlanResolveView(benchmark::State& state) {
+  // The dispatcher's per-publication path: resolve by interned id, no
+  // PlanEntry copy, ring consulted only on fallback misses.
+  core::ConsistentHashRing ring(64);
+  ring.add_server(0);
+  ring.add_server(1);
+  core::Plan plan;
+  const auto channels = make_channels(static_cast<int>(state.range(0)));
+  for (const Channel& c : channels) {
+    core::PlanEntry entry;
+    entry.servers = {0};
+    entry.version = 1;
+    plan.set_entry(c, entry);
+  }
+  std::vector<ChannelId> ids;
+  ids.reserve(channels.size());
+  for (const Channel& c : channels) ids.push_back(intern_channel(c));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t k = i++ % ids.size();
+    benchmark::DoNotOptimize(plan.resolve_view(ids[k], channels[k], ring).primary());
+  }
+}
+BENCHMARK(BM_PlanResolveView)->Arg(64)->Arg(1024);
+
+void BM_ChannelIntern(benchmark::State& state) {
+  // Steady-state interning: every name already known, so this is the cost
+  // Envelope::channel_id() pays on the first lookup of a reused channel.
+  const auto channels = make_channels(1024);
+  for (const Channel& c : channels) intern_channel(c);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(intern_channel(channels[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_ChannelIntern);
+
 void BM_PlanCopy(benchmark::State& state) {
   core::Plan plan;
   for (const Channel& c : make_channels(static_cast<int>(state.range(0)))) {
@@ -137,6 +177,65 @@ void BM_SimulatorThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10'000);
 }
 BENCHMARK(BM_SimulatorThroughput);
+
+void BM_SimulatorCancel(benchmark::State& state) {
+  // Timers armed and cancelled before firing: the PeriodicTask / timeout
+  // pattern, where most scheduled events never execute.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    std::vector<sim::EventId> ids;
+    ids.reserve(10'000);
+    state.ResumeTiming();
+    for (int i = 0; i < 10'000; ++i) ids.push_back(sim.schedule_at(i, [] {}));
+    for (const sim::EventId& id : ids) sim.cancel(id);
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SimulatorCancel);
+
+void BM_PublishFanout(benchmark::State& state) {
+  // One publication fanned out to N subscriber connections through the full
+  // server path: recipient collection, CPU accounting, per-connection drain
+  // modelling and delivery scheduling, then the deliveries themselves.
+  const auto subs = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  net::Network network(sim, std::make_unique<net::FixedLatencyModel>(millis(1), millis(1)),
+                       Rng(7));
+  const NodeId server_node = network.add_node({net::NodeKind::kInfrastructure, 1e12});
+  ps::PubSubServer::Config config;
+  config.conn_drain_bytes_per_sec = 1e12;  // keep connections from overflowing
+  config.infra_drain_bytes_per_sec = 1e12;
+  config.conn_output_buffer_limit = std::size_t{1} << 40;
+  config.max_egress_backlog = seconds(1e6);
+  ps::PubSubServer server(sim, network, server_node, config);
+
+  std::uint64_t got = 0;
+  for (std::size_t i = 0; i < subs; ++i) {
+    const NodeId cn = network.add_node({net::NodeKind::kClient, 1e9});
+    const ps::ConnId c =
+        server.open_connection(cn, [&got](const ps::EnvelopePtr&) { ++got; }, nullptr);
+    server.handle_subscribe(c, "arena");
+  }
+  const ps::ConnId pub =
+      server.open_connection(network.add_node({net::NodeKind::kClient, 1e9}), nullptr, nullptr);
+
+  auto env = std::make_shared<ps::Envelope>();
+  env->id = MessageId{1, 1};
+  env->kind = ps::MsgKind::kData;
+  env->channel = "arena";
+  env->payload_bytes = 200;
+  env->publisher = 1;
+
+  for (auto _ : state) {
+    server.handle_publish(pub, env);
+    sim.run();
+  }
+  benchmark::DoNotOptimize(got);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(subs));
+}
+BENCHMARK(BM_PublishFanout)->Arg(16)->Arg(256);
 
 void BM_SimulatorSelfScheduling(benchmark::State& state) {
   // The common pattern: events that schedule follow-up events.

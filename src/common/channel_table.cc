@@ -1,0 +1,19 @@
+#include "common/channel_table.h"
+
+namespace dynamoth {
+
+ChannelTable& ChannelTable::instance() {
+  static ChannelTable table;
+  return table;
+}
+
+ChannelId ChannelTable::intern_new(std::string_view name) {
+  DYN_CHECK(names_.size() < kInvalidChannelId);
+  const auto id = static_cast<ChannelId>(names_.size());
+  const std::string& stored = names_.emplace_back(name);
+  control_.push_back(stored.rfind("@ctl:", 0) == 0 ? 1 : 0);
+  ids_.emplace(std::string_view(stored), id);
+  return id;
+}
+
+}  // namespace dynamoth

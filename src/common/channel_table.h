@@ -1,0 +1,94 @@
+// Global channel-name interner.
+//
+// Channel names are arbitrary strings on the wire, but the hot paths — server
+// subscription maps, dispatcher routing tables, LLA per-channel accumulators —
+// should not hash and compare strings per publication. ChannelTable assigns
+// every distinct name a dense uint32 ChannelId; id-keyed containers then
+// replace string-keyed ones on those paths.
+//
+// Interning is idempotent (the same name always yields the same id within a
+// process), so repeated in-process experiment runs observe identical ids and
+// simulations stay bit-reproducible. Iteration order over id-keyed containers
+// still differs from name order, so any code whose *output or decisions*
+// depend on traversal order keeps name-ordered containers (see Plan and the
+// LLA report) — ids are a lookup-speed device, not an ordering device.
+//
+// Single-threaded by design, like the simulator that drives all callers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dynamoth {
+
+/// Dense identifier for an interned channel name.
+using ChannelId = std::uint32_t;
+inline constexpr ChannelId kInvalidChannelId = 0xFFFF'FFFF;
+
+class ChannelTable {
+ public:
+  /// The process-wide table. All components intern through this instance so
+  /// ids are comparable across servers, dispatchers and the load balancer.
+  static ChannelTable& instance();
+
+  /// Returns the id for `name`, interning it on first sight. O(1) amortized;
+  /// idempotent.
+  ChannelId intern(std::string_view name) {
+    const auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    return intern_new(name);
+  }
+
+  /// Returns the id for `name` if it was ever interned, kInvalidChannelId
+  /// otherwise. Never allocates.
+  [[nodiscard]] ChannelId find(std::string_view name) const {
+    const auto it = ids_.find(name);
+    return it != ids_.end() ? it->second : kInvalidChannelId;
+  }
+
+  /// The interned name for a valid id. The reference is stable for the
+  /// table's lifetime.
+  [[nodiscard]] const std::string& name(ChannelId id) const {
+    DYN_CHECK(id < names_.size());
+    return names_[id];
+  }
+
+  /// True when the id names a "@ctl:" control channel. The prefix test is
+  /// done once at intern time and cached, so routing and metrics code pays a
+  /// vector load instead of a string compare per message.
+  [[nodiscard]] bool is_control(ChannelId id) const {
+    DYN_CHECK(id < control_.size());
+    return control_[id] != 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+ private:
+  ChannelTable() = default;
+  ChannelId intern_new(std::string_view name);
+
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  // Keys are views into names_; std::deque never relocates elements.
+  std::unordered_map<std::string_view, ChannelId, StringHash, std::equal_to<>> ids_;
+  std::deque<std::string> names_;
+  std::vector<std::uint8_t> control_;
+};
+
+/// Shorthand for ChannelTable::instance().intern(name).
+inline ChannelId intern_channel(std::string_view name) {
+  return ChannelTable::instance().intern(name);
+}
+
+}  // namespace dynamoth

@@ -1,0 +1,139 @@
+// A move-only, small-buffer-optimized std::function replacement for hot
+// callback paths.
+//
+// The discrete-event simulator schedules tens of millions of callbacks per
+// experiment; std::function's small-object buffer (16 bytes in libstdc++) is
+// too small for the capture lists the delivery paths use (a shared_ptr'd
+// envelope plus a deliver function is 32-48 bytes), so nearly every scheduled
+// event used to cost a heap allocation. SmallFunction stores callables up to
+// InlineBytes inline (default 48, sized for those capture lists) and only
+// falls back to the heap beyond that.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dynamoth {
+
+template <class Signature, std::size_t InlineBytes = 48>
+class SmallFunction;
+
+template <class R, class... Args, std::size_t InlineBytes>
+class SmallFunction<R(Args...), InlineBytes> {
+ public:
+  SmallFunction() = default;
+  SmallFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, SmallFunction> &&
+                                     std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &InlineOps<D>::ops;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &HeapOps<D>::ops;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { move_from(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  R operator()(Args... args) { return ops_->invoke(storage_, std::forward<Args>(args)...); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  friend bool operator==(const SmallFunction& f, std::nullptr_t) { return f.ops_ == nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when a callable of type D is stored inline (no heap allocation).
+  /// Alignment is capped at pointer alignment (8) rather than max_align_t
+  /// (16) so sizeof(SmallFunction) is exactly InlineBytes + one pointer —
+  /// this lets the simulator pack a 48-byte callback plus slot metadata into
+  /// one 64-byte cache line. Over-aligned callables fall back to the heap.
+  template <class D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= InlineBytes && alignof(D) <= alignof(void*) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+ private:
+  // relocate/destroy are null when the stored representation can be moved by
+  // memcpy of the buffer / needs no teardown. Hot callers (the simulator's
+  // event slab) then move and drop callables with straight-line code instead
+  // of an indirect call per event: capture lists of trivially copyable data
+  // (pointers, ids, sizes) and the heap fallback (a raw pointer) both qualify.
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* dst, void* src);  // null: memcpy the buffer
+    void (*destroy)(void*);                  // null: trivially destructible
+  };
+
+  template <class D>
+  struct InlineOps {
+    static R invoke(void* s, Args&&... args) {
+      return (*static_cast<D*>(s))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) {
+      ::new (dst) D(std::move(*static_cast<D*>(src)));
+      static_cast<D*>(src)->~D();
+    }
+    static void destroy(void* s) { static_cast<D*>(s)->~D(); }
+    static constexpr Ops ops{&invoke,
+                             std::is_trivially_copyable_v<D> ? nullptr : &relocate,
+                             std::is_trivially_destructible_v<D> ? nullptr : &destroy};
+  };
+
+  template <class D>
+  struct HeapOps {
+    static D* ptr(void* s) { return *static_cast<D**>(s); }
+    static R invoke(void* s, Args&&... args) {
+      return (*ptr(s))(std::forward<Args>(args)...);
+    }
+    static void destroy(void* s) { delete ptr(s); }
+    // Relocation transfers the owning pointer: a buffer memcpy.
+    static constexpr Ops ops{&invoke, nullptr, &destroy};
+  };
+
+  void move_from(SmallFunction& other) {
+    ops_ = other.ops_;
+    other.ops_ = nullptr;
+    if (ops_ == nullptr) return;
+    if (ops_->relocate == nullptr) {
+      std::memcpy(storage_, other.storage_, InlineBytes);
+    } else {
+      ops_->relocate(storage_, other.storage_);
+    }
+  }
+
+  alignas(void*) unsigned char storage_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace dynamoth

@@ -108,6 +108,7 @@ void Dispatcher::apply_plan(PlanPtr plan) {
 
   ps::PubSubServer& server = registry_.get(self_);
   for (const Channel& c : channels) {
+    const ChannelId cid = intern_channel(c);
     const PlanEntry old_entry =
         old_plan ? old_plan->resolve(c, *base_ring_) : PlanEntry{{base_ring_->lookup(c)}, {}, 0};
     const PlanEntry new_entry = plan_->resolve(c, *base_ring_);
@@ -123,17 +124,17 @@ void Dispatcher::apply_plan(PlanPtr plan) {
       MovedAway state;
       state.target = new_entry;
       state.expires = expires;
-      moved_away_[c] = state;
-      drain_.erase(c);
-      pending_switch_.erase(c);
-      if (server.subscriber_count(c) == 0) maybe_send_drain_notice(c);
+      moved_away_[cid] = state;
+      drain_.erase(cid);
+      pending_switch_.erase(cid);
+      if (server.subscriber_count(c) == 0) maybe_send_drain_notice(cid, c);
     } else if (is_owner) {
-      moved_away_.erase(c);
+      moved_away_.erase(cid);
       if (was_owner) {
         // Remaining an owner under a changed entry (replica set resized or
         // mode flipped): local subscribers need the fresh entry, delivered
         // with the next publication here (staggered, like SWITCH).
-        pending_switch_[c] = PendingSwitch{new_entry, expires};
+        pending_switch_[cid] = PendingSwitch{new_entry, expires};
       }
       // Forward to servers that may still hold subscribers not yet covered
       // by the new placement: old owners that left the set (until drained or
@@ -144,14 +145,14 @@ void Dispatcher::apply_plan(PlanPtr plan) {
       for (ServerId s : old_entry.servers) {
         if (s == self_) continue;
         if (!new_entry.owns(s)) {
-          drain_[c].old_owners[s] = expires;
+          drain_[cid].old_owners[s] = expires;
         } else if (!was_owner && new_entry.mode == ReplicationMode::kAllSubscribers) {
-          drain_[c].old_owners[s] = sim_.now() + config_.replica_join_sync;
+          drain_[cid].old_owners[s] = sim_.now() + config_.replica_join_sync;
         }
       }
     } else {
       // Neither old nor new owner, but keep any redirect state fresh.
-      auto it = moved_away_.find(c);
+      auto it = moved_away_.find(cid);
       if (it != moved_away_.end()) {
         it->second.target = new_entry;
         it->second.switch_sent = false;
@@ -172,7 +173,11 @@ void Dispatcher::on_ctl_deliver(const ps::EnvelopePtr& env) {
     case ps::MsgKind::kDrainNotice: {
       if (const auto* body = dynamic_cast<const DrainNoticeBody*>(env->body.get())) {
         ++stats_.drain_notices_received;
-        auto it = drain_.find(body->channel);
+        // A drain entry only exists for channels this dispatcher has already
+        // interned, so a miss in the table means there is nothing to erase.
+        const ChannelId cid = ChannelTable::instance().find(body->channel);
+        if (cid == kInvalidChannelId) return;
+        auto it = drain_.find(cid);
         if (it != drain_.end()) {
           it->second.old_owners.erase(body->drained_server);
           if (it->second.old_owners.empty()) drain_.erase(it);
@@ -189,20 +194,19 @@ void Dispatcher::on_publish(const ps::EnvelopePtr& env, std::size_t subscriber_c
   // Application-level kControl publications (e.g. replay requests) ride
   // plan-routed channels and need the same repair/forwarding as data.
   if (env->kind != ps::MsgKind::kData && env->kind != ps::MsgKind::kControl) return;
-  if (is_control_channel(env->channel)) return;
+  if (ChannelTable::instance().is_control(env->channel_id())) return;
   handle_data(env, subscriber_count);
 }
 
-Dispatcher::MovedAway& Dispatcher::moved_state(const Channel& channel,
-                                               const PlanEntry& target) {
-  auto it = moved_away_.find(channel);
+Dispatcher::MovedAway& Dispatcher::moved_state(ChannelId cid, const ResolvedEntry& target) {
+  auto it = moved_away_.find(cid);
   if (it == moved_away_.end()) {
     MovedAway state;
-    state.target = target;
+    state.target = target.materialize();
     state.expires = sim_.now() + config_.forward_timeout;
-    it = moved_away_.emplace(channel, std::move(state)).first;
+    it = moved_away_.emplace(cid, std::move(state)).first;
   } else {
-    it->second.target = target;
+    it->second.target = target.materialize();
     it->second.expires = sim_.now() + config_.forward_timeout;
   }
   return it->second;
@@ -210,31 +214,33 @@ Dispatcher::MovedAway& Dispatcher::moved_state(const Channel& channel,
 
 void Dispatcher::handle_data(const ps::EnvelopePtr& env, std::size_t /*subscriber_count*/) {
   const Channel& c = env->channel;
-  const PlanEntry entry = plan_->resolve(c, *base_ring_);
+  const ChannelId cid = env->channel_id();
+  const ResolvedEntry entry = plan_->resolve_view(cid, c, *base_ring_);
 
   if (!entry.owns(self_)) {
     // Wrong server: the local pub/sub server has already delivered to any
     // local (stale) subscribers; we repair routing (paper IV-A2).
-    MovedAway& state = moved_state(c, entry);
+    MovedAway& state = moved_state(cid, entry);
     if (!state.switch_sent && send_switch(c, state.target)) {
       state.switch_sent = true;
       ++stats_.switches_sent;
     }
 
     if (!env->forwarded) {
-      switch (entry.mode) {
+      switch (entry.mode()) {
         case ReplicationMode::kNone:
-          forward(env, entry.primary(), entry.version);
+          forward(env, entry.primary(), entry.version());
           break;
         case ReplicationMode::kAllSubscribers: {
           // Any single replica reaches all subscribers; spread by message id.
-          const auto idx = static_cast<std::size_t>(
-              std::hash<MessageId>{}(env->id) % entry.servers.size());
-          forward(env, entry.servers[idx], entry.version);
+          const auto servers = entry.servers();
+          const auto idx =
+              static_cast<std::size_t>(std::hash<MessageId>{}(env->id) % servers.size());
+          forward(env, servers[idx], entry.version());
           break;
         }
         case ReplicationMode::kAllPublishers:
-          for (ServerId s : entry.servers) forward(env, s, entry.version);
+          for (ServerId s : entry.servers()) forward(env, s, entry.version());
           break;
       }
       send_wrong_server(env->publisher, c, entry);
@@ -245,7 +251,7 @@ void Dispatcher::handle_data(const ps::EnvelopePtr& env, std::size_t /*subscribe
   // We own the channel. If the entry changed while we kept ownership, tell
   // the local subscribers with this first publication (paper IV: switches
   // ride on the first publication after the plan change).
-  if (auto pit = pending_switch_.find(c); pit != pending_switch_.end()) {
+  if (auto pit = pending_switch_.find(cid); pit != pending_switch_.end()) {
     if (sim_.now() > pit->second.expires || send_switch(c, pit->second.target)) {
       pending_switch_.erase(pit);
       ++stats_.switches_sent;
@@ -256,12 +262,12 @@ void Dispatcher::handle_data(const ps::EnvelopePtr& env, std::size_t /*subscribe
   // know the current replication set: repair delivery if needed and send it
   // the fresh entry (this also upgrades hash-fallback publishers that
   // happened to hit a valid replica).
-  if (!env->forwarded && env->entry_version < entry.version) {
-    if (entry.mode == ReplicationMode::kAllPublishers) {
+  if (!env->forwarded && env->entry_version < entry.version()) {
+    if (entry.mode() == ReplicationMode::kAllPublishers) {
       // The publisher should have published everywhere; cover the replicas
       // it missed (duplicates are deduped client-side).
-      for (ServerId s : entry.servers) {
-        if (s != self_) forward(env, s, entry.version);
+      for (ServerId s : entry.servers()) {
+        if (s != self_) forward(env, s, entry.version());
       }
       ++stats_.replica_repairs;
     }
@@ -270,7 +276,7 @@ void Dispatcher::handle_data(const ps::EnvelopePtr& env, std::size_t /*subscribe
 
   // Forward to old owners still draining subscribers (paper IV: "publishing
   // on the new server").
-  auto dit = drain_.find(c);
+  auto dit = drain_.find(cid);
   if (dit != drain_.end()) {
     const SimTime now = sim_.now();
     auto& holders = dit->second.old_owners;
@@ -280,7 +286,7 @@ void Dispatcher::handle_data(const ps::EnvelopePtr& env, std::size_t /*subscribe
         continue;
       }
       if (it->first != env->via_server) {  // echo guard
-        forward(env, it->first, entry.version);
+        forward(env, it->first, entry.version());
         ++stats_.forwards_to_drain;
         --stats_.forwards_to_owner;  // forward() counts; reclassify
       }
@@ -302,11 +308,11 @@ bool Dispatcher::send_switch(const Channel& channel, const PlanEntry& target) {
 }
 
 void Dispatcher::send_wrong_server(ClientId publisher, const Channel& channel,
-                                   const PlanEntry& entry) {
+                                   const ResolvedEntry& entry) {
   if (publisher == 0 || !local_conn_) return;
   auto body = std::make_shared<EntryUpdateBody>();
   body->channel = channel;
-  body->entry = entry;
+  body->entry = entry.materialize();
   local_conn_->publish(
       make_ctl(ps::MsgKind::kWrongServer, client_control_channel(publisher), std::move(body)));
   ++stats_.wrong_server_replies;
@@ -325,8 +331,8 @@ void Dispatcher::forward(const ps::EnvelopePtr& env, ServerId target,
   ++stats_.forwards_to_owner;
 }
 
-void Dispatcher::maybe_send_drain_notice(const Channel& channel) {
-  auto it = moved_away_.find(channel);
+void Dispatcher::maybe_send_drain_notice(ChannelId cid, const Channel& channel) {
+  auto it = moved_away_.find(cid);
   if (it == moved_away_.end() || it->second.drain_notice_sent) return;
   it->second.drain_notice_sent = true;
   send_drain_notice(channel, it->second.target);
@@ -353,21 +359,22 @@ void Dispatcher::on_subscribe(ps::ConnId conn, const Channel& channel, NodeId cl
   if (is_control_channel(channel)) return;
   if (network_.kind(client_node) != net::NodeKind::kClient) return;
 
-  const PlanEntry entry = plan_->resolve(channel, *base_ring_);
+  const ChannelId cid = intern_channel(channel);
+  const ResolvedEntry entry = plan_->resolve_view(cid, channel, *base_ring_);
   // Subscriptions to replicated channels always get the full entry: under
   // all-subscribers the client must subscribe to *every* replica, and under
   // all-publishers it must pick a *random* replica rather than pile onto the
   // hash-fallback server (the client re-places idempotently if it already
   // knew). For unreplicated channels a subscription landing on the owner is
   // correct and stays silent.
-  if (entry.owns(self_) && entry.mode == ReplicationMode::kNone) return;
+  if (entry.owns(self_) && entry.mode() == ReplicationMode::kNone) return;
 
   // Subscription on the wrong server (paper IV-A4): tell the client.
   auto cit = conn_clients_.find(conn);
   if (cit == conn_clients_.end() || !local_conn_) return;
   auto body = std::make_shared<EntryUpdateBody>();
   body->channel = channel;
-  body->entry = entry;
+  body->entry = entry.materialize();
   local_conn_->publish(make_ctl(ps::MsgKind::kWrongServer,
                                 client_control_channel(cit->second), std::move(body)));
   ++stats_.wrong_subscriber_replies;
@@ -376,19 +383,22 @@ void Dispatcher::on_subscribe(ps::ConnId conn, const Channel& channel, NodeId cl
 void Dispatcher::on_unsubscribe(ps::ConnId /*conn*/, const Channel& channel,
                                 NodeId /*client_node*/) {
   if (is_control_channel(channel)) return;
-  auto it = moved_away_.find(channel);
-  if (it == moved_away_.end()) return;
-  if (registry_.get(self_).subscriber_count(channel) == 0) maybe_send_drain_notice(channel);
+  const ChannelId cid = ChannelTable::instance().find(channel);
+  if (cid == kInvalidChannelId || !moved_away_.contains(cid)) return;
+  if (registry_.get(self_).subscriber_count(channel) == 0) maybe_send_drain_notice(cid, channel);
 }
 
 void Dispatcher::on_disconnect(ps::ConnId conn, const std::vector<Channel>& channels,
+                               const std::vector<std::string>& /*patterns*/,
                                ps::CloseReason /*reason*/) {
   conn_clients_.erase(conn);
   ps::PubSubServer& server = registry_.get(self_);
   for (const Channel& ch : channels) {
     if (is_control_channel(ch)) continue;
-    if (moved_away_.contains(ch) && server.subscriber_count(ch) == 0) {
-      maybe_send_drain_notice(ch);
+    const ChannelId cid = ChannelTable::instance().find(ch);
+    if (cid == kInvalidChannelId) continue;
+    if (moved_away_.contains(cid) && server.subscriber_count(ch) == 0) {
+      maybe_send_drain_notice(cid, ch);
     }
   }
 }

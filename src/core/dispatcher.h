@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
 
 #include "common/rng.h"
 #include "common/types.h"
@@ -91,7 +92,7 @@ class Dispatcher final : public ps::LocalObserver {
   void on_subscribe(ps::ConnId conn, const Channel& channel, NodeId client_node) override;
   void on_unsubscribe(ps::ConnId conn, const Channel& channel, NodeId client_node) override;
   void on_disconnect(ps::ConnId conn, const std::vector<Channel>& channels,
-                     ps::CloseReason reason) override;
+                     const std::vector<std::string>& patterns, ps::CloseReason reason) override;
 
  private:
   /// State for a channel that this server does not own but still receives
@@ -117,13 +118,13 @@ class Dispatcher final : public ps::LocalObserver {
 
   void on_ctl_deliver(const ps::EnvelopePtr& env);
   void handle_data(const ps::EnvelopePtr& env, std::size_t subscriber_count);
-  MovedAway& moved_state(const Channel& channel, const PlanEntry& target);
+  MovedAway& moved_state(ChannelId cid, const ResolvedEntry& target);
   /// Publishes a kSwitch carrying `target` on the data channel via the local
   /// server; returns false if no local connection exists yet.
   bool send_switch(const Channel& channel, const PlanEntry& target);
-  void send_wrong_server(ClientId publisher, const Channel& channel, const PlanEntry& entry);
+  void send_wrong_server(ClientId publisher, const Channel& channel, const ResolvedEntry& entry);
   void forward(const ps::EnvelopePtr& env, ServerId target, std::uint64_t entry_version);
-  void maybe_send_drain_notice(const Channel& channel);
+  void maybe_send_drain_notice(ChannelId cid, const Channel& channel);
   void send_drain_notice(const Channel& channel, const PlanEntry& target);
   ps::RemoteConnection* connection(ServerId server);
   ps::EnvelopePtr make_ctl(ps::MsgKind kind, Channel channel,
@@ -139,9 +140,14 @@ class Dispatcher final : public ps::LocalObserver {
   Rng rng_;
 
   PlanPtr plan_;
-  std::map<Channel, MovedAway> moved_away_;
-  std::map<Channel, Draining> drain_;
-  std::map<Channel, PendingSwitch> pending_switch_;
+  // Reconfiguration state is keyed by interned channel id: the lookups sit on
+  // the per-publication path, and nothing iterates these maps in an
+  // order-sensitive way (cleanup only erases). Draining keeps old_owners as
+  // an ordered std::map so forwarding to multiple old owners stays in
+  // deterministic ServerId order.
+  std::unordered_map<ChannelId, MovedAway> moved_away_;
+  std::unordered_map<ChannelId, Draining> drain_;
+  std::unordered_map<ChannelId, PendingSwitch> pending_switch_;
   std::map<ps::ConnId, ClientId> conn_clients_;  // learned from @ctl:c:<id> subs
 
   std::map<ServerId, std::unique_ptr<ps::RemoteConnection>> conns_;

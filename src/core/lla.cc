@@ -57,8 +57,9 @@ void LocalLoadAnalyzer::stop() {
 }
 
 void LocalLoadAnalyzer::on_publish(const ps::EnvelopePtr& env, std::size_t subscriber_count) {
-  if (is_control_channel(env->channel)) return;
-  Accum& a = window_[env->channel];
+  const ChannelId cid = env->channel_id();
+  if (ChannelTable::instance().is_control(cid)) return;
+  Accum& a = window_[cid];
   const std::size_t bytes = ps::wire_size(*env, server_.config().msg_overhead_bytes);
   a.stats.publications += 1;
   a.stats.deliveries += subscriber_count;
@@ -79,7 +80,7 @@ void LocalLoadAnalyzer::on_subscribe(ps::ConnId conn, const Channel& channel,
   // infrastructure connections (LB, dispatchers) are bookkeeping.
   const bool is_client = network_.kind(client_node) == net::NodeKind::kClient;
   client_conns_[conn] = is_client;
-  if (is_client) subscriber_counts_[channel] += 1;
+  if (is_client) subscriber_counts_[intern_channel(channel)] += 1;
 }
 
 void LocalLoadAnalyzer::on_unsubscribe(ps::ConnId conn, const Channel& channel,
@@ -87,7 +88,9 @@ void LocalLoadAnalyzer::on_unsubscribe(ps::ConnId conn, const Channel& channel,
   if (is_control_channel(channel)) return;
   const bool is_client = network_.kind(client_node) == net::NodeKind::kClient;
   if (!is_client) return;
-  auto it = subscriber_counts_.find(channel);
+  const ChannelId cid = ChannelTable::instance().find(channel);
+  if (cid == kInvalidChannelId) return;
+  auto it = subscriber_counts_.find(cid);
   if (it != subscriber_counts_.end() && it->second > 0) {
     if (--it->second == 0) subscriber_counts_.erase(it);
   }
@@ -95,14 +98,17 @@ void LocalLoadAnalyzer::on_unsubscribe(ps::ConnId conn, const Channel& channel,
 }
 
 void LocalLoadAnalyzer::on_disconnect(ps::ConnId conn, const std::vector<Channel>& channels,
+                                      const std::vector<std::string>& /*patterns*/,
                                       ps::CloseReason /*reason*/) {
   auto cit = client_conns_.find(conn);
   const bool is_client = cit != client_conns_.end() && cit->second;
   if (cit != client_conns_.end()) client_conns_.erase(cit);
   if (!is_client) return;
+  const ChannelTable& table = ChannelTable::instance();
   for (const Channel& ch : channels) {
-    if (is_control_channel(ch)) continue;
-    auto it = subscriber_counts_.find(ch);
+    const ChannelId cid = table.find(ch);
+    if (cid == kInvalidChannelId || table.is_control(cid)) continue;
+    auto it = subscriber_counts_.find(cid);
     if (it != subscriber_counts_.end() && it->second > 0) {
       if (--it->second == 0) subscriber_counts_.erase(it);
     }
@@ -127,21 +133,24 @@ void LocalLoadAnalyzer::emit_report() {
       to_seconds(cpu_now - window_start_cpu_) / window_s;
   window_start_cpu_ = cpu_now;
 
-  // Channels with traffic this window.
-  for (auto& [channel, accum] : window_) {
+  // Channels with traffic this window. The report's channel map is
+  // name-ordered, so inserting from unordered accumulators stays
+  // deterministic.
+  const ChannelTable& table = ChannelTable::instance();
+  for (auto& [cid, accum] : window_) {
     ChannelStats stats = accum.stats;
     stats.publishers = static_cast<std::uint32_t>(accum.publishers.size());
-    auto sit = subscriber_counts_.find(channel);
+    auto sit = subscriber_counts_.find(cid);
     stats.subscribers = sit == subscriber_counts_.end() ? 0 : sit->second;
-    report.channels.emplace(channel, stats);
+    report.channels.emplace(table.name(cid), stats);
   }
   // Quiet channels that still have subscribers (they hold server state and
   // are migration candidates too).
-  for (const auto& [channel, count] : subscriber_counts_) {
-    if (report.channels.contains(channel)) continue;
+  for (const auto& [cid, count] : subscriber_counts_) {
+    if (window_.contains(cid)) continue;
     ChannelStats stats;
     stats.subscribers = count;
-    report.channels.emplace(channel, stats);
+    report.channels.emplace(table.name(cid), stats);
   }
 
   last_load_ratio_ = report.load_ratio();

@@ -14,7 +14,9 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
 
+#include "common/channel_table.h"
 #include "common/types.h"
 #include "core/control.h"
 #include "core/registry.h"
@@ -61,7 +63,7 @@ class LocalLoadAnalyzer final : public ps::LocalObserver {
   void on_subscribe(ps::ConnId conn, const Channel& channel, NodeId client_node) override;
   void on_unsubscribe(ps::ConnId conn, const Channel& channel, NodeId client_node) override;
   void on_disconnect(ps::ConnId conn, const std::vector<Channel>& channels,
-                     ps::CloseReason reason) override;
+                     const std::vector<std::string>& patterns, ps::CloseReason reason) override;
 
  private:
   struct Accum {
@@ -76,8 +78,11 @@ class LocalLoadAnalyzer final : public ps::LocalObserver {
   ps::PubSubServer& server_;
   Config config_;
 
-  std::map<Channel, Accum> window_;                 // stats being accumulated
-  std::map<Channel, std::uint32_t> subscriber_counts_;  // current, persists
+  // Both maps are keyed by interned id — on_publish runs once per local
+  // publication and must not hash channel strings. emit_report converts back
+  // to names into the (ordered) LoadReport, so reports stay deterministic.
+  std::unordered_map<ChannelId, Accum> window_;               // being accumulated
+  std::unordered_map<ChannelId, std::uint32_t> subscriber_counts_;  // current, persists
   std::map<ps::ConnId, bool> client_conns_;         // conn -> is client-kind
   std::uint64_t window_start_bytes_ = 0;
   SimTime window_start_cpu_ = 0;

@@ -36,12 +36,33 @@ PlanEntry Plan::resolve(const Channel& channel, const ConsistentHashRing& ring) 
   return fallback;
 }
 
-void Plan::set_entry(const Channel& channel, PlanEntry entry) {
-  DYN_CHECK(!entry.servers.empty());
-  entries_[channel] = std::move(entry);
+PlanEntry ResolvedEntry::materialize() const {
+  if (entry_) return *entry_;
+  PlanEntry fallback;
+  fallback.servers = {fallback_};
+  fallback.mode = ReplicationMode::kNone;
+  fallback.version = 0;
+  return fallback;
 }
 
-void Plan::remove_entry(const Channel& channel) { entries_.erase(channel); }
+void Plan::set_entry(const Channel& channel, PlanEntry entry) {
+  DYN_CHECK(!entry.servers.empty());
+  PlanEntry& slot = entries_[channel];
+  slot = std::move(entry);
+  by_id_[intern_channel(channel)] = &slot;  // map nodes: address is stable
+}
+
+void Plan::remove_entry(const Channel& channel) {
+  const ChannelId id = ChannelTable::instance().find(channel);
+  if (id != kInvalidChannelId) by_id_.erase(id);
+  entries_.erase(channel);
+}
+
+void Plan::rebuild_index() {
+  by_id_.clear();
+  by_id_.reserve(entries_.size());
+  for (const auto& [channel, entry] : entries_) by_id_[intern_channel(channel)] = &entry;
+}
 
 std::size_t Plan::wire_size() const {
   std::size_t bytes = 16;

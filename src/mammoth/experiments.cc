@@ -155,6 +155,7 @@ GameExperimentResult run_game_experiment(const GameExperimentConfig& config) {
                                     : config.dynamoth.max_servers;
   result.static_fleet_hours = core::Cloud::static_fleet_hours(max_fleet, cluster.sim().now());
   result.total_updates = game.total_updates_published();
+  result.executed_events = cluster.sim().executed_events();
   for (std::size_t i = 0; i < game.total_players_created(); ++i) {
     result.connection_drops += game.player(i).client().stats().connection_drops;
   }

@@ -56,6 +56,9 @@ struct GameExperimentResult {
   std::uint64_t control_bytes = 0;    // balancer-node egress (plan traffic)
   double server_hours = 0;            // rented server-hours (cost model)
   double static_fleet_hours = 0;      // a static fleet of max_servers
+  /// Total simulator events executed over the run; a cheap fingerprint of
+  /// the whole event sequence, used by the determinism guard test.
+  std::uint64_t executed_events = 0;
 };
 
 /// Builds a default config matching the paper's Experiment 2/3 setup scaled

@@ -38,8 +38,19 @@ SimTime Network::send(NodeId from, NodeId to, std::size_t bytes, DeliverFn on_de
   src.counters.bytes_sent += bytes;
   src.counters.messages_sent += 1;
 
+  // The latency model is sampled on every send, fast path or not, so the RNG
+  // draw sequence — and with it every downstream arrival time — is identical
+  // regardless of which branch runs. Determinism before speed.
   const SimTime prop = latency_->sample(src.config.kind, nodes_[to].config.kind, rng_);
-  const SimTime at = std::max(src.egress_free + prop + extra_delay, min_arrival);
+  const SimTime arrival = src.egress_free + prop;
+  if (extra_delay == 0 && min_arrival <= arrival) {
+    // Fast path: no receive-drain delay and per-connection FIFO already
+    // satisfied by the egress queue — the common case for control traffic
+    // and uncongested data paths.
+    sim_.schedule_at(arrival, std::move(on_deliver));
+    return arrival;
+  }
+  const SimTime at = std::max(arrival + extra_delay, min_arrival);
   sim_.schedule_at(at, std::move(on_deliver));
   return at;
 }

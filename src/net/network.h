@@ -40,7 +40,10 @@ struct EgressCounters {
 
 class Network {
  public:
-  using DeliverFn = std::function<void()>;
+  /// Delivery callbacks ride the simulator's small-buffer callback type so
+  /// the per-message capture (an envelope pointer plus a deliver function)
+  /// stays inline end to end — enqueuing a send never touches the allocator.
+  using DeliverFn = sim::Simulator::Callback;
 
   Network(sim::Simulator& sim, std::unique_ptr<LatencyModel> latency, Rng rng);
 

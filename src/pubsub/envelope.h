@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <memory>
 
+#include "common/channel_table.h"
 #include "common/types.h"
 
 namespace dynamoth::ps {
@@ -46,6 +47,18 @@ struct Envelope {
   bool forwarded = false;           // set once a dispatcher has forwarded it
   NodeId via_server = kInvalidNode; // dispatcher that forwarded it (echo guard)
   std::shared_ptr<const ControlBody> body;  // control payload, if any
+
+  /// Interned id of `channel`, computed on first use and cached. An envelope
+  /// fans out to every subscriber and every replica server, so the routing
+  /// and metrics layers key their tables by this id and intern at most once
+  /// per message instead of hashing the name at each hop.
+  [[nodiscard]] ChannelId channel_id() const {
+    if (channel_id_ == kInvalidChannelId) channel_id_ = intern_channel(channel);
+    return channel_id_;
+  }
+
+ private:
+  mutable ChannelId channel_id_ = kInvalidChannelId;
 };
 
 using EnvelopePtr = std::shared_ptr<const Envelope>;

@@ -15,9 +15,14 @@ ConnId PubSubServer::open_connection(NodeId client_node, DeliverFn deliver, Clos
   Connection conn;
   conn.id = next_conn_++;
   conn.client_node = client_node;
-  conn.deliver = std::move(deliver);
+  if (deliver) conn.deliver = std::make_shared<DeliverFn>(std::move(deliver));
   conn.closed = std::move(closed);
   conn.local = client_node == node_;
+  // The client's node kind never changes, so resolve the drain rate once
+  // here instead of per delivery.
+  conn.drain_rate = network_.kind(client_node) == net::NodeKind::kInfrastructure
+                        ? config_.infra_drain_bytes_per_sec
+                        : config_.conn_drain_bytes_per_sec;
   const ConnId id = conn.id;
   connections_.emplace(id, std::move(conn));
   return id;
@@ -49,21 +54,29 @@ void PubSubServer::handle_subscribe(ConnId conn, const Channel& channel) {
   Connection* c = find(conn);
   if (!c || !running_) return;
   consume_cpu(config_.cpu_command_cost_us);
-  if (!c->channels.insert(channel).second) return;  // already subscribed
-  subscribers_[channel].insert(conn);
+  const ChannelId cid = intern_channel(channel);
+  if (!c->channels.insert(cid).second) return;  // already subscribed
+  std::vector<ConnId>& subs = subscribers_[cid];
+  subs.insert(std::lower_bound(subs.begin(), subs.end(), conn), conn);
   for (LocalObserver* obs : observers_) obs->on_subscribe(conn, channel, c->client_node);
+}
+
+void PubSubServer::drop_subscriber(ChannelId channel, ConnId conn) {
+  auto it = subscribers_.find(channel);
+  if (it == subscribers_.end()) return;
+  std::vector<ConnId>& subs = it->second;
+  const auto pos = std::lower_bound(subs.begin(), subs.end(), conn);
+  if (pos != subs.end() && *pos == conn) subs.erase(pos);
+  if (subs.empty()) subscribers_.erase(it);
 }
 
 void PubSubServer::handle_unsubscribe(ConnId conn, const Channel& channel) {
   Connection* c = find(conn);
   if (!c || !running_) return;
   consume_cpu(config_.cpu_command_cost_us);
-  if (c->channels.erase(channel) == 0) return;
-  auto it = subscribers_.find(channel);
-  if (it != subscribers_.end()) {
-    it->second.erase(conn);
-    if (it->second.empty()) subscribers_.erase(it);
-  }
+  const ChannelId cid = ChannelTable::instance().find(channel);
+  if (cid == kInvalidChannelId || c->channels.erase(cid) == 0) return;
+  drop_subscriber(cid, conn);
   for (LocalObserver* obs : observers_) obs->on_unsubscribe(conn, channel, c->client_node);
 }
 
@@ -89,33 +102,45 @@ void PubSubServer::handle_publish(ConnId conn, EnvelopePtr env) {
   if (!from || !running_) return;
   DYN_CHECK(env != nullptr);
 
-  // Collect the recipient set: channel subscribers plus pattern matches,
-  // at most once per connection (mirrors a client holding one subscription).
-  std::vector<ConnId> recipients;
-  if (auto it = subscribers_.find(env->channel); it != subscribers_.end()) {
+  // Collect the recipient set: channel subscribers plus pattern matches, at
+  // most once per connection (mirrors a client holding one subscription).
+  // Copied into a reusable scratch buffer — a delivery can overflow and
+  // close a connection, which mutates the subscriber list being fanned out.
+  const ChannelId cid = env->channel_id();
+  std::vector<ConnId>& recipients = fanout_scratch_;
+  recipients.clear();
+  if (auto it = subscribers_.find(cid); it != subscribers_.end()) {
     recipients.assign(it->second.begin(), it->second.end());
   }
-  for (ConnId pc : pattern_conns_) {
-    Connection* c = find(pc);
-    if (!c || c->channels.count(env->channel)) continue;
-    if (std::any_of(c->patterns.begin(), c->patterns.end(),
-                    [&](const std::string& p) { return glob_match(p, env->channel); })) {
-      recipients.push_back(pc);
+  if (!pattern_conns_.empty()) {
+    const std::size_t plain = recipients.size();
+    for (ConnId pc : pattern_conns_) {
+      Connection* c = find(pc);
+      if (!c || c->channels.count(cid)) continue;
+      if (std::any_of(c->patterns.begin(), c->patterns.end(),
+                      [&](const std::string& p) { return glob_match(p, env->channel); })) {
+        recipients.push_back(pc);
+      }
     }
+    // Deterministic fan-out order. Subscriber lists are maintained sorted,
+    // so sorting is only needed when pattern matches were appended.
+    if (recipients.size() > plain) std::sort(recipients.begin(), recipients.end());
   }
-  // Deterministic fan-out order regardless of hash-table iteration.
-  std::sort(recipients.begin(), recipients.end());
 
   // Single-threaded processing: the whole fan-out occupies the CPU.
   const double cost = config_.cpu_publish_cost_us +
                       config_.cpu_delivery_cost_us * static_cast<double>(recipients.size());
   const SimTime done = consume_cpu(cost);
 
+  // The wire size is a per-publication fact; compute it once, not per
+  // recipient.
+  const std::size_t bytes = wire_size(*env, config_.msg_overhead_bytes);
+
   std::size_t delivered = 0;
   for (ConnId rc : recipients) {
     Connection* c = find(rc);
     if (!c) continue;
-    deliver_to(*c, env, done);
+    deliver_to(*c, env, done, bytes);
     ++delivered;
   }
 
@@ -127,16 +152,17 @@ void PubSubServer::handle_publish(ConnId conn, EnvelopePtr env) {
   for (LocalObserver* obs : observers_) obs->on_publish(env, delivered);
 }
 
-void PubSubServer::deliver_to(Connection& conn, const EnvelopePtr& env, SimTime ready) {
-  const std::size_t bytes = wire_size(*env, config_.msg_overhead_bytes);
-  DeliverFn& deliver = conn.deliver;
-
+void PubSubServer::deliver_to(Connection& conn, const EnvelopePtr& env, SimTime ready,
+                              std::size_t bytes) {
+  // Each delivery captures the shared deliver-function pointer plus the
+  // envelope pointer: 32 bytes, inline in the network's callback type, so
+  // fanning a publication out to N subscribers allocates nothing.
   if (conn.local) {
     // Colocated component: loopback, no NIC, no drain modelling.
     conn.last_arrival = network_.send(
         node_, conn.client_node, bytes,
-        [deliver, env] {
-          if (deliver) deliver(env);
+        [d = conn.deliver, env] {
+          if (d && *d) (*d)(env);
         },
         std::max<SimTime>(0, ready - sim_.now()), conn.last_arrival);
     return;
@@ -153,19 +179,16 @@ void PubSubServer::deliver_to(Connection& conn, const EnvelopePtr& env, SimTime 
 
   // Per-connection receive drain: the subscriber's downlink empties this
   // connection's buffer at a fixed rate (LAN rate for infrastructure
-  // consumers). Messages queued faster than they drain accumulate in the
-  // (server-side) output buffer.
-  const double drain_rate = network_.kind(conn.client_node) == net::NodeKind::kInfrastructure
-                                ? config_.infra_drain_bytes_per_sec
-                                : config_.conn_drain_bytes_per_sec;
+  // consumers; resolved once at open_connection). Messages queued faster
+  // than they drain accumulate in the (server-side) output buffer.
   const SimTime drain_start = std::max(ready, conn.drain_free);
   const auto drain_time =
-      static_cast<SimTime>(static_cast<double>(bytes) / drain_rate * kSecond);
+      static_cast<SimTime>(static_cast<double>(bytes) / conn.drain_rate * kSecond);
   conn.drain_free = drain_start + drain_time;
 
   // Buffered bytes ~ backlog duration x drain rate. Redis disconnects clients
   // whose output buffer exceeds the configured limit.
-  const double backlog_bytes = to_seconds(conn.drain_free - ready) * drain_rate;
+  const double backlog_bytes = to_seconds(conn.drain_free - ready) * conn.drain_rate;
   if (backlog_bytes > static_cast<double>(config_.conn_output_buffer_limit)) {
     close_internal(conn.id, CloseReason::kOutputBufferOverflow);
     return;
@@ -174,8 +197,8 @@ void PubSubServer::deliver_to(Connection& conn, const EnvelopePtr& env, SimTime 
   const SimTime extra = conn.drain_free - sim_.now();
   conn.last_arrival = network_.send(
       node_, conn.client_node, bytes,
-      [deliver, env] {
-        if (deliver) deliver(env);
+      [d = conn.deliver, env] {
+        if (d && *d) (*d)(env);
       },
       extra, conn.last_arrival);
 }
@@ -185,15 +208,15 @@ void PubSubServer::close_internal(ConnId conn, CloseReason reason) {
   if (it == connections_.end()) return;
   Connection& c = it->second;
 
-  std::vector<Channel> channels(c.channels.begin(), c.channels.end());
-  std::sort(channels.begin(), channels.end());
-  for (const Channel& ch : channels) {
-    auto sit = subscribers_.find(ch);
-    if (sit != subscribers_.end()) {
-      sit->second.erase(conn);
-      if (sit->second.empty()) subscribers_.erase(sit);
-    }
+  std::vector<Channel> channels;
+  channels.reserve(c.channels.size());
+  const ChannelTable& table = ChannelTable::instance();
+  for (ChannelId cid : c.channels) {
+    drop_subscriber(cid, conn);
+    channels.push_back(table.name(cid));
   }
+  std::sort(channels.begin(), channels.end());
+  std::vector<std::string> patterns = std::move(c.patterns);
   std::erase(pattern_conns_, conn);
 
   if (reason != CloseReason::kByClient && c.closed) {
@@ -204,7 +227,7 @@ void PubSubServer::close_internal(ConnId conn, CloseReason reason) {
   }
   connections_.erase(it);
 
-  for (LocalObserver* obs : observers_) obs->on_disconnect(conn, channels, reason);
+  for (LocalObserver* obs : observers_) obs->on_disconnect(conn, channels, patterns, reason);
 }
 
 void PubSubServer::add_observer(LocalObserver* observer) {
@@ -215,7 +238,9 @@ void PubSubServer::add_observer(LocalObserver* observer) {
 void PubSubServer::remove_observer(LocalObserver* observer) { std::erase(observers_, observer); }
 
 std::size_t PubSubServer::subscriber_count(const Channel& channel) const {
-  auto it = subscribers_.find(channel);
+  const ChannelId cid = ChannelTable::instance().find(channel);
+  if (cid == kInvalidChannelId) return 0;
+  auto it = subscribers_.find(cid);
   return it == subscribers_.end() ? 0 : it->second.size();
 }
 

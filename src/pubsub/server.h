@@ -21,6 +21,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/channel_table.h"
 #include "common/types.h"
 #include "net/network.h"
 #include "pubsub/envelope.h"
@@ -47,9 +48,11 @@ class LocalObserver {
   virtual void on_publish(const EnvelopePtr& env, std::size_t subscriber_count) = 0;
   virtual void on_subscribe(ConnId conn, const Channel& channel, NodeId client_node) = 0;
   virtual void on_unsubscribe(ConnId conn, const Channel& channel, NodeId client_node) = 0;
-  /// Connection closed; `channels` lists the subscriptions it held.
+  /// Connection closed; `channels` lists the plain subscriptions it held
+  /// (sorted by name) and `patterns` its glob subscriptions, so observers
+  /// tracking either kind can release their state.
   virtual void on_disconnect(ConnId conn, const std::vector<Channel>& channels,
-                             CloseReason reason) = 0;
+                             const std::vector<std::string>& patterns, CloseReason reason) = 0;
 };
 
 class PubSubServer {
@@ -112,6 +115,8 @@ class PubSubServer {
 
   /// Number of connections subscribed to `channel` (Redis PUBSUB NUMSUB).
   [[nodiscard]] std::size_t subscriber_count(const Channel& channel) const;
+  /// Number of connections holding at least one pattern subscription.
+  [[nodiscard]] std::size_t pattern_connection_count() const { return pattern_conns_.size(); }
   [[nodiscard]] std::size_t connection_count() const { return connections_.size(); }
   [[nodiscard]] bool connection_alive(ConnId conn) const;
   [[nodiscard]] NodeId node() const { return node_; }
@@ -138,20 +143,24 @@ class PubSubServer {
   struct Connection {
     ConnId id = kInvalidConn;
     NodeId client_node = kInvalidNode;
-    DeliverFn deliver;
+    /// Shared so each delivery captures a pointer copy, not a copy of the
+    /// (possibly heap-backed) std::function itself.
+    std::shared_ptr<DeliverFn> deliver;
     ClosedFn closed;
-    std::unordered_set<Channel> channels;
+    std::unordered_set<ChannelId> channels;  // interned subscriptions
     std::vector<std::string> patterns;
     SimTime drain_free = 0;      // receive-path busy-until time
     SimTime last_arrival = 0;    // per-connection FIFO delivery ordering
+    double drain_rate = 0;       // receive rate, fixed by the client's kind
     bool local = false;
   };
 
   /// Advances the CPU queue by `cost_us` and returns the completion time.
   SimTime consume_cpu(double cost_us);
 
-  void deliver_to(Connection& conn, const EnvelopePtr& env, SimTime ready);
+  void deliver_to(Connection& conn, const EnvelopePtr& env, SimTime ready, std::size_t bytes);
   void close_internal(ConnId conn, CloseReason reason);
+  void drop_subscriber(ChannelId channel, ConnId conn);
   Connection* find(ConnId conn);
 
   sim::Simulator& sim_;
@@ -160,9 +169,13 @@ class PubSubServer {
   Config config_;
 
   std::unordered_map<ConnId, Connection> connections_;
-  std::unordered_map<Channel, std::unordered_set<ConnId>> subscribers_;
+  /// Per-channel subscriber lists, keyed by interned id and kept sorted by
+  /// ConnId, so the no-pattern fan-out (the common case) needs neither a
+  /// string hash nor a sort.
+  std::unordered_map<ChannelId, std::vector<ConnId>> subscribers_;
   std::vector<ConnId> pattern_conns_;  // connections holding >= 1 pattern
   std::vector<LocalObserver*> observers_;
+  std::vector<ConnId> fanout_scratch_;  // recipient buffer reused per publish
 
   ConnId next_conn_ = 1;
   SimTime cpu_free_ = 0;

@@ -1,81 +1,105 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
-#include <optional>
 #include <utility>
 
 #include "common/check.h"
 
 namespace dynamoth::sim {
 
-void Simulator::heap_push(Item item) {
-  heap_.push_back(std::move(item));
-  std::size_t i = heap_.size() - 1;
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!heap_[parent].later_than(heap_[i])) break;
-    std::swap(heap_[parent], heap_[i]);
-    i = parent;
-  }
+void Simulator::grow_slab() {
+  DYN_CHECK(slot_count_ <= kNoEventSlot - kSlabBlockSize);
+  slab_.push_back(std::make_unique<Slot[]>(kSlabBlockSize));
 }
 
 void Simulator::heap_pop_root() {
-  heap_.front() = std::move(heap_.back());
+  const HeapItem last = heap_.back();
   heap_.pop_back();
-  std::size_t i = 0;
-  const std::size_t n = heap_.size();
-  while (true) {
-    const std::size_t l = 2 * i + 1, r = 2 * i + 2;
-    std::size_t smallest = i;
-    if (l < n && heap_[smallest].later_than(heap_[l])) smallest = l;
-    if (r < n && heap_[smallest].later_than(heap_[r])) smallest = r;
-    if (smallest == i) break;
-    std::swap(heap_[i], heap_[smallest]);
+  const std::size_t end_all = heap_.size();
+  if (end_all == kHeapBase) return;
+  // Bottom-up (Wegener) deletion: percolate the hole straight down along
+  // min-children without comparing against `last` — the back element nearly
+  // always belongs near the leaves, so the per-level "done yet?" test of the
+  // classic sift-down rarely pays for itself — then bubble `last` up from
+  // the leaf hole the short remaining distance. Full sibling groups use a
+  // branchless tournament (two independent compares feeding a third).
+  std::size_t i = kHeapBase;
+  std::size_t first = heap_child(i);
+  while (first + 4 <= end_all) {
+    const HeapItem* c = &heap_[first];
+    const std::size_t m1 = first + (c[0].later_than(c[1]) ? 1 : 0);
+    const std::size_t m2 = first + 2 + (c[2].later_than(c[3]) ? 1 : 0);
+    const std::size_t smallest = heap_[m1].later_than(heap_[m2]) ? m2 : m1;
+    heap_[i] = heap_[smallest];
+    i = smallest;
+    first = heap_child(i);
+  }
+  if (first < end_all) {
+    std::size_t smallest = first;
+    for (std::size_t c = first + 1; c < end_all; ++c) {
+      if (heap_[smallest].later_than(heap_[c])) smallest = c;
+    }
+    heap_[i] = heap_[smallest];
     i = smallest;
   }
+  while (i > kHeapBase) {
+    const std::size_t parent = heap_parent(i);
+    if (!heap_[parent].later_than(last)) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = last;
 }
 
 void Simulator::drop_dead_roots() {
-  while (!heap_.empty() && !live_.contains(heap_.front().seq)) heap_pop_root();
+  while (!heap_empty() && slot(heap_root().slot).generation != heap_root().generation) {
+    heap_pop_root();
+  }
 }
 
-bool Simulator::pop_next(Item& out) {
-  drop_dead_roots();
-  if (heap_.empty()) return false;
-  live_.erase(heap_.front().seq);
-  out = std::move(heap_.front());
+void Simulator::fire_root() {
+  const HeapItem item = heap_root();
   heap_pop_root();
-  return true;
-}
-
-EventId Simulator::schedule_at(SimTime t, Callback cb) {
-  DYN_CHECK(t >= now_);
-  DYN_CHECK(cb != nullptr);
-  const EventId id{t, next_seq_++};
-  live_.insert(id.seq);
-  heap_push(Item{id.time, id.seq, std::move(cb)});
-  return id;
-}
-
-EventId Simulator::schedule_after(SimTime delay, Callback cb) {
-  DYN_CHECK(delay >= 0);
-  return schedule_at(now_ + delay, std::move(cb));
-}
-
-bool Simulator::cancel(const EventId& id) { return live_.erase(id.seq) > 0; }
-
-bool Simulator::step() {
-  Item item;
-  if (!pop_next(item)) return false;
   now_ = item.time;
   ++executed_;
-  item.cb();
+  --live_;
+  // Bump the generation before invoking: a cancel of the now-firing event
+  // must report false. The slot is not on the free list yet, so callbacks
+  // scheduling new events cannot clobber it, and slab addresses are stable,
+  // so the callback runs in place without being moved out first.
+  Slot& s = slot(item.slot);
+  ++s.generation;
+  s.cb();
+  s.cb = nullptr;
+  s.next_free = free_head_;
+  free_head_ = item.slot;
+}
+
+bool Simulator::step() {
+  drop_dead_roots();
+  if (heap_empty()) return false;
+  fire_root();
   return true;
 }
 
 void Simulator::run() {
   stopped_ = false;
-  while (!stopped_ && step()) {
+  while (!stopped_ && !heap_empty()) {
+    const HeapItem item = heap_root();
+    Slot& s = slot(item.slot);
+    if (s.generation != item.generation) {  // cancelled: discard lazily
+      heap_pop_root();
+      continue;
+    }
+    heap_pop_root();
+    now_ = item.time;
+    ++executed_;
+    --live_;
+    ++s.generation;  // a cancel of the now-firing event must report false
+    s.cb();
+    s.cb = nullptr;
+    s.next_free = free_head_;
+    free_head_ = item.slot;
   }
 }
 
@@ -84,12 +108,8 @@ void Simulator::run_until(SimTime t) {
   stopped_ = false;
   while (!stopped_) {
     drop_dead_roots();
-    if (heap_.empty() || heap_.front().time > t) break;
-    Item item;
-    pop_next(item);
-    now_ = item.time;
-    ++executed_;
-    item.cb();
+    if (heap_empty() || heap_root().time > t) break;
+    fire_root();
   }
   if (!stopped_ && now_ < t) now_ = t;
 }

@@ -1,0 +1,60 @@
+// Tests for the global channel-name interner. The table is a process-wide
+// singleton, so these tests use names unique to this file and assert
+// relative properties (idempotence, stability) rather than absolute ids.
+#include "common/channel_table.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dynamoth {
+namespace {
+
+TEST(ChannelTable, InternIsIdempotent) {
+  const ChannelId a = intern_channel("ctt:idem:x");
+  const ChannelId b = intern_channel("ctt:idem:x");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, kInvalidChannelId);
+}
+
+TEST(ChannelTable, DistinctNamesGetDistinctIds) {
+  const ChannelId a = intern_channel("ctt:distinct:a");
+  const ChannelId b = intern_channel("ctt:distinct:b");
+  EXPECT_NE(a, b);
+}
+
+TEST(ChannelTable, IdsAndNamesAreStableAcrossGrowth) {
+  // Interning many more names must not invalidate earlier ids or the
+  // name() strings they map back to.
+  const ChannelId early = intern_channel("ctt:stable:early");
+  const std::string early_name = ChannelTable::instance().name(early);
+  std::vector<ChannelId> ids;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(intern_channel("ctt:stable:bulk:" + std::to_string(i)));
+  }
+  EXPECT_EQ(intern_channel("ctt:stable:early"), early);
+  EXPECT_EQ(ChannelTable::instance().name(early), early_name);
+  EXPECT_EQ(ChannelTable::instance().name(ids[0]), "ctt:stable:bulk:0");
+  EXPECT_EQ(intern_channel("ctt:stable:bulk:4999"), ids.back());
+}
+
+TEST(ChannelTable, FindDoesNotIntern) {
+  const std::size_t before = ChannelTable::instance().size();
+  EXPECT_EQ(ChannelTable::instance().find("ctt:never-interned-name"), kInvalidChannelId);
+  EXPECT_EQ(ChannelTable::instance().size(), before);
+  const ChannelId id = intern_channel("ctt:find:present");
+  EXPECT_EQ(ChannelTable::instance().find("ctt:find:present"), id);
+}
+
+TEST(ChannelTable, ControlFlagIsCachedAtInternTime) {
+  const ChannelId ctl = intern_channel("@ctl:ctt:flag");
+  const ChannelId data = intern_channel("ctt:flag:data");
+  EXPECT_TRUE(ChannelTable::instance().is_control(ctl));
+  EXPECT_FALSE(ChannelTable::instance().is_control(data));
+  // Prefix must anchor at the start of the name.
+  EXPECT_FALSE(ChannelTable::instance().is_control(intern_channel("x@ctl:ctt:mid")));
+}
+
+}  // namespace
+}  // namespace dynamoth

@@ -1,0 +1,82 @@
+// Tests for the small-buffer move-only callable used by the simulator's
+// event slots and the network's delivery callbacks.
+#include "common/small_function.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+namespace dynamoth {
+namespace {
+
+using Fn = SmallFunction<int(), 48>;
+
+TEST(SmallFunction, EmptyAndBool) {
+  Fn f;
+  EXPECT_FALSE(f);
+  f = [] { return 7; };
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f(), 7);
+  f = nullptr;
+  EXPECT_FALSE(f);
+}
+
+TEST(SmallFunction, InlineCaptureInvokes) {
+  int hits = 0;
+  SmallFunction<void(), 48> f = [&hits] { ++hits; };
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFunction, MoveTransfersOwnership) {
+  Fn a = [] { return 11; };
+  Fn b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is empty
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b(), 11);
+  Fn c;
+  c = std::move(b);
+  EXPECT_EQ(c(), 11);
+}
+
+TEST(SmallFunction, LargeCaptureSpillsToHeapAndStillWorks) {
+  std::array<int, 64> big{};  // 256 bytes: cannot fit the 48-byte buffer
+  big[63] = 42;
+  Fn f = [big] { return big[63]; };
+  EXPECT_EQ(f(), 42);
+  Fn g = std::move(f);
+  EXPECT_EQ(g(), 42);
+}
+
+TEST(SmallFunction, NonTrivialCaptureIsDestroyed) {
+  auto token = std::make_shared<int>(5);
+  std::weak_ptr<int> watch = token;
+  {
+    SmallFunction<int(), 48> f = [token] { return *token; };
+    token.reset();
+    EXPECT_EQ(f(), 5);
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());  // destructor ran on the captured state
+}
+
+TEST(SmallFunction, ReassignmentDestroysOldTarget) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  SmallFunction<int(), 48> f = [token] { return *token; };
+  token.reset();
+  f = [] { return 2; };
+  EXPECT_TRUE(watch.expired());
+  EXPECT_EQ(f(), 2);
+}
+
+TEST(SmallFunction, ArgumentsArePassedThrough) {
+  SmallFunction<int(int, int), 48> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+}  // namespace
+}  // namespace dynamoth

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 namespace dynamoth::mammoth::exp {
 namespace {
 
@@ -67,6 +69,34 @@ TEST(GameExperiment, DeterministicAcrossRuns) {
     }
   }
   EXPECT_EQ(a.total_updates, b.total_updates);
+}
+
+// Guard for the event-engine/fan-out hot path: a shortened Figure-5
+// scenario must produce bit-identical CSV output and execute exactly the
+// same number of simulator events when run twice in the same process. This
+// catches any nondeterminism introduced by unordered containers or interned
+// channel ids (the second run sees a pre-populated ChannelTable, so id
+// values differ from the first run's cold table — results must not).
+TEST(GameExperiment, Fig5ScenarioIsBitwiseDeterministic) {
+  GameExperimentConfig config = default_game_experiment();
+  config.seed = 77;
+  config.balancer = BalancerKind::kDynamoth;
+  config.schedule = {{seconds(0), 120}, {seconds(10), 120}, {seconds(60), 400}};
+  config.duration = seconds(70);
+  config.sample_interval = seconds(10);
+
+  const GameExperimentResult a = run_game_experiment(config);
+  const GameExperimentResult b = run_game_experiment(config);
+
+  std::ostringstream csv_a, csv_b;
+  a.series.print_csv(csv_a);
+  b.series.print_csv(csv_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+  EXPECT_EQ(a.executed_events, b.executed_events);
+  EXPECT_GT(a.executed_events, 0u);
+  EXPECT_EQ(a.total_updates, b.total_updates);
+  EXPECT_EQ(a.connection_drops, b.connection_drops);
+  EXPECT_EQ(a.events.size(), b.events.size());
 }
 
 TEST(GameExperiment, BalancerKindNames) {

@@ -243,6 +243,27 @@ TEST(PubSubServer, GlobMatching) {
   EXPECT_TRUE(PubSubServer::glob_match("", ""));
 }
 
+TEST(PubSubServer, GlobMatchingEdgeCases) {
+  // Consecutive stars collapse to one.
+  EXPECT_TRUE(PubSubServer::glob_match("**", ""));
+  EXPECT_TRUE(PubSubServer::glob_match("**", "anything"));
+  EXPECT_TRUE(PubSubServer::glob_match("a**", "a"));
+  EXPECT_FALSE(PubSubServer::glob_match("a**b", "acd"));
+  // Trailing star matches the empty suffix.
+  EXPECT_TRUE(PubSubServer::glob_match("tile:*", "tile:"));
+  EXPECT_TRUE(PubSubServer::glob_match("*", ""));
+  // Mid-string stars backtrack past false partial matches.
+  EXPECT_TRUE(PubSubServer::glob_match("a*bc", "aXbXbc"));
+  EXPECT_TRUE(PubSubServer::glob_match("*a*b*", "xxaxxbxx"));
+  EXPECT_FALSE(PubSubServer::glob_match("*a*b*", "xxbxxaxx"));
+  // Multiple independent stars.
+  EXPECT_TRUE(PubSubServer::glob_match("t:*:*:z", "t:1:2:z"));
+  EXPECT_FALSE(PubSubServer::glob_match("t:*:*:z", "t:1:z"));
+  // Pattern longer than text.
+  EXPECT_FALSE(PubSubServer::glob_match("abc", "ab"));
+  EXPECT_FALSE(PubSubServer::glob_match("ab*c", "ab"));
+}
+
 struct RecordingObserver : LocalObserver {
   void on_publish(const EnvelopePtr& env, std::size_t subs) override {
     publishes.emplace_back(env->channel, subs);
@@ -253,14 +274,17 @@ struct RecordingObserver : LocalObserver {
   void on_unsubscribe(ConnId, const Channel& channel, NodeId) override {
     unsubscribes.push_back(channel);
   }
-  void on_disconnect(ConnId, const std::vector<Channel>& channels, CloseReason) override {
+  void on_disconnect(ConnId, const std::vector<Channel>& channels,
+                     const std::vector<std::string>& patterns, CloseReason) override {
     disconnect_channels = channels;
+    disconnect_patterns = patterns;
     ++disconnects;
   }
   std::vector<std::pair<Channel, std::size_t>> publishes;
   std::vector<Channel> subscribes;
   std::vector<Channel> unsubscribes;
   std::vector<Channel> disconnect_channels;
+  std::vector<std::string> disconnect_patterns;
   int disconnects = 0;
 };
 
@@ -283,6 +307,36 @@ TEST(PubSubServer, ObserverSeesAllEvents) {
   EXPECT_EQ(obs.unsubscribes, (std::vector<Channel>{"b"}));
   EXPECT_EQ(obs.disconnects, 1);
   EXPECT_EQ(obs.disconnect_channels, (std::vector<Channel>{"a"}));
+}
+
+TEST(PubSubServer, PatternConnectionBookkeeping) {
+  ServerFixture f;
+  const NodeId cn = f.add_client_node();
+  const ConnId a = f.server.open_connection(cn, nullptr, nullptr);
+  const ConnId b = f.server.open_connection(cn, nullptr, nullptr);
+  EXPECT_EQ(f.server.pattern_connection_count(), 0u);
+
+  f.server.handle_psubscribe(a, "tile:*");
+  f.server.handle_psubscribe(a, "room:*");  // same conn: still one entry
+  f.server.handle_psubscribe(b, "*");
+  EXPECT_EQ(f.server.pattern_connection_count(), 2u);
+
+  // Dropping one of two patterns keeps the connection listed; dropping the
+  // last removes it.
+  f.server.handle_punsubscribe(a, "tile:*");
+  EXPECT_EQ(f.server.pattern_connection_count(), 2u);
+  f.server.handle_punsubscribe(a, "room:*");
+  EXPECT_EQ(f.server.pattern_connection_count(), 1u);
+
+  // Closing a connection with live patterns cleans up and reports them to
+  // observers.
+  RecordingObserver obs;
+  f.server.add_observer(&obs);
+  f.server.handle_psubscribe(b, "x:*");
+  f.server.close_connection(b);
+  EXPECT_EQ(f.server.pattern_connection_count(), 0u);
+  ASSERT_EQ(obs.disconnects, 1);
+  EXPECT_EQ(obs.disconnect_patterns, (std::vector<std::string>{"*", "x:*"}));
 }
 
 TEST(PubSubServer, RemoveObserverStopsCallbacks) {
