@@ -31,6 +31,7 @@ GameExperimentConfig base_config() {
   config.schedule = {{seconds(0), 120}, {seconds(60), 120}, {seconds(420), 1200}};
   config.duration = seconds(480);
   config.sample_interval = seconds(10);
+  config.record_metrics_windows = true;
   return config;
 }
 
@@ -57,6 +58,10 @@ int main() {
   const GameExperimentResult dyn = run_game_experiment(dynamoth_config);
   print_run("Dynamoth (Fig 5a/5b/5c series)", dyn);
   dyn.series.save_csv("fig5_dynamoth.csv");
+  dyn.metrics.save_windows_csv("fig5_dynamoth_metrics.csv");
+
+  std::printf("\n-- Dynamoth rebalance audit timeline --\n");
+  dyn.audit.write_timeline(std::cout);
 
   GameExperimentConfig hash_config = base_config();
   hash_config.balancer = BalancerKind::kConsistentHashing;

@@ -10,9 +10,12 @@
 // because scale-down has lower priority; scale-down itself causes no
 // latency spikes.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "mammoth/experiments.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 
 int main() {
   using namespace dynamoth;
@@ -20,6 +23,11 @@ int main() {
 
   std::printf("== Figure 7: handling a varying number of players ==\n");
   std::printf("   ramp to 800, drop to 200, climb back to ~600\n\n");
+
+  // Flight recorder on for the whole run: control-plane events (plans,
+  // switches, LLA reports, spawns) land in fig7_trace.json; with
+  // -DDYNAMOTH_TRACING=ON the per-message hot points appear too.
+  obs::trace().set_enabled(true);
 
   exp::GameExperimentConfig config = exp::default_game_experiment();
   config.seed = 99;
@@ -29,6 +37,7 @@ int main() {
                      {seconds(630), 580}};
   config.duration = seconds(630);
   config.sample_interval = seconds(10);
+  config.record_metrics_windows = true;
 
   const exp::GameExperimentResult result = run_game_experiment(config);
 
@@ -36,11 +45,14 @@ int main() {
   result.series.print_table(std::cout);
   result.series.save_csv("fig7_elasticity.csv");
 
-  std::printf("\nrebalancing events:\n");
+  std::printf("\n-- rebalance audit timeline --\n");
+  result.audit.write_timeline(std::cout);
+  {
+    std::ofstream os("fig7_audit.txt");
+    result.audit.write_timeline(os);
+  }
   std::size_t scale_downs = 0;
   for (const auto& event : result.events) {
-    std::printf("  t=%7.1fs  %-13s %zu servers\n", to_seconds(event.time),
-                core::to_string(event.kind), event.active_servers);
     if (event.kind == core::RebalanceKind::kLowLoad) ++scale_downs;
   }
   std::printf("\npeak servers: %.0f | final servers: %.0f | low-load rebalances: %zu\n",
@@ -51,6 +63,17 @@ int main() {
               static_cast<double>(result.rtt_us.percentile(99)) / 1000.0);
   std::printf("elastic fleet used %.2f server-hours vs %.2f for a static max fleet\n",
               result.server_hours, result.static_fleet_hours);
-  std::printf("(series saved to fig7_elasticity.csv)\n");
+
+  result.metrics.save_windows_csv("fig7_metrics.csv");
+  result.metrics.save_json("fig7_metrics.json");
+  obs::save_chrome_trace(obs::trace(), "fig7_trace.json");
+  std::printf(
+      "flight recorder: %llu events recorded (%llu dropped) -> fig7_trace.json "
+      "(load in Perfetto / chrome://tracing)\n",
+      static_cast<unsigned long long>(obs::trace().recorded()),
+      static_cast<unsigned long long>(obs::trace().dropped()));
+  std::printf(
+      "(series: fig7_elasticity.csv | audit: fig7_audit.txt | metrics: "
+      "fig7_metrics.{csv,json})\n");
   return 0;
 }

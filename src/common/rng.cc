@@ -7,6 +7,7 @@ namespace dynamoth {
 
 std::uint64_t Rng::next() {
   // xorshift64* — tiny, fast, and statistically fine for simulation use.
+  ++total_draws_;
   std::uint64_t x = state_;
   x ^= x >> 12;
   x ^= x << 25;

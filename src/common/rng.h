@@ -31,6 +31,11 @@ class Rng {
   /// Next raw 64 random bits (xorshift64*).
   std::uint64_t next();
 
+  /// Process-wide count of draws across every Rng instance. The simulation
+  /// is single-threaded by design; the determinism guards assert this count
+  /// is identical run-to-run (and unaffected by observability toggles).
+  [[nodiscard]] static std::uint64_t total_draws() { return total_draws_; }
+
   /// Uniform double in [0, 1).
   double uniform();
 
@@ -53,6 +58,8 @@ class Rng {
   double lognormal(double mu, double sigma);
 
  private:
+  static inline std::uint64_t total_draws_ = 0;
+
   std::uint64_t state_;
 };
 

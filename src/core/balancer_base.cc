@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace dynamoth::core {
 
@@ -145,12 +146,21 @@ std::map<Channel, double> BalancerBase::channel_out_rates(ServerId server) const
   return rates;
 }
 
-void BalancerBase::publish_plan(Plan plan, RebalanceKind kind) {
+void BalancerBase::publish_plan(Plan plan, RebalanceKind kind, obs::RebalanceRecord record) {
   plan.set_id(next_plan_id_++);
   auto frozen = std::make_shared<const Plan>(std::move(plan));
   plan_ = frozen;
+  record.time = sim_.now();
+  record.plan_id = frozen->id();
+  record.kind = to_string(kind);
+  record.active_servers = servers_.size();
+  record.since_last_plan = sim_.now() - last_plan_time_;
+  audit_.append(std::move(record));
   last_plan_time_ = sim_.now();
   events_.push_back(RebalanceEvent{sim_.now(), kind, frozen->id(), servers_.size()});
+  DYN_TRACE(instant(sim_.now(), node_, "rebalance", to_string(kind), "plan_id",
+                    static_cast<double>(frozen->id()), "servers",
+                    static_cast<double>(servers_.size())));
 
   if (plan_delivery_) {
     // Direct LB -> dispatcher transport (the deployment default).
@@ -171,6 +181,15 @@ void BalancerBase::publish_plan(Plan plan, RebalanceKind kind) {
     }
   }
   if (plan_listener_) plan_listener_(frozen, kind);
+}
+
+void BalancerBase::record_audit_only(RebalanceKind kind, obs::RebalanceRecord record) {
+  record.time = sim_.now();
+  record.plan_id = 0;
+  record.kind = to_string(kind);
+  record.active_servers = servers_.size();
+  record.since_last_plan = sim_.now() - last_plan_time_;
+  audit_.append(std::move(record));
 }
 
 }  // namespace dynamoth::core

@@ -15,6 +15,7 @@
 
 #include "common/types.h"
 #include "core/cloud.h"
+#include "obs/audit.h"
 #include "core/consistent_hash.h"
 #include "core/control.h"
 #include "core/plan.h"
@@ -69,6 +70,9 @@ class BalancerBase {
 
   [[nodiscard]] const PlanPtr& current_plan() const { return plan_; }
   [[nodiscard]] const std::vector<RebalanceEvent>& events() const { return events_; }
+  /// Audit trail of every published plan: trigger thresholds, channel moves,
+  /// hysteresis state. Queryable from tests, dumpable as a timeline.
+  [[nodiscard]] const obs::RebalanceAuditLog& audit() const { return audit_; }
   [[nodiscard]] std::size_t active_server_count() const { return servers_.size(); }
   [[nodiscard]] std::vector<ServerId> active_servers() const;
 
@@ -107,8 +111,14 @@ class BalancerBase {
   /// Periodic decision hook.
   virtual void decide() = 0;
 
-  /// Stamps, freezes, broadcasts and records a new plan.
-  void publish_plan(Plan plan, RebalanceKind kind);
+  /// Stamps, freezes, broadcasts and records a new plan. `record` carries the
+  /// decision context (triggers, channel moves) assembled by the subclass;
+  /// time/plan_id/kind/active_servers are stamped here.
+  void publish_plan(Plan plan, RebalanceKind kind, obs::RebalanceRecord record = {});
+
+  /// Records a decision round that did NOT emit a plan but still changed
+  /// cloud state (e.g. spawn-only rounds waiting for capacity).
+  void record_audit_only(RebalanceKind kind, obs::RebalanceRecord record);
 
   [[nodiscard]] const std::map<ServerId, ServerState>& servers() const { return servers_; }
   [[nodiscard]] std::map<ServerId, ServerState>& servers_mut() { return servers_; }
@@ -134,6 +144,7 @@ class BalancerBase {
   PlanPtr plan_;
   std::map<ServerId, ServerState> servers_;
   std::vector<RebalanceEvent> events_;
+  obs::RebalanceAuditLog audit_;
   ClientId client_id_;
   std::uint64_t next_seq_ = 1;
   sim::PeriodicTask ticker_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace dynamoth::core {
 
@@ -188,6 +189,9 @@ ps::EnvelopePtr DynamothClient::publish(const Channel& channel, std::size_t payl
   env->entry_version = st.entry.version;
 
   ++stats_.published;
+  DYN_TRACE_HOT(instant(sim_.now(), node_, "client", "publish", "server",
+                        static_cast<double>(st.entry.primary()), "version",
+                        static_cast<double>(st.entry.version)));
   switch (st.entry.mode) {
     case ReplicationMode::kNone:
       if (ps::RemoteConnection* conn = connection(st.entry.primary())) {
@@ -294,6 +298,8 @@ void DynamothClient::on_deliver(ServerId /*from*/, const ps::EnvelopePtr& env) {
       // Published on the data channel by the old owner's dispatcher.
       if (const auto* body = dynamic_cast<const EntryUpdateBody*>(env->body.get())) {
         ++stats_.switches_followed;
+        DYN_TRACE(instant(sim_.now(), node_, "client", "switch-followed", "version",
+                          static_cast<double>(body->entry.version)));
         apply_entry(body->channel, body->entry);
       }
       return;
@@ -322,6 +328,8 @@ void DynamothClient::on_deliver(ServerId /*from*/, const ps::EnvelopePtr& env) {
 void DynamothClient::on_closed(ServerId from, ps::CloseReason /*reason*/) {
   if (shut_down_) return;
   ++stats_.connection_drops;
+  DYN_TRACE(instant(sim_.now(), node_, "client", "connection-drop", "server",
+                    static_cast<double>(from)));
 
   // The stub is dead; drop it (deferred: we may be inside its callback).
   std::weak_ptr<bool> alive = alive_;

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "obs/trace.h"
 
 namespace dynamoth::core {
 
@@ -96,6 +97,9 @@ void Dispatcher::apply_plan(PlanPtr plan) {
   const PlanPtr old_plan = plan_;
   plan_ = std::move(plan);
   ++stats_.plans_applied;
+  DYN_TRACE(instant(sim_.now(), self_, "dispatcher", "plan-apply", "plan_id",
+                    static_cast<double>(plan_->id()), "entries",
+                    static_cast<double>(plan_->entries().size())));
   const SimTime expires = sim_.now() + config_.forward_timeout;
 
   // Diff over the union of explicitly mapped channels; fallback-mapped
@@ -304,6 +308,8 @@ bool Dispatcher::send_switch(const Channel& channel, const PlanEntry& target) {
   // Published on the data channel via the local server so every still-local
   // subscriber receives it (paper IV-A2 step 6).
   local_conn_->publish(make_ctl(ps::MsgKind::kSwitch, channel, std::move(body)));
+  DYN_TRACE(instant(sim_.now(), self_, "dispatcher", "switch", "version",
+                    static_cast<double>(target.version)));
   return true;
 }
 
@@ -316,6 +322,8 @@ void Dispatcher::send_wrong_server(ClientId publisher, const Channel& channel,
   local_conn_->publish(
       make_ctl(ps::MsgKind::kWrongServer, client_control_channel(publisher), std::move(body)));
   ++stats_.wrong_server_replies;
+  DYN_TRACE(instant(sim_.now(), self_, "dispatcher", "wrong-server", "version",
+                    static_cast<double>(entry.version())));
 }
 
 void Dispatcher::forward(const ps::EnvelopePtr& env, ServerId target,
@@ -329,6 +337,8 @@ void Dispatcher::forward(const ps::EnvelopePtr& env, ServerId target,
   copy->entry_version = entry_version;
   conn->publish(std::move(copy));
   ++stats_.forwards_to_owner;
+  DYN_TRACE_HOT(instant(sim_.now(), self_, "dispatcher", "forward", "target",
+                        static_cast<double>(target)));
 }
 
 void Dispatcher::maybe_send_drain_notice(ChannelId cid, const Channel& channel) {
@@ -348,6 +358,8 @@ void Dispatcher::send_drain_notice(const Channel& channel, const PlanEntry& targ
     body->drained_server = self_;
     conn->publish(make_ctl(ps::MsgKind::kDrainNotice, kDispatcherChannel, std::move(body)));
     ++stats_.drain_notices_sent;
+    DYN_TRACE(instant(sim_.now(), self_, "dispatcher", "drain-notice", "target",
+                      static_cast<double>(s)));
   }
 }
 

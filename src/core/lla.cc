@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace dynamoth::core {
 
@@ -154,6 +155,9 @@ void LocalLoadAnalyzer::emit_report() {
   }
 
   last_load_ratio_ = report.load_ratio();
+  DYN_TRACE(instant(now, server_.node(), "lla", "report", "load_ratio", last_load_ratio_,
+                    "channels", static_cast<double>(report.channels.size())));
+  DYN_TRACE(counter(now, server_.node(), "lla", "load_ratio", last_load_ratio_));
   window_.clear();
   window_start_bytes_ = bytes_now;
   window_start_time_ = now;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace dynamoth::core {
 
@@ -140,7 +143,12 @@ std::vector<ServerId> DynamothLoadBalancer::servers_by_load(
 }
 
 void DynamothLoadBalancer::apply_entry_change(Round& r, const Channel& channel,
-                                              const PlanEntry& new_entry) {
+                                              const PlanEntry& new_entry, std::string reason) {
+  const PlanEntry before = r.plan.resolve(channel, *base_ring_);
+  r.rec.moves.push_back(obs::ChannelMove{channel, before.servers, new_entry.servers,
+                                         to_string(before.mode), to_string(new_entry.mode),
+                                         new_entry.version, std::move(reason)});
+
   // Remove the channel's measured load from wherever it currently is.
   double total = 0;
   for (auto& [server, rates] : r.rates) {
@@ -200,7 +208,9 @@ void DynamothLoadBalancer::repair_dead_entries(Round& r) {
     }
     repairs.emplace_back(channel, std::move(fixed));
   }
-  for (auto& [channel, entry] : repairs) apply_entry_change(r, channel, entry);
+  for (auto& [channel, entry] : repairs) {
+    apply_entry_change(r, channel, entry, "repair: entry referenced dead server");
+  }
 }
 
 void DynamothLoadBalancer::channel_level_rebalance(Round& r) {
@@ -272,7 +282,19 @@ void DynamothLoadBalancer::channel_level_rebalance(Round& r) {
         ++lb_stats_.replications_started;
       }
     }
-    apply_entry_change(r, channel, entry);
+    char why[112];
+    if (want == ReplicationMode::kNone) {
+      std::snprintf(why, sizeof why,
+                    "replication cancelled (p_ratio %.1f, s_ratio %.1f below thresholds)",
+                    p_ratio, s_ratio);
+    } else if (want == ReplicationMode::kAllSubscribers) {
+      std::snprintf(why, sizeof why, "p_ratio %.1f > %.1f -> %zu replicas", p_ratio,
+                    config_.all_subs_threshold, entry.servers.size());
+    } else {
+      std::snprintf(why, sizeof why, "s_ratio %.1f > %.1f -> %zu replicas", s_ratio,
+                    config_.all_pubs_threshold, entry.servers.size());
+    }
+    apply_entry_change(r, channel, entry, why);
     r.kind = RebalanceKind::kChannelLevel;
   }
 }
@@ -300,6 +322,10 @@ void DynamothLoadBalancer::high_load_rebalance(Round& r) {
     const bool cpu_bound =
         config_.cpu_aware && est_cpu(r, h_max) / config_.cpu_high >
                                  est_lr(r, h_max) / config_.lr_high;
+    r.rec.triggers.push_back(obs::RebalanceTrigger{
+        cpu_bound ? "CPU >= cpu_high" : "LR >= lr_high", h_max,
+        cpu_bound ? est_cpu(r, h_max) : est_lr(r, h_max),
+        cpu_bound ? config_.cpu_high : config_.lr_high});
 
     bool stuck = false;
     while (est_lr(r, h_max) >= config_.lr_safe ||
@@ -355,14 +381,17 @@ void DynamothLoadBalancer::high_load_rebalance(Round& r) {
       entry.servers = {h_min};
       entry.mode = ReplicationMode::kNone;
       entry.version = r.plan.resolve(busiest, *base_ring_).version + 1;
-      apply_entry_change(r, busiest, entry);
+      char why[80];
+      std::snprintf(why, sizeof why, "busiest %s channel on overloaded server %u",
+                    cpu_bound ? "cpu" : "egress", h_max);
+      apply_entry_change(r, busiest, entry, why);
       moved_this_round.insert(busiest);
       ++lb_stats_.channels_migrated;
     }
 
     if (stuck) {
       // Migrations alone cannot relieve the hot spot: rent a server.
-      request_spawn_if_possible();
+      if (request_spawn_if_possible()) r.rec.spawn_requested = true;
       return;
     }
   }
@@ -388,6 +417,8 @@ void DynamothLoadBalancer::low_load_rebalance(Round& r) {
     }
   }
   if (victim == kInvalidServer) return;
+  r.rec.triggers.push_back(
+      obs::RebalanceTrigger{"avg LR < lr_low", victim, avg, config_.lr_low});
 
   // Drain: move every channel off the victim while targets stay safe.
   // Collect first (apply_entry_change mutates r.rates[victim]).
@@ -413,7 +444,9 @@ void DynamothLoadBalancer::low_load_rebalance(Round& r) {
       PlanEntry entry = current;
       std::erase(entry.servers, victim);
       entry.version = current.version + 1;
-      apply_entry_change(r, channel, entry);
+      char why[64];
+      std::snprintf(why, sizeof why, "shrink replicas off draining server %u", victim);
+      apply_entry_change(r, channel, entry, why);
       r.kind = RebalanceKind::kLowLoad;
       continue;
     }
@@ -433,7 +466,9 @@ void DynamothLoadBalancer::low_load_rebalance(Round& r) {
     entry.servers = {target};
     entry.mode = ReplicationMode::kNone;
     entry.version = current.version + 1;
-    apply_entry_change(r, channel, entry);
+    char why[64];
+    std::snprintf(why, sizeof why, "drain underloaded server %u", victim);
+    apply_entry_change(r, channel, entry, why);
     r.kind = RebalanceKind::kLowLoad;
     ++lb_stats_.channels_migrated;
   }
@@ -445,27 +480,35 @@ void DynamothLoadBalancer::low_load_rebalance(Round& r) {
     releasing_.insert(victim);
     r.changed = true;
     r.kind = RebalanceKind::kLowLoad;
+    r.rec.drained_server = victim;
     const ServerId id = victim;
     sim_.schedule_after(config_.despawn_drain_delay, [this, id] { release_server(id); });
   }
 }
 
-void DynamothLoadBalancer::request_spawn_if_possible() {
-  if (cloud_ == nullptr || spawn_pending_) return;
-  if (active_server_count() >= config_.max_servers) return;
+bool DynamothLoadBalancer::request_spawn_if_possible() {
+  if (cloud_ == nullptr || spawn_pending_) return false;
+  if (active_server_count() >= config_.max_servers) return false;
   spawn_pending_ = true;
   ++lb_stats_.servers_spawned;
+  DYN_TRACE(instant(sim_.now(), node_, "fleet", "spawn-request", "active",
+                    static_cast<double>(active_server_count())));
   cloud_->request_spawn([this](ServerId id) {
     spawn_pending_ = false;
     attach_server(id);
     force_decide_ = true;  // rebalance onto the fresh server without T_wait
+    DYN_TRACE(instant(sim_.now(), node_, "fleet", "spawn-ready", "server",
+                      static_cast<double>(id)));
   });
+  return true;
 }
 
 void DynamothLoadBalancer::release_server(ServerId server) {
   releasing_.erase(server);
   detach_server(server);
   ++lb_stats_.servers_released;
+  DYN_TRACE(instant(sim_.now(), node_, "fleet", "server-release", "server",
+                    static_cast<double>(server)));
   if (cloud_ != nullptr) cloud_->despawn(server);
 }
 
@@ -484,9 +527,16 @@ void DynamothLoadBalancer::decide() {
   high_load_rebalance(r);
   if (!forced && !r.overloaded) low_load_rebalance(r);
 
-  if (!r.changed) return;
+  r.rec.forced = forced;
+  r.rec.releasing = releasing_.size();
+  if (!r.changed) {
+    // No plan, but the round may still have changed cloud state (requested
+    // a spawn while every migration was stuck) — keep that auditable.
+    if (r.rec.spawn_requested) record_audit_only(r.kind, std::move(r.rec));
+    return;
+  }
   ++lb_stats_.plans_generated;
-  publish_plan(std::move(r.plan), r.kind);
+  publish_plan(std::move(r.plan), r.kind, std::move(r.rec));
 }
 
 }  // namespace dynamoth::core

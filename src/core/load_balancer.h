@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <string>
 
 #include "core/balancer_base.h"
 
@@ -95,6 +96,7 @@ class DynamothLoadBalancer final : public BalancerBase {
     bool changed = false;
     bool overloaded = false;  // some server above lr_high this round
     RebalanceKind kind = RebalanceKind::kChannelLevel;
+    obs::RebalanceRecord rec;  // decision context for the audit log
   };
 
   Round build_round() const;
@@ -118,13 +120,16 @@ class DynamothLoadBalancer final : public BalancerBase {
   void high_load_rebalance(Round& r);
   void low_load_rebalance(Round& r);
 
-  /// Moves all of `channel`'s estimated load to the entry's new placement.
-  void apply_entry_change(Round& r, const Channel& channel, const PlanEntry& new_entry);
+  /// Moves all of `channel`'s estimated load to the entry's new placement
+  /// and records the move (with `reason`) in the round's audit record.
+  void apply_entry_change(Round& r, const Channel& channel, const PlanEntry& new_entry,
+                          std::string reason);
   /// Least-loaded placement-eligible servers, excluding `exclude`.
   [[nodiscard]] std::vector<ServerId> servers_by_load(const Round& r,
                                                       const std::set<ServerId>& exclude) const;
 
-  void request_spawn_if_possible();
+  /// Returns true when a spawn was actually requested.
+  bool request_spawn_if_possible();
   void release_server(ServerId server);
 
   Config config_;

@@ -1,8 +1,10 @@
 #include "harness/cluster.h"
 
+#include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace dynamoth::harness {
 
@@ -71,6 +73,8 @@ ServerId Cluster::spawn_server() {
 
   if (cloud_) cloud_->note_server_started(node);  // billing starts
   stacks_.emplace(node, std::move(stack));
+  DYN_TRACE(set_track_name(node, "server " + std::to_string(node)));
+  DYN_TRACE(instant(sim_.now(), node, "fleet", "server-start"));
   return node;
 }
 
@@ -96,6 +100,7 @@ void Cluster::despawn_server(ServerId id) {
   stack.server->shutdown();
   network_->set_active(id, false);
   if (cloud_) cloud_->note_server_stopped(id);  // billing stops
+  DYN_TRACE(instant(sim_.now(), id, "fleet", "server-stop"));
   // The stack object stays alive (in-flight callbacks may reference it).
 }
 
@@ -120,6 +125,7 @@ core::DynamothLoadBalancer& Cluster::use_dynamoth(core::DynamothLoadBalancer::Co
   auto lb = std::make_unique<core::DynamothLoadBalancer>(
       sim_, *network_, registry_, base_ring_, balancer_node_, cloud_.get(), config);
   auto* raw = lb.get();
+  DYN_TRACE(set_track_name(balancer_node_, "load balancer"));
   balancer_ = std::move(lb);
   balancer_->set_plan_delivery([this](ServerId server, const core::PlanPtr& plan) {
     deliver_plan(server, plan);
@@ -141,6 +147,7 @@ baseline::ConsistentHashBalancer& Cluster::use_hash_balancer(
   auto lb = std::make_unique<baseline::ConsistentHashBalancer>(
       sim_, *network_, registry_, base_ring_, balancer_node_, cloud_.get(), config);
   auto* raw = lb.get();
+  DYN_TRACE(set_track_name(balancer_node_, "hash balancer"));
   balancer_ = std::move(lb);
   balancer_->set_plan_delivery([this](ServerId server, const core::PlanPtr& plan) {
     deliver_plan(server, plan);

@@ -1,35 +1,57 @@
 // Measurement probes shared by tests, examples and the figure benches.
 #pragma once
 
+#include <memory>
+#include <string_view>
+
 #include "common/types.h"
 #include "metrics/histogram.h"
+#include "obs/metrics_registry.h"
 
 namespace dynamoth::harness {
 
 /// Collects response times (publish -> own update received back, the paper's
 /// Figure 5c metric) with a per-window mean and an all-run histogram.
+///
+/// Backed by an obs::MetricsRegistry histogram: pass the run's registry so
+/// the samples appear in its window CSVs and JSON dump alongside every other
+/// metric, or default-construct for a standalone probe with a private
+/// registry (tests, micro-benches). Window statistics are derived by
+/// snapshotting the histogram's (count, sum) at window_reset() — one
+/// histogram serves both the per-window mean and the all-run percentiles.
 class ResponseProbe {
  public:
-  void record(SimTime rtt) {
-    window_.add(to_millis(rtt));
-    histogram_.record(rtt);  // microseconds
+  ResponseProbe() : owned_(std::make_unique<obs::MetricsRegistry>()) {
+    hist_ = &owned_->histogram("rtt_us");
   }
+  explicit ResponseProbe(obs::MetricsRegistry& registry, std::string_view name = "rtt_us")
+      : hist_(&registry.histogram(name)) {}
+
+  void record(SimTime rtt) { hist_->record(rtt); }  // microseconds
 
   /// Mean response time (ms) since the last window_reset(); 0 when no
   /// samples arrived (callers usually carry the previous value forward).
-  [[nodiscard]] double window_mean_ms() const { return window_.mean(); }
-  [[nodiscard]] std::uint64_t window_count() const { return window_.count(); }
-  void window_reset() { window_.reset(); }
+  [[nodiscard]] double window_mean_ms() const {
+    const std::uint64_t n = window_count();
+    return n ? (hist_->sum() - window_sum_) / static_cast<double>(n) / 1000.0 : 0.0;
+  }
+  [[nodiscard]] std::uint64_t window_count() const { return hist_->count() - window_count_; }
+  void window_reset() {
+    window_count_ = hist_->count();
+    window_sum_ = hist_->sum();
+  }
 
-  [[nodiscard]] const metrics::Histogram& histogram() const { return histogram_; }
-  [[nodiscard]] double overall_mean_ms() const { return histogram_.mean() / 1000.0; }
+  [[nodiscard]] const metrics::Histogram& histogram() const { return *hist_; }
+  [[nodiscard]] double overall_mean_ms() const { return hist_->mean() / 1000.0; }
   [[nodiscard]] double percentile_ms(double p) const {
-    return static_cast<double>(histogram_.percentile(p)) / 1000.0;
+    return static_cast<double>(hist_->percentile(p)) / 1000.0;
   }
 
  private:
-  metrics::Welford window_;
-  metrics::Histogram histogram_;
+  std::unique_ptr<obs::MetricsRegistry> owned_;  // only for default-constructed probes
+  metrics::Histogram* hist_ = nullptr;
+  std::uint64_t window_count_ = 0;
+  double window_sum_ = 0;
 };
 
 }  // namespace dynamoth::harness

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/check.h"
+#include "common/rng.h"
 
 namespace dynamoth::mammoth::exp {
 
@@ -75,6 +76,7 @@ std::size_t target_population(const std::vector<PopulationPoint>& schedule, SimT
 
 GameExperimentResult run_game_experiment(const GameExperimentConfig& config) {
   DYN_CHECK(!config.schedule.empty());
+  const std::uint64_t rng_draws_start = Rng::total_draws();
   harness::ClusterConfig cluster_config = config.cluster;
   cluster_config.seed = config.seed;
   harness::Cluster cluster(cluster_config);
@@ -95,7 +97,9 @@ GameExperimentResult run_game_experiment(const GameExperimentConfig& config) {
       break;
   }
 
-  harness::ResponseProbe probe;
+  GameExperimentResult result;
+  obs::MetricsRegistry& registry = result.metrics;
+  harness::ResponseProbe probe(registry, "rtt_us");
   Game game(cluster, config.game, &probe);
 
   // Population controller: follow the schedule each second.
@@ -104,21 +108,31 @@ GameExperimentResult run_game_experiment(const GameExperimentConfig& config) {
   });
   population.start_after(0);
 
-  GameExperimentResult result;
-  std::uint64_t last_msgs = 0;
-  std::size_t last_events = 0;
+  // Registry-backed accumulators: cumulative counters mirror the external
+  // totals; the sampler derives window rates from the handle values instead
+  // of hand-rolled "last_x" locals. Registering everything up front keeps
+  // the window CSV's column set stable.
+  obs::MetricsRegistry::Counter msgs_c = registry.counter("infra_msgs");
+  obs::MetricsRegistry::Counter rebalances_c = registry.counter("rebalances");
+  obs::MetricsRegistry::Gauge players_g = registry.gauge("players");
+  obs::MetricsRegistry::Gauge servers_g = registry.gauge("servers");
+  obs::MetricsRegistry::Gauge avg_lr_g = registry.gauge("avg_lr");
+  obs::MetricsRegistry::Gauge max_lr_g = registry.gauge("max_lr");
+  obs::MetricsRegistry::Gauge rt_g = registry.gauge("rt_ms");
+
   double last_rt = 0;
 
   sim::PeriodicTask sampler(cluster.sim(), config.sample_interval, [&] {
     const double t = to_seconds(cluster.sim().now());
     const std::uint64_t msgs = cluster.network().total_infrastructure_messages();
     const double msg_rate =
-        static_cast<double>(msgs - last_msgs) / to_seconds(config.sample_interval);
-    last_msgs = msgs;
+        static_cast<double>(msgs - msgs_c.value()) / to_seconds(config.sample_interval);
+    msgs_c.set(msgs);
 
     double rt = probe.window_mean_ms();
     if (probe.window_count() == 0) rt = last_rt;  // carry forward quiet windows
     last_rt = rt;
+    rt_g.set(rt);
     probe.window_reset();
 
     double avg_lr = 0, max_lr = 0;
@@ -126,18 +140,24 @@ GameExperimentResult run_game_experiment(const GameExperimentConfig& config) {
     if (balancer != nullptr) {
       avg_lr = balancer->average_load_ratio();
       max_lr = balancer->max_load_ratio().second;
-      rebalances = balancer->events().size() - last_events;
-      last_events = balancer->events().size();
+      rebalances = balancer->events().size() - rebalances_c.value();
+      rebalances_c.set(balancer->events().size());
     }
+    avg_lr_g.set(avg_lr);
+    max_lr_g.set(max_lr);
 
     const auto players = static_cast<double>(game.active_players());
     const auto servers = static_cast<double>(cluster.active_servers());
+    players_g.set(players);
+    servers_g.set(servers);
     result.series.add_row({t, players, msg_rate, servers, rt, avg_lr, max_lr,
                            static_cast<double>(rebalances)});
     if (rt > 0 && rt <= config.rt_threshold_ms) {
       result.max_players_ok = std::max(result.max_players_ok, players);
     }
     result.peak_servers = std::max(result.peak_servers, servers);
+
+    if (config.record_metrics_windows) registry.end_window(cluster.sim().now());
   });
   sampler.start();
 
@@ -147,6 +167,7 @@ GameExperimentResult run_game_experiment(const GameExperimentConfig& config) {
   sampler.stop();
   if (balancer != nullptr) {
     result.events = balancer->events();
+    result.audit = balancer->audit();
   }
   result.rtt_us = probe.histogram();
   result.server_hours = cluster.cloud().server_hours(cluster.sim().now());
@@ -156,9 +177,12 @@ GameExperimentResult run_game_experiment(const GameExperimentConfig& config) {
   result.static_fleet_hours = core::Cloud::static_fleet_hours(max_fleet, cluster.sim().now());
   result.total_updates = game.total_updates_published();
   result.executed_events = cluster.sim().executed_events();
+  result.rng_draws = Rng::total_draws() - rng_draws_start;
   for (std::size_t i = 0; i < game.total_players_created(); ++i) {
     result.connection_drops += game.player(i).client().stats().connection_drops;
   }
+  registry.counter("connection_drops").set(result.connection_drops);
+  registry.counter("total_updates").set(result.total_updates);
   return result;
 }
 

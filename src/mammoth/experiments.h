@@ -14,6 +14,8 @@
 #include "mammoth/game.h"
 #include "metrics/histogram.h"
 #include "metrics/series.h"
+#include "obs/audit.h"
+#include "obs/metrics_registry.h"
 
 namespace dynamoth::mammoth::exp {
 
@@ -42,6 +44,12 @@ struct GameExperimentConfig {
   /// Playing quality bound (paper V-D: "optimal if the average response
   /// time remains below 150 ms").
   double rt_threshold_ms = 150.0;
+
+  /// Close a metrics-registry window every sample_interval (one CSV row per
+  /// sample in result.metrics). Off by default: the registry still
+  /// accumulates, it just keeps no window table. Must not perturb the run —
+  /// the determinism guard compares runs with this on and off.
+  bool record_metrics_windows = false;
 };
 
 struct GameExperimentResult {
@@ -59,6 +67,14 @@ struct GameExperimentResult {
   /// Total simulator events executed over the run; a cheap fingerprint of
   /// the whole event sequence, used by the determinism guard test.
   std::uint64_t executed_events = 0;
+  /// RNG draws consumed by the run (process-wide delta); with
+  /// executed_events, pins the exact stochastic trajectory.
+  std::uint64_t rng_draws = 0;
+  /// The run's metrics registry (rtt histogram, rate counters, LR gauges;
+  /// window rows when record_metrics_windows was set).
+  obs::MetricsRegistry metrics;
+  /// The balancer's rebalance audit log (empty for BalancerKind::kNone).
+  obs::RebalanceAuditLog audit;
 };
 
 /// Builds a default config matching the paper's Experiment 2/3 setup scaled

@@ -41,13 +41,14 @@ double Histogram::mean() const { return count_ ? sum_ / static_cast<double>(coun
 
 std::int64_t Histogram::percentile(double p) const {
   if (count_ == 0) return 0;
-  p = std::clamp(p, 0.0, 100.0);
+  if (p <= 0.0) return min_;  // catches -inf too
+  if (std::isnan(p) || p >= 100.0) return max_;
   const auto target = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_))));
   std::uint64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
     seen += buckets_[static_cast<std::size_t>(i)];
-    if (seen >= target) return std::min(bucket_upper_bound(i), max_);
+    if (seen >= target) return std::clamp(bucket_upper_bound(i), min_, max_);
   }
   return max_;
 }

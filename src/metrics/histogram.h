@@ -21,11 +21,14 @@ class Histogram {
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double mean() const;
+  [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] std::int64_t min() const { return count_ ? min_ : 0; }
   [[nodiscard]] std::int64_t max() const { return count_ ? max_ : 0; }
 
-  /// Value at percentile p in [0, 100]. Returns an upper bound of the bucket
-  /// containing the p-th sample; 0 when empty.
+  /// Value at percentile p. Returns an upper bound of the bucket containing
+  /// the p-th sample, clamped to [min(), max()]. Edge cases are defined as:
+  /// empty histogram -> 0; p <= 0 (incl. -inf) -> min(); p >= 100, +inf or
+  /// NaN -> max().
   [[nodiscard]] std::int64_t percentile(double p) const;
 
   void merge(const Histogram& other);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace dynamoth::net {
 
@@ -43,6 +44,8 @@ SimTime Network::send(NodeId from, NodeId to, std::size_t bytes, DeliverFn on_de
   // regardless of which branch runs. Determinism before speed.
   const SimTime prop = latency_->sample(src.config.kind, nodes_[to].config.kind, rng_);
   const SimTime arrival = src.egress_free + prop;
+  DYN_TRACE_HOT(complete(start, arrival - start, from, "net", "send", "to",
+                         static_cast<double>(to), "bytes", static_cast<double>(bytes)));
   if (extra_delay == 0 && min_arrival <= arrival) {
     // Fast path: no receive-drain delay and per-connection FIFO already
     // satisfied by the egress queue — the common case for control traffic

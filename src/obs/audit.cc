@@ -1,0 +1,89 @@
+#include "obs/audit.h"
+
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace dynamoth::obs {
+
+namespace {
+
+void write_servers(std::ostream& os, const std::vector<ServerId>& servers) {
+  os << '{';
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    if (i > 0) os << ',';
+    os << servers[i];
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void write_timeline_entry(std::ostream& os, const RebalanceRecord& record) {
+  char head[160];
+  if (record.plan_id != 0) {
+    std::snprintf(head, sizeof head, "t=%8.1fs  plan #%llu  [%s]  %zu servers",
+                  to_seconds(record.time), static_cast<unsigned long long>(record.plan_id),
+                  record.kind.c_str(), record.active_servers);
+  } else {
+    std::snprintf(head, sizeof head, "t=%8.1fs  (no plan)  [%s]  %zu servers",
+                  to_seconds(record.time), record.kind.c_str(), record.active_servers);
+  }
+  os << head;
+  if (record.forced) os << "  forced(T_wait bypassed)";
+  if (record.spawn_requested) os << "  spawn-requested";
+  if (record.releasing > 0) os << "  releasing:" << record.releasing;
+  if (record.drained_server != kInvalidServer) os << "  draining server " << record.drained_server;
+  os << '\n';
+
+  for (const RebalanceTrigger& trigger : record.triggers) {
+    char line[192];
+    if (trigger.server != kInvalidServer) {
+      std::snprintf(line, sizeof line, "    trigger: server %u  %s  (%.3f vs %.3f)\n",
+                    trigger.server, trigger.reason.c_str(), trigger.value, trigger.threshold);
+    } else {
+      std::snprintf(line, sizeof line, "    trigger: %s  (%.3f vs %.3f)\n",
+                    trigger.reason.c_str(), trigger.value, trigger.threshold);
+    }
+    os << line;
+  }
+  for (const ChannelMove& move : record.moves) {
+    os << "    " << move.channel << "  v" << move.version << "  ";
+    write_servers(os, move.from);
+    os << " -> ";
+    write_servers(os, move.to);
+    if (move.mode_from != move.mode_to) {
+      os << "  mode " << move.mode_from << " -> " << move.mode_to;
+    } else if (!move.mode_to.empty() && move.mode_to != "none") {
+      os << "  [" << move.mode_to << "]";
+    }
+    if (!move.reason.empty()) os << "  (" << move.reason << ')';
+    os << '\n';
+  }
+}
+
+void RebalanceAuditLog::append(RebalanceRecord record) {
+  records_.push_back(std::move(record));
+  ++total_;
+  while (records_.size() > capacity_) records_.pop_front();
+}
+
+const RebalanceRecord& RebalanceAuditLog::back() const {
+  DYN_CHECK(!records_.empty());
+  return records_.back();
+}
+
+void RebalanceAuditLog::write_timeline(std::ostream& os) const {
+  if (total_ > records_.size()) {
+    os << "(" << total_ - records_.size() << " older records evicted)\n";
+  }
+  for (const RebalanceRecord& record : records_) write_timeline_entry(os, record);
+}
+
+void RebalanceAuditLog::clear() {
+  records_.clear();
+  total_ = 0;
+}
+
+}  // namespace dynamoth::obs

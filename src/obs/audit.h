@@ -1,0 +1,86 @@
+// Rebalance audit log: every plan the load balancer emits, recorded with
+// *why* it happened — which load-ratio threshold fired on which server,
+// which channels moved or got (de)replicated, and the hysteresis state
+// (T_wait forcing, pending spawns, draining servers) at decision time.
+//
+// The paper's Algorithms 1/2 are described purely in terms of these
+// triggers, yet the reproduction previously only counted rebalances. The
+// audit log makes each decision queryable from tests and dumpable as a
+// human-readable timeline by the figure benches.
+//
+// Kinds/modes/reasons are plain strings so this layer stays below core/ in
+// the dependency order (core fills records; obs never includes core).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dynamoth::obs {
+
+/// One threshold crossing that contributed to a decision.
+struct RebalanceTrigger {
+  std::string reason;  // e.g. "LR >= lr_high", "avg LR < lr_low"
+  ServerId server = kInvalidServer;
+  double value = 0;      // the measured quantity (LR, CPU, ratio)
+  double threshold = 0;  // the configured bound it crossed
+};
+
+/// One channel whose plan entry changed in this decision.
+struct ChannelMove {
+  Channel channel;
+  std::vector<ServerId> from, to;
+  std::string mode_from, mode_to;  // replication modes, to_string'd
+  std::uint64_t version = 0;       // new entry version
+  std::string reason;              // e.g. "busiest on overloaded server 3"
+};
+
+/// One emitted plan (or spawn-only decision) with its full context.
+struct RebalanceRecord {
+  SimTime time = 0;
+  std::uint64_t plan_id = 0;  // 0: no plan emitted (e.g. spawn-only round)
+  std::string kind;           // RebalanceKind, to_string'd
+  std::size_t active_servers = 0;
+
+  // Hysteresis state at decision time.
+  bool forced = false;           // T_wait bypassed (fresh server arrived)
+  bool spawn_requested = false;  // decision asked the cloud for a server
+  std::size_t releasing = 0;     // servers draining toward release
+  SimTime since_last_plan = 0;   // time since the previous plan
+
+  ServerId drained_server = kInvalidServer;  // low-load victim, if any
+  std::vector<RebalanceTrigger> triggers;
+  std::vector<ChannelMove> moves;
+};
+
+/// Writes one record as a small human-readable block (used by the figure
+/// benches' timelines).
+void write_timeline_entry(std::ostream& os, const RebalanceRecord& record);
+
+/// Capacity-bounded record store; evicts oldest. Owned by each balancer.
+class RebalanceAuditLog {
+ public:
+  explicit RebalanceAuditLog(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void append(RebalanceRecord record);
+
+  [[nodiscard]] const std::deque<RebalanceRecord>& records() const { return records_; }
+  /// Records ever appended (including evicted ones).
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Most recent record; aborts when empty.
+  [[nodiscard]] const RebalanceRecord& back() const;
+
+  void write_timeline(std::ostream& os) const;
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+  std::deque<RebalanceRecord> records_;
+};
+
+}  // namespace dynamoth::obs

@@ -1,0 +1,206 @@
+#include "obs/metrics_registry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace dynamoth::obs {
+
+namespace {
+
+/// Same CSV number format as metrics::Series: integers plain, fractions to
+/// three decimals — deterministic and diff-friendly.
+std::string format_value(double v) {
+  char buf[32];
+  if (std::abs(v - std::round(v)) < 1e-9 && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+const MetricsRegistry::Meta* MetricsRegistry::find(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? nullptr : &metas_[it->second];
+}
+
+std::uint32_t MetricsRegistry::register_metric(std::string_view name, Kind kind) {
+  if (const Meta* meta = find(name); meta != nullptr) {
+    DYN_CHECK(meta->kind == kind && "metric re-registered with a different kind");
+    return meta->index;
+  }
+  std::uint32_t index = 0;
+  switch (kind) {
+    case Kind::kCounter:
+      index = static_cast<std::uint32_t>(counters_.size());
+      counters_.push_back(0);
+      last_counter_.push_back(0);
+      break;
+    case Kind::kGauge:
+      index = static_cast<std::uint32_t>(gauges_.size());
+      gauges_.push_back(0);
+      break;
+    case Kind::kHistogram:
+      index = static_cast<std::uint32_t>(histograms_.size());
+      histograms_.emplace_back();
+      last_hist_.push_back({});
+      break;
+  }
+  by_name_.emplace(std::string(name), static_cast<std::uint32_t>(metas_.size()));
+  metas_.push_back(Meta{std::string(name), kind, index});
+  return index;
+}
+
+MetricsRegistry::Counter MetricsRegistry::counter(std::string_view name) {
+  return Counter(&counters_[register_metric(name, Kind::kCounter)]);
+}
+
+MetricsRegistry::Gauge MetricsRegistry::gauge(std::string_view name) {
+  return Gauge(&gauges_[register_metric(name, Kind::kGauge)]);
+}
+
+metrics::Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return histograms_[register_metric(name, Kind::kHistogram)];
+}
+
+bool MetricsRegistry::has(std::string_view name) const { return find(name) != nullptr; }
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const Meta* meta = find(name);
+  DYN_CHECK(meta != nullptr && meta->kind == Kind::kCounter);
+  return counters_[meta->index];
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  const Meta* meta = find(name);
+  DYN_CHECK(meta != nullptr && meta->kind == Kind::kGauge);
+  return gauges_[meta->index];
+}
+
+void MetricsRegistry::end_window(SimTime t) {
+  Row row;
+  row.end = t;
+  row.values.reserve(metas_.size() + histograms_.size());
+  for (const Meta& meta : metas_) {
+    switch (meta.kind) {
+      case Kind::kCounter: {
+        const std::uint64_t now = counters_[meta.index];
+        const std::uint64_t last = last_counter_[meta.index];
+        row.values.push_back(static_cast<double>(now - last));
+        last_counter_[meta.index] = now;
+        break;
+      }
+      case Kind::kGauge:
+        row.values.push_back(gauges_[meta.index]);
+        break;
+      case Kind::kHistogram: {
+        const metrics::Histogram& h = histograms_[meta.index];
+        HistSnap& snap = last_hist_[meta.index];
+        const std::uint64_t count = h.count() - snap.count;
+        const double sum = h.sum() - snap.sum;
+        row.values.push_back(static_cast<double>(count));
+        row.values.push_back(count > 0 ? sum / static_cast<double>(count) : 0.0);
+        snap = HistSnap{h.count(), h.sum()};
+        break;
+      }
+    }
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::vector<std::string> MetricsRegistry::window_columns() const {
+  std::vector<std::string> cols;
+  cols.reserve(1 + metas_.size() + histograms_.size());
+  cols.emplace_back("t_s");
+  for (const Meta& meta : metas_) {
+    if (meta.kind == Kind::kHistogram) {
+      cols.push_back(meta.name + ".count");
+      cols.push_back(meta.name + ".mean");
+    } else {
+      cols.push_back(meta.name);
+    }
+  }
+  return cols;
+}
+
+double MetricsRegistry::window_value(std::size_t row, std::string_view column) const {
+  DYN_CHECK(row < rows_.size());
+  const std::vector<std::string> cols = window_columns();
+  for (std::size_t c = 1; c < cols.size(); ++c) {
+    if (cols[c] != column) continue;
+    const std::size_t value_index = c - 1;
+    const Row& r = rows_[row];
+    return value_index < r.values.size() ? r.values[value_index] : 0.0;
+  }
+  if (column == "t_s") return to_seconds(rows_[row].end);
+  DYN_CHECK(false && "unknown metrics window column");
+  return 0;
+}
+
+void MetricsRegistry::write_windows_csv(std::ostream& os) const {
+  const std::vector<std::string> cols = window_columns();
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    os << cols[c] << (c + 1 < cols.size() ? ',' : '\n');
+  }
+  for (const Row& row : rows_) {
+    os << format_value(to_seconds(row.end));
+    // Columns registered after this row closed pad with 0.
+    for (std::size_t c = 1; c < cols.size(); ++c) {
+      const std::size_t i = c - 1;
+      os << ',' << format_value(i < row.values.size() ? row.values[i] : 0.0);
+    }
+    os << '\n';
+  }
+}
+
+bool MetricsRegistry::save_windows_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_windows_csv(out);
+  return static_cast<bool>(out);
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const Meta& meta : metas_) {
+    if (meta.kind != Kind::kCounter) continue;
+    os << (first ? "" : ",") << "\n    \"" << meta.name << "\": " << counters_[meta.index];
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const Meta& meta : metas_) {
+    if (meta.kind != Kind::kGauge) continue;
+    os << (first ? "" : ",") << "\n    \"" << meta.name
+       << "\": " << format_value(gauges_[meta.index]);
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const Meta& meta : metas_) {
+    if (meta.kind != Kind::kHistogram) continue;
+    const metrics::Histogram& h = histograms_[meta.index];
+    os << (first ? "" : ",") << "\n    \"" << meta.name << "\": {\"count\": " << h.count()
+       << ", \"mean\": " << format_value(h.mean()) << ", \"min\": " << h.min()
+       << ", \"max\": " << h.max() << ", \"p50\": " << h.percentile(50)
+       << ", \"p90\": " << h.percentile(90) << ", \"p99\": " << h.percentile(99) << "}";
+    first = false;
+  }
+  os << "\n  },\n  \"windows\": " << rows_.size() << "\n}\n";
+}
+
+bool MetricsRegistry::save_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace dynamoth::obs

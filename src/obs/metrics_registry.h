@@ -1,0 +1,146 @@
+// Metrics registry: interned counters, gauges and histograms with
+// per-window snapshot/diff and CSV/JSON export.
+//
+// Replaces the ad-hoc "uint64 last_x; rate = (x - last_x)/dt" accumulators
+// the figure benches and harness probes each reinvented. A registry is a
+// plain instantiable object — the experiment driver owns one per run so
+// repeated in-process runs (the determinism guards) never share state; there
+// is no global instance.
+//
+// Windowing: end_window(t) appends one row covering (previous end, t]:
+//  - counters contribute their delta since the previous window (monotonic
+//    cumulative values; use Counter::set to mirror an external cumulative
+//    counter such as Network's egress bytes),
+//  - gauges contribute their value at window end,
+//  - histograms contribute two columns, "<name>.count" (samples this
+//    window) and "<name>.mean" (mean over this window's samples).
+// Rows serialize to CSV (one column per metric, "t_s" first) and the final
+// cumulative state to JSON (with histogram percentiles), next to the bench
+// CSVs. Everything is sim-time driven: no wall clock, no allocation on the
+// record path after registration.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "metrics/histogram.h"
+
+namespace dynamoth::obs {
+
+class MetricsRegistry {
+ public:
+  /// Cheap copyable handle; add/set are branchless stores into the
+  /// registry's stable cells (std::deque never relocates).
+  class Counter {
+   public:
+    Counter() = default;
+    void add(std::uint64_t n = 1) { *cell_ += n; }
+    /// Mirrors an external cumulative counter.
+    void set(std::uint64_t v) { *cell_ = v; }
+    [[nodiscard]] std::uint64_t value() const { return *cell_; }
+
+   private:
+    friend class MetricsRegistry;
+    explicit Counter(std::uint64_t* cell) : cell_(cell) {}
+    std::uint64_t* cell_ = nullptr;
+  };
+
+  class Gauge {
+   public:
+    Gauge() = default;
+    void set(double v) { *cell_ = v; }
+    void add(double v) { *cell_ += v; }
+    [[nodiscard]] double value() const { return *cell_; }
+
+   private:
+    friend class MetricsRegistry;
+    explicit Gauge(double* cell) : cell_(cell) {}
+    double* cell_ = nullptr;
+  };
+
+  MetricsRegistry() = default;
+
+  // Copyable so results structs can carry a finished registry; handles into
+  // the source stay bound to the source.
+  MetricsRegistry(const MetricsRegistry&) = default;
+  MetricsRegistry& operator=(const MetricsRegistry&) = default;
+  MetricsRegistry(MetricsRegistry&&) = default;
+  MetricsRegistry& operator=(MetricsRegistry&&) = default;
+
+  /// Returns the handle for `name`, registering it on first sight.
+  /// Re-requesting an existing name yields a handle to the same cell;
+  /// requesting it with a different kind aborts. Register all metrics
+  /// before the first end_window so every row has the full column set.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  metrics::Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  [[nodiscard]] double gauge_value(std::string_view name) const;
+
+  // ---- windows ----
+
+  /// Closes the window ending at `t`: snapshots every metric, diffs against
+  /// the previous snapshot and appends one row.
+  void end_window(SimTime t);
+
+  [[nodiscard]] std::size_t windows() const { return rows_.size(); }
+  /// Column names of the windows table ("t_s" first).
+  [[nodiscard]] std::vector<std::string> window_columns() const;
+  /// Value of `column` in window `row` (0 for columns a late-registered
+  /// metric added after that row was closed).
+  [[nodiscard]] double window_value(std::size_t row, std::string_view column) const;
+
+  void write_windows_csv(std::ostream& os) const;
+  bool save_windows_csv(const std::string& path) const;
+
+  /// Cumulative state: counters/gauges by name, histograms with count, mean,
+  /// min/max and p50/p90/p99.
+  void write_json(std::ostream& os) const;
+  bool save_json(const std::string& path) const;
+
+  [[nodiscard]] std::size_t metric_count() const { return metas_.size(); }
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Meta {
+    std::string name;
+    Kind kind;
+    std::uint32_t index;  // into the kind's storage deque
+  };
+
+  struct Row {
+    SimTime end = 0;
+    std::vector<double> values;  // one per column, meta order at close time
+  };
+
+  [[nodiscard]] const Meta* find(std::string_view name) const;
+  std::uint32_t register_metric(std::string_view name, Kind kind);
+
+  std::vector<Meta> metas_;
+  std::unordered_map<std::string, std::uint32_t> by_name_;  // -> metas_ index
+
+  std::deque<std::uint64_t> counters_;
+  std::deque<double> gauges_;
+  std::deque<metrics::Histogram> histograms_;
+
+  // Previous-window snapshots, indexed like the storage deques.
+  std::vector<std::uint64_t> last_counter_;
+  struct HistSnap {
+    std::uint64_t count = 0;
+    double sum = 0;
+  };
+  std::vector<HistSnap> last_hist_;
+
+  std::vector<Row> rows_;
+};
+
+}  // namespace dynamoth::obs

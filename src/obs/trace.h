@@ -1,0 +1,202 @@
+// Flight-recorder trace: a fixed-capacity ring buffer of typed, sim-time
+// stamped events covering the paper's whole control loop — publish hops,
+// dispatcher forwards, SWITCH notifications, plan pushes, server spawn/drain
+// and LLA reports.
+//
+// Design constraints, in order:
+//  - The hot path must stay at PR-1 speeds. Per-message trace points
+//    (publish hops, Network::send spans, the simulator's executed-event
+//    counter track) go through DYN_TRACE_HOT, which compiles to nothing
+//    unless the build sets DYNAMOTH_TRACE_HOT=1 (CMake option
+//    DYNAMOTH_TRACING). Control-plane trace points (plans, switches,
+//    reports, spawns — a few per second) are always compiled in behind a
+//    single predictable enabled() branch, so the default build can still
+//    capture a useful trace at runtime.
+//  - Recording must never perturb the simulation: events carry sim-time
+//    stamps passed by the caller (no wall clock, no RNG), the ring is
+//    preallocated when tracing is enabled, and category/name/arg-key strings
+//    are interned to 16-bit ids so a record is a fixed-size POD store.
+//  - Bounded memory: the ring overwrites its oldest events; dropped() says
+//    how many were lost.
+//
+// The recorder is process-global (like ChannelTable) and single-threaded by
+// design, matching the simulator that drives all callers. Export with
+// obs::write_chrome_trace (trace_export.h) and load the result in Perfetto
+// or chrome://tracing — one track per network node.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+#ifndef DYNAMOTH_TRACE_HOT
+#define DYNAMOTH_TRACE_HOT 0
+#endif
+
+namespace dynamoth::obs {
+
+/// True when hot-path trace points are compiled in (CMake -DDYNAMOTH_TRACING=ON).
+inline constexpr bool kTraceHotCompiled = DYNAMOTH_TRACE_HOT != 0;
+
+/// Interned id for a category/name/arg-key string. Id 0 is the empty string.
+using TraceStrId = std::uint16_t;
+inline constexpr TraceStrId kEmptyTraceStr = 0;
+
+/// Chrome trace-event phases supported by the recorder.
+enum class TracePhase : std::uint8_t {
+  kInstant,   // "i": a point event on a node's track
+  kComplete,  // "X": a span [ts, ts+dur] on a node's track
+  kCounter,   // "C": a sampled counter track
+};
+
+/// One recorded event. Fixed-size POD; strings are interned ids, numeric
+/// args are doubles keyed by interned arg names (key 0 = no arg).
+struct TraceEvent {
+  SimTime ts = 0;        // microseconds of sim time (Chrome's native unit)
+  SimTime dur = 0;       // kComplete only
+  double a1 = 0, a2 = 0; // numeric args
+  NodeId node = kInvalidNode;
+  TraceStrId cat = kEmptyTraceStr;
+  TraceStrId name = kEmptyTraceStr;
+  TraceStrId k1 = kEmptyTraceStr, k2 = kEmptyTraceStr;  // arg keys
+  TracePhase phase = TracePhase::kInstant;
+};
+static_assert(sizeof(TraceEvent) == 48);
+
+class TraceRecorder {
+ public:
+  /// 2^18 events * 48 B = 12 MiB once enabled; nothing is allocated while
+  /// the recorder stays disabled.
+  static constexpr std::size_t kDefaultCapacity = 1u << 18;
+
+  /// The process-wide recorder.
+  static TraceRecorder& instance();
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  /// Enabling allocates the ring (once); disabling keeps recorded events.
+  void set_enabled(bool enabled);
+  /// Sets the ring capacity (events). Discards recorded events.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Interns a category/name/arg-key string; idempotent. The 16-bit id space
+  /// is for the *schema* (event taxonomy), not per-entity data — put channel
+  /// or server identities in numeric args instead.
+  TraceStrId intern(std::string_view s);
+  [[nodiscard]] const std::string& string_at(TraceStrId id) const { return strings_[id]; }
+
+  /// Human-readable name for a node's track in the exported trace.
+  void set_track_name(NodeId node, std::string name) { tracks_[node] = std::move(name); }
+  [[nodiscard]] const std::map<NodeId, std::string>& track_names() const { return tracks_; }
+
+  // ---- recording (callers gate on enabled(); these also self-gate) ----
+
+  void instant(SimTime ts, NodeId node, TraceStrId cat, TraceStrId name,
+               TraceStrId k1 = kEmptyTraceStr, double a1 = 0,
+               TraceStrId k2 = kEmptyTraceStr, double a2 = 0) {
+    push(TraceEvent{ts, 0, a1, a2, node, cat, name, k1, k2, TracePhase::kInstant});
+  }
+
+  void complete(SimTime ts, SimTime dur, NodeId node, TraceStrId cat, TraceStrId name,
+                TraceStrId k1 = kEmptyTraceStr, double a1 = 0,
+                TraceStrId k2 = kEmptyTraceStr, double a2 = 0) {
+    push(TraceEvent{ts, dur, a1, a2, node, cat, name, k1, k2, TracePhase::kComplete});
+  }
+
+  /// Counter sample; rendered as a counter track named after `name`.
+  void counter(SimTime ts, NodeId node, TraceStrId cat, TraceStrId name, double value) {
+    push(TraceEvent{ts, 0, value, 0, node, cat, name, kEmptyTraceStr, kEmptyTraceStr,
+                    TracePhase::kCounter});
+  }
+
+  // string_view conveniences for cold call sites (interning is an amortized
+  // hash lookup; hot paths should intern once and cache the ids).
+
+  void instant(SimTime ts, NodeId node, std::string_view cat, std::string_view name,
+               std::string_view k1 = {}, double a1 = 0,
+               std::string_view k2 = {}, double a2 = 0) {
+    instant(ts, node, intern(cat), intern(name), intern(k1), a1, intern(k2), a2);
+  }
+
+  void complete(SimTime ts, SimTime dur, NodeId node, std::string_view cat,
+                std::string_view name, std::string_view k1 = {}, double a1 = 0,
+                std::string_view k2 = {}, double a2 = 0) {
+    complete(ts, dur, node, intern(cat), intern(name), intern(k1), a1, intern(k2), a2);
+  }
+
+  void counter(SimTime ts, NodeId node, std::string_view cat, std::string_view name,
+               double value) {
+    counter(ts, node, intern(cat), intern(name), value);
+  }
+
+  // ---- inspection / export ----
+
+  /// Events ever recorded (including overwritten ones).
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  /// Events lost to ring overwrites.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+  }
+  /// Events currently held.
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+
+  /// Copies the held events oldest-first (recording order == time order,
+  /// since sim time is monotonic).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Drops recorded events and track names; keeps interned strings, capacity
+  /// and the enabled flag (interning is idempotent, so ids stay stable for
+  /// repeated in-process runs).
+  void clear();
+
+ private:
+  TraceRecorder() { strings_.emplace_back(); /* id 0 = "" */ }
+
+  void push(const TraceEvent& ev) {
+    if (!enabled_ || capacity_ == 0) return;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(ev);
+    } else {
+      ring_[next_] = ev;
+      next_ = (next_ + 1) % capacity_;
+    }
+    ++recorded_;
+  }
+
+  bool enabled_ = false;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;       // overwrite cursor once the ring is full
+  std::uint64_t recorded_ = 0;
+
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, TraceStrId> string_ids_;
+  std::map<NodeId, std::string> tracks_;
+};
+
+/// Shorthand for TraceRecorder::instance().
+inline TraceRecorder& trace() { return TraceRecorder::instance(); }
+
+}  // namespace dynamoth::obs
+
+/// Control-plane trace point: always compiled, gated on one branch.
+/// Usage: DYN_TRACE(instant(sim_.now(), node, cat, name, key, value));
+#define DYN_TRACE(...)                                    \
+  do {                                                    \
+    auto& dyn_tr_ = ::dynamoth::obs::trace();             \
+    if (dyn_tr_.enabled()) dyn_tr_.__VA_ARGS__;           \
+  } while (0)
+
+/// Hot-path trace point: compiled out entirely unless DYNAMOTH_TRACE_HOT=1
+/// (CMake option DYNAMOTH_TRACING), so the default build's per-message paths
+/// carry zero tracing cost.
+#if DYNAMOTH_TRACE_HOT
+#define DYN_TRACE_HOT(...) DYN_TRACE(__VA_ARGS__)
+#else
+#define DYN_TRACE_HOT(...) ((void)0)
+#endif

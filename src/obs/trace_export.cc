@@ -1,0 +1,139 @@
+#include "obs/trace_export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace dynamoth::obs {
+
+namespace {
+
+/// Real nodes become pid node+1; pid 0 hosts global (node-less) events such
+/// as the simulator's executed-event counter.
+std::uint64_t pid_for(NodeId node) {
+  return node == kInvalidNode ? 0 : static_cast<std::uint64_t>(node) + 1;
+}
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// Doubles printed with enough digits to round-trip counters exactly but
+/// without exponent soup for the common small integers.
+void write_number(std::ostream& os, double v) {
+  char buf[32];
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%" PRId64, static_cast<std::int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  os << buf;
+}
+
+void write_args(std::ostream& os, const TraceRecorder& rec, const TraceEvent& ev) {
+  os << "\"args\":{";
+  bool first = true;
+  const auto arg = [&](TraceStrId key, double value) {
+    if (key == kEmptyTraceStr) return;
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    write_escaped(os, rec.string_at(key));
+    os << "\":";
+    write_number(os, value);
+  };
+  if (ev.phase == TracePhase::kCounter) {
+    // Counter tracks render their args as series; name the single series
+    // after the event so the track is self-describing.
+    if (!first) os << ',';
+    os << '"';
+    write_escaped(os, rec.string_at(ev.name));
+    os << "\":";
+    write_number(os, ev.a1);
+  } else {
+    arg(ev.k1, ev.a1);
+    arg(ev.k2, ev.a2);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void write_chrome_trace(const TraceRecorder& recorder, std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+    os << '\n';
+  };
+
+  // Process-name metadata: one process per node.
+  for (const auto& [node, name] : recorder.track_names()) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid_for(node)
+       << ",\"tid\":0,\"args\":{\"name\":\"";
+    write_escaped(os, name);
+    os << "\"}}";
+  }
+
+  for (const TraceEvent& ev : recorder.events()) {
+    sep();
+    os << "{\"name\":\"";
+    write_escaped(os, recorder.string_at(ev.name));
+    os << "\",\"cat\":\"";
+    write_escaped(os, recorder.string_at(ev.cat));
+    os << "\",\"ph\":\"";
+    switch (ev.phase) {
+      case TracePhase::kInstant:
+        os << 'i';
+        break;
+      case TracePhase::kComplete:
+        os << 'X';
+        break;
+      case TracePhase::kCounter:
+        os << 'C';
+        break;
+    }
+    os << "\",\"ts\":" << ev.ts << ",\"pid\":" << pid_for(ev.node) << ",\"tid\":0,";
+    if (ev.phase == TracePhase::kComplete) os << "\"dur\":" << ev.dur << ',';
+    if (ev.phase == TracePhase::kInstant) os << "\"s\":\"p\",";  // process-scoped tick
+    write_args(os, recorder, ev);
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+bool save_chrome_trace(const TraceRecorder& recorder, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(recorder, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace dynamoth::obs

@@ -1,0 +1,24 @@
+// Chrome trace-event JSON exporter for the flight recorder.
+//
+// Writes the JSON Object Format of the Trace Event spec ({"traceEvents":
+// [...]}), loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+// Sim-time microseconds map 1:1 onto the format's "ts" microseconds; each
+// network node becomes one process (pid = node id) named via
+// TraceRecorder::set_track_name, so servers, clients and the balancer get
+// separate tracks.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace dynamoth::obs {
+
+/// Writes the recorder's held events as Chrome trace-event JSON.
+void write_chrome_trace(const TraceRecorder& recorder, std::ostream& os);
+
+/// write_chrome_trace to a file; returns false on I/O failure.
+bool save_chrome_trace(const TraceRecorder& recorder, const std::string& path);
+
+}  // namespace dynamoth::obs

@@ -4,8 +4,16 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace dynamoth::sim {
+
+namespace {
+// Sampled counter track for the event engine: one sample per 2^16 executed
+// events keeps the flight recorder's share of the hot loop negligible even
+// in DYNAMOTH_TRACING builds.
+[[maybe_unused]] constexpr std::uint64_t kEngineSampleMask = (1u << 16) - 1;
+}  // namespace
 
 void Simulator::grow_slab() {
   DYN_CHECK(slot_count_ <= kNoEventSlot - kSlabBlockSize);
@@ -63,6 +71,12 @@ void Simulator::fire_root() {
   now_ = item.time;
   ++executed_;
   --live_;
+  if constexpr (obs::kTraceHotCompiled) {
+    if ((executed_ & kEngineSampleMask) == 0) {
+      DYN_TRACE_HOT(counter(now_, kInvalidNode, "sim", "pending_events",
+                            static_cast<double>(live_)));
+    }
+  }
   // Bump the generation before invoking: a cancel of the now-firing event
   // must report false. The slot is not on the free list yet, so callbacks
   // scheduling new events cannot clobber it, and slab addresses are stable,
@@ -95,6 +109,12 @@ void Simulator::run() {
     now_ = item.time;
     ++executed_;
     --live_;
+    if constexpr (obs::kTraceHotCompiled) {
+      if ((executed_ & kEngineSampleMask) == 0) {
+        DYN_TRACE_HOT(counter(now_, kInvalidNode, "sim", "pending_events",
+                              static_cast<double>(live_)));
+      }
+    }
     ++s.generation;  // a cancel of the now-firing event must report false
     s.cb();
     s.cb = nullptr;

@@ -216,6 +216,72 @@ TEST(LoadBalancer, EventsCarryPlanIdsAndKinds) {
   }
 }
 
+TEST(LoadBalancer, AuditRecordsHighLoadTriggerAndMoves) {
+  LbFixture f(150e3);
+  for (int i = 0; i < 6; ++i) f.add_feed("feed" + std::to_string(i), 4, 25, 400);
+  f.cluster->sim().run_for(seconds(40));
+  ASSERT_GE(f.lb->stats().channels_migrated, 1u);
+
+  // Find the migration decision and check it names the overloaded server,
+  // the threshold it crossed, and the channel that moved.
+  bool saw_migration = false;
+  for (const obs::RebalanceRecord& record : f.lb->audit().records()) {
+    if (record.kind != "high-load" || record.moves.empty()) continue;
+    saw_migration = true;
+    ASSERT_FALSE(record.triggers.empty());
+    const obs::RebalanceTrigger& trigger = record.triggers.front();
+    EXPECT_EQ(trigger.reason, "LR >= lr_high");
+    EXPECT_NE(trigger.server, kInvalidServer);
+    EXPECT_GE(trigger.value, trigger.threshold);
+    for (const obs::ChannelMove& move : record.moves) {
+      EXPECT_NE(move.from, move.to);
+      EXPECT_NE(move.reason.find("overloaded server"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_migration);
+}
+
+TEST(LoadBalancer, AuditRecordsReplicationRatios) {
+  DynamothLoadBalancer::Config config = LbFixture::fast_config();
+  config.all_pubs_threshold = 10;
+  config.subscriber_threshold = 20;
+  LbFixture f(2e6, 3, config);
+  f.add_feed("broadcast", 60, 2, 200);
+  f.cluster->sim().run_for(seconds(30));
+  ASSERT_GE(f.lb->stats().replications_started, 1u);
+
+  bool saw_replication = false;
+  for (const obs::RebalanceRecord& record : f.lb->audit().records()) {
+    for (const obs::ChannelMove& move : record.moves) {
+      if (move.channel != "broadcast" || move.mode_to != "all-publishers") continue;
+      saw_replication = true;
+      EXPECT_NE(move.reason.find("s_ratio"), std::string::npos);
+      EXPECT_GE(move.to.size(), 2u);
+    }
+  }
+  EXPECT_TRUE(saw_replication);
+}
+
+TEST(LoadBalancer, AuditRecordsDrainOnScaleDown) {
+  LbFixture f(100e3, 1);
+  f.add_feed("hot", 6, 30, 500);
+  f.cluster->sim().run_for(seconds(40));
+  f.feeds.clear();
+  f.cluster->sim().run_for(seconds(90));
+  ASSERT_GE(f.lb->stats().servers_released, 1u);
+
+  bool saw_drain = false;
+  for (const obs::RebalanceRecord& record : f.lb->audit().records()) {
+    if (record.kind != "low-load") continue;
+    if (record.drained_server == kInvalidServer) continue;
+    saw_drain = true;
+    ASSERT_FALSE(record.triggers.empty());
+    EXPECT_EQ(record.triggers.front().reason, "avg LR < lr_low");
+    EXPECT_LT(record.triggers.front().value, record.triggers.front().threshold);
+  }
+  EXPECT_TRUE(saw_drain);
+}
+
 TEST(LoadBalancer, ReplicationDisabledByConfig) {
   DynamothLoadBalancer::Config config = LbFixture::fast_config();
   config.all_pubs_threshold = 10;

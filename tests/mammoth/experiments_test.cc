@@ -5,6 +5,8 @@
 
 #include <sstream>
 
+#include "obs/trace.h"
+
 namespace dynamoth::mammoth::exp {
 namespace {
 
@@ -97,6 +99,75 @@ TEST(GameExperiment, Fig5ScenarioIsBitwiseDeterministic) {
   EXPECT_EQ(a.total_updates, b.total_updates);
   EXPECT_EQ(a.connection_drops, b.connection_drops);
   EXPECT_EQ(a.events.size(), b.events.size());
+}
+
+// Determinism under observation: enabling the trace recorder and per-window
+// metrics must not perturb the simulation. Observability reads sim state, it
+// never feeds back into it — same CSV, same executed-event count, same
+// number of RNG draws with tracing+metrics on as with both off.
+TEST(GameExperiment, ObservationDoesNotPerturbSimulation) {
+  GameExperimentConfig config = default_game_experiment();
+  config.seed = 77;
+  config.balancer = BalancerKind::kDynamoth;
+  config.schedule = {{seconds(0), 120}, {seconds(10), 120}, {seconds(60), 400}};
+  config.duration = seconds(70);
+  config.sample_interval = seconds(10);
+
+  const GameExperimentResult plain = run_game_experiment(config);
+
+  obs::trace().clear();
+  obs::trace().set_enabled(true);
+  GameExperimentConfig observed_config = config;
+  observed_config.record_metrics_windows = true;
+  const GameExperimentResult observed = run_game_experiment(observed_config);
+  obs::trace().set_enabled(false);
+
+  std::ostringstream csv_plain, csv_observed;
+  plain.series.print_csv(csv_plain);
+  observed.series.print_csv(csv_observed);
+  EXPECT_EQ(csv_plain.str(), csv_observed.str());
+  EXPECT_EQ(plain.executed_events, observed.executed_events);
+  EXPECT_EQ(plain.rng_draws, observed.rng_draws);
+  EXPECT_GT(plain.rng_draws, 0u);
+  EXPECT_EQ(plain.total_updates, observed.total_updates);
+  EXPECT_EQ(plain.connection_drops, observed.connection_drops);
+
+  // The observed run actually observed something.
+  EXPECT_GT(obs::trace().recorded(), 0u);
+  EXPECT_GT(observed.metrics.windows(), 0u);
+  // One audit record per emitted plan (spawn-only rounds add extra
+  // plan_id==0 records on top).
+  std::size_t with_plan = 0;
+  for (const obs::RebalanceRecord& record : observed.audit.records()) {
+    if (record.plan_id != 0) ++with_plan;
+  }
+  EXPECT_EQ(with_plan, observed.events.size());
+  obs::trace().clear();
+}
+
+TEST(GameExperiment, AuditLogExplainsEachRebalance) {
+  GameExperimentConfig config = default_game_experiment();
+  config.seed = 77;
+  config.balancer = BalancerKind::kDynamoth;
+  config.schedule = {{seconds(0), 120}, {seconds(10), 120}, {seconds(60), 400}};
+  config.duration = seconds(70);
+  config.sample_interval = seconds(10);
+
+  const GameExperimentResult result = run_game_experiment(config);
+  ASSERT_GT(result.audit.total(), 0u);
+  for (const obs::RebalanceRecord& record : result.audit.records()) {
+    EXPECT_FALSE(record.kind.empty());
+    EXPECT_GT(record.active_servers, 0u);
+    if (record.plan_id != 0) {
+      // Every emitted plan names at least one trigger or channel move.
+      EXPECT_TRUE(!record.triggers.empty() || !record.moves.empty());
+      for (const obs::ChannelMove& move : record.moves) {
+        EXPECT_FALSE(move.channel.empty());
+        EXPECT_FALSE(move.to.empty());
+        EXPECT_GT(move.version, 0u);
+      }
+    }
+  }
 }
 
 TEST(GameExperiment, BalancerKindNames) {

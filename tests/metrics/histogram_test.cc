@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace dynamoth::metrics {
 namespace {
 
@@ -94,6 +96,59 @@ TEST(Histogram, ResetClears) {
   h.reset();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.percentile(50), 0);
+}
+
+TEST(Histogram, PercentileEdgeCases) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(i);
+
+  // Out-of-range and boundary p values pin to the documented contract:
+  // p <= 0 -> min(), p >= 100 -> max().
+  EXPECT_EQ(h.percentile(0), h.min());
+  EXPECT_EQ(h.percentile(-5), h.min());
+  EXPECT_EQ(h.percentile(100), h.max());
+  EXPECT_EQ(h.percentile(250), h.max());
+
+  // Non-finite p is treated like p >= 100, never UB or a garbage bucket.
+  EXPECT_EQ(h.percentile(std::numeric_limits<double>::quiet_NaN()), h.max());
+  EXPECT_EQ(h.percentile(std::numeric_limits<double>::infinity()), h.max());
+  EXPECT_EQ(h.percentile(-std::numeric_limits<double>::infinity()), h.min());
+
+  // Results are always clamped into [min, max] even when the bucket's upper
+  // bound would overshoot the largest recorded value.
+  for (double p : {0.1, 25.0, 50.0, 75.0, 99.9}) {
+    const std::int64_t v = h.percentile(p);
+    EXPECT_GE(v, h.min()) << "p=" << p;
+    EXPECT_LE(v, h.max()) << "p=" << p;
+  }
+}
+
+TEST(Histogram, PercentileEmptyIgnoresP) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(-1), 0);
+  EXPECT_EQ(h.percentile(50), 0);
+  EXPECT_EQ(h.percentile(200), 0);
+  EXPECT_EQ(h.percentile(std::numeric_limits<double>::quiet_NaN()), 0);
+}
+
+TEST(Histogram, PercentileIsMonotoneInP) {
+  Histogram h;
+  for (int i = 0; i < 10'000; ++i) h.record(i * 7 % 5000);
+  std::int64_t prev = h.percentile(0);
+  for (double p = 5; p <= 100; p += 5) {
+    const std::int64_t cur = h.percentile(p);
+    EXPECT_GE(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+}
+
+TEST(Histogram, SumIsExact) {
+  Histogram h;
+  h.record(10);
+  h.record_n(20, 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 70.0);
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
 }
 
 TEST(Histogram, LargeValuesDoNotOverflow) {

@@ -1,0 +1,92 @@
+#include "obs/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/types.h"
+
+namespace dynamoth::obs {
+namespace {
+
+RebalanceRecord sample_record() {
+  RebalanceRecord rec;
+  rec.time = seconds(42);
+  rec.plan_id = 7;
+  rec.kind = "high-load";
+  rec.active_servers = 3;
+  rec.triggers.push_back(RebalanceTrigger{"LR >= lr_high", 2, 0.91, 0.85});
+  rec.moves.push_back(
+      ChannelMove{"tile:3:4", {2}, {5}, "none", "none", 9, "busiest channel on server 2"});
+  return rec;
+}
+
+TEST(RebalanceAuditLog, AppendsAndExposesRecords) {
+  RebalanceAuditLog log;
+  log.append(sample_record());
+  ASSERT_EQ(log.records().size(), 1u);
+  EXPECT_EQ(log.total(), 1u);
+  EXPECT_EQ(log.back().plan_id, 7u);
+  EXPECT_EQ(log.back().triggers.at(0).server, 2u);
+  EXPECT_EQ(log.back().moves.at(0).channel, "tile:3:4");
+}
+
+TEST(RebalanceAuditLog, EvictsOldestPastCapacity) {
+  RebalanceAuditLog log(2);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    RebalanceRecord rec;
+    rec.plan_id = i;
+    log.append(std::move(rec));
+  }
+  EXPECT_EQ(log.total(), 5u);
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.records().front().plan_id, 4u);
+  EXPECT_EQ(log.back().plan_id, 5u);
+}
+
+TEST(RebalanceAuditLog, TimelineNamesPlanTriggerAndMove) {
+  RebalanceAuditLog log;
+  log.append(sample_record());
+  std::ostringstream os;
+  log.write_timeline(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("plan #7"), std::string::npos);
+  EXPECT_NE(text.find("[high-load]"), std::string::npos);
+  EXPECT_NE(text.find("server 2"), std::string::npos);
+  EXPECT_NE(text.find("0.910 vs 0.850"), std::string::npos);
+  EXPECT_NE(text.find("tile:3:4"), std::string::npos);
+  EXPECT_NE(text.find("{2} -> {5}"), std::string::npos);
+}
+
+TEST(RebalanceAuditLog, TimelineMentionsEvictedRecords) {
+  RebalanceAuditLog log(1);
+  log.append(sample_record());
+  log.append(sample_record());
+  std::ostringstream os;
+  log.write_timeline(os);
+  EXPECT_NE(os.str().find("1 older records evicted"), std::string::npos);
+}
+
+TEST(RebalanceAuditLog, SpawnOnlyRecordHasNoPlan) {
+  RebalanceRecord rec;
+  rec.plan_id = 0;
+  rec.kind = "high-load";
+  rec.spawn_requested = true;
+  RebalanceAuditLog log;
+  log.append(std::move(rec));
+  std::ostringstream os;
+  log.write_timeline(os);
+  EXPECT_NE(os.str().find("(no plan)"), std::string::npos);
+  EXPECT_NE(os.str().find("spawn-requested"), std::string::npos);
+}
+
+TEST(RebalanceAuditLog, ClearResetsEverything) {
+  RebalanceAuditLog log;
+  log.append(sample_record());
+  log.clear();
+  EXPECT_EQ(log.total(), 0u);
+  EXPECT_TRUE(log.records().empty());
+}
+
+}  // namespace
+}  // namespace dynamoth::obs

@@ -1,0 +1,116 @@
+#include "obs/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/types.h"
+
+namespace dynamoth::obs {
+namespace {
+
+TEST(MetricsRegistry, HandlesAreIdempotent) {
+  MetricsRegistry reg;
+  auto a = reg.counter("msgs");
+  auto b = reg.counter("msgs");
+  a.add(3);
+  b.add(2);
+  EXPECT_EQ(reg.counter_value("msgs"), 5u);
+  EXPECT_EQ(reg.metric_count(), 1u);
+  EXPECT_TRUE(reg.has("msgs"));
+  EXPECT_FALSE(reg.has("nope"));
+}
+
+TEST(MetricsRegistry, CounterWindowsAreDeltas) {
+  MetricsRegistry reg;
+  auto c = reg.counter("msgs");
+  c.add(10);
+  reg.end_window(seconds(1));
+  c.add(7);
+  reg.end_window(seconds(2));
+  reg.end_window(seconds(3));  // quiet window
+
+  ASSERT_EQ(reg.windows(), 3u);
+  EXPECT_DOUBLE_EQ(reg.window_value(0, "msgs"), 10.0);
+  EXPECT_DOUBLE_EQ(reg.window_value(1, "msgs"), 7.0);
+  EXPECT_DOUBLE_EQ(reg.window_value(2, "msgs"), 0.0);
+  EXPECT_DOUBLE_EQ(reg.window_value(1, "t_s"), 2.0);
+}
+
+TEST(MetricsRegistry, GaugeWindowsAreLevels) {
+  MetricsRegistry reg;
+  auto g = reg.gauge("servers");
+  g.set(3);
+  reg.end_window(seconds(1));
+  g.add(2);
+  reg.end_window(seconds(2));
+  EXPECT_DOUBLE_EQ(reg.window_value(0, "servers"), 3.0);
+  EXPECT_DOUBLE_EQ(reg.window_value(1, "servers"), 5.0);
+}
+
+TEST(MetricsRegistry, HistogramWindowsDiffCountAndMean) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("rtt_us");
+  h.record(100);
+  h.record(300);
+  reg.end_window(seconds(1));
+  h.record(50);
+  reg.end_window(seconds(2));
+
+  EXPECT_DOUBLE_EQ(reg.window_value(0, "rtt_us.count"), 2.0);
+  EXPECT_DOUBLE_EQ(reg.window_value(0, "rtt_us.mean"), 200.0);
+  EXPECT_DOUBLE_EQ(reg.window_value(1, "rtt_us.count"), 1.0);
+  EXPECT_DOUBLE_EQ(reg.window_value(1, "rtt_us.mean"), 50.0);
+}
+
+TEST(MetricsRegistry, LateRegisteredColumnsPadWithZero) {
+  MetricsRegistry reg;
+  reg.counter("early").add(1);
+  reg.end_window(seconds(1));
+  reg.counter("late").add(9);
+  reg.end_window(seconds(2));
+
+  EXPECT_DOUBLE_EQ(reg.window_value(0, "late"), 0.0);
+  EXPECT_DOUBLE_EQ(reg.window_value(1, "late"), 9.0);
+}
+
+TEST(MetricsRegistry, CsvHasHeaderAndOneRowPerWindow) {
+  MetricsRegistry reg;
+  auto c = reg.counter("msgs");
+  auto g = reg.gauge("lr");
+  reg.histogram("rtt_us").record(1000);
+  c.add(4);
+  g.set(0.5);
+  reg.end_window(seconds(10));
+
+  std::ostringstream os;
+  reg.write_windows_csv(os);
+  EXPECT_EQ(os.str(), "t_s,msgs,lr,rtt_us.count,rtt_us.mean\n10,4,0.500,1,1000\n");
+}
+
+TEST(MetricsRegistry, JsonDumpHasAllSections) {
+  MetricsRegistry reg;
+  reg.counter("msgs").add(4);
+  reg.gauge("lr").set(0.25);
+  auto& h = reg.histogram("rtt_us");
+  for (int i = 1; i <= 100; ++i) h.record(i * 1000);
+
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"msgs\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"lr\": 0.250"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, TwoRegistriesAreIndependent) {
+  MetricsRegistry a, b;
+  a.counter("x").add(1);
+  b.counter("x").add(2);
+  EXPECT_EQ(a.counter_value("x"), 1u);
+  EXPECT_EQ(b.counter_value("x"), 2u);
+}
+
+}  // namespace
+}  // namespace dynamoth::obs
