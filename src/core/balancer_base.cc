@@ -18,6 +18,8 @@ const char* to_string(RebalanceKind kind) {
       return "low-load";
     case RebalanceKind::kHashing:
       return "hashing";
+    case RebalanceKind::kEmergency:
+      return "emergency";
   }
   return "?";
 }
@@ -38,8 +40,9 @@ BalancerBase::BalancerBase(sim::Simulator& sim, net::Network& network,
       cloud_(cloud),
       base_config_(config),
       plan_(make_plan_zero()),
+      detector_(config.detector),
       client_id_(balancer_client_id(node)),
-      ticker_(sim, config.tick_interval, [this] { decide(); }) {
+      ticker_(sim, config.tick_interval, [this] { tick(); }) {
   DYN_CHECK(base_ring_ != nullptr);
 }
 
@@ -69,9 +72,13 @@ void BalancerBase::attach_server(ServerId server) {
       [this](const ps::EnvelopePtr& env) { on_deliver(env); }, nullptr);
   state.conn->subscribe(kLlaChannel);
   servers_.emplace(server, std::move(state));
+  if (base_config_.detect_failures) detector_.watch(server, sim_.now());
 }
 
-void BalancerBase::detach_server(ServerId server) { servers_.erase(server); }
+void BalancerBase::detach_server(ServerId server) {
+  servers_.erase(server);
+  detector_.forget(server);
+}
 
 void BalancerBase::on_deliver(const ps::EnvelopePtr& env) {
   if (env->kind != ps::MsgKind::kLlaReport) return;
@@ -82,12 +89,63 @@ void BalancerBase::on_deliver(const ps::EnvelopePtr& env) {
 
 void BalancerBase::ingest_report(const LoadReport& report) {
   auto it = servers_.find(report.server);
-  if (it == servers_.end()) return;
+  if (it == servers_.end()) {
+    // A report from a server we are not tracking. With failure detection on,
+    // this is the false-positive recovery path: a server we suspected (and
+    // detached) was merely partitioned or slow, and its reports are flowing
+    // again — re-attach it so it becomes a placement target once more.
+    if (!base_config_.detect_failures) return;
+    ps::PubSubServer* srv = registry_.find(report.server);
+    if (srv == nullptr || !srv->running()) return;
+    attach_server(report.server);
+    it = servers_.find(report.server);
+    if (it == servers_.end()) return;
+    liveness_events_.push_back(LivenessEvent{sim_.now(), report.server,
+                                             LivenessEvent::Kind::kRejoined, 0});
+    DYN_TRACE(instant(sim_.now(), node_, "liveness", "rejoin", "server",
+                      static_cast<double>(report.server)));
+  }
   ServerState& state = it->second;
   state.capacity = report.advertised_capacity;
   state.reports.push_back(report);
   while (state.reports.size() > base_config_.lr_window) state.reports.pop_front();
+  if (base_config_.detect_failures) detector_.heartbeat(report.server, sim_.now());
 }
+
+void BalancerBase::tick() {
+  purge_stale_reports();
+  if (base_config_.detect_failures) check_liveness();
+  decide();
+}
+
+void BalancerBase::purge_stale_reports() {
+  if (base_config_.report_max_age <= 0) return;
+  const SimTime cutoff = sim_.now() - base_config_.report_max_age;
+  for (auto& [id, state] : servers_) {
+    while (!state.reports.empty() && state.reports.front().window_end < cutoff) {
+      state.reports.pop_front();
+    }
+  }
+}
+
+void BalancerBase::check_liveness() {
+  const SimTime now = sim_.now();
+  for (ServerId s : detector_.suspects(now)) {
+    auto it = servers_.find(s);
+    if (it == servers_.end()) continue;
+    // A retiring server is already being drained out of the plan; its LLA
+    // going quiet at the end of the drain is expected, not a failure.
+    if (it->second.retiring) continue;
+    const SimTime silence = detector_.silence(s, now);
+    liveness_events_.push_back(
+        LivenessEvent{now, s, LivenessEvent::Kind::kSuspected, silence});
+    DYN_TRACE(instant(sim_.now(), node_, "liveness", "suspect", "server",
+                      static_cast<double>(s), "silence_s", to_seconds(silence)));
+    handle_server_failure(s);
+  }
+}
+
+void BalancerBase::handle_server_failure(ServerId server) { detach_server(server); }
 
 const LoadReport* BalancerBase::latest_report(ServerId server) const {
   auto it = servers_.find(server);

@@ -15,6 +15,7 @@
 
 #include "common/types.h"
 #include "core/cloud.h"
+#include "fault/failure_detector.h"
 #include "obs/audit.h"
 #include "core/consistent_hash.h"
 #include "core/control.h"
@@ -31,6 +32,7 @@ enum class RebalanceKind {
   kHighLoad,      // Algorithm 2 (macro)
   kLowLoad,       // scale-down
   kHashing,       // baseline: ring grew
+  kEmergency,     // failure detector fired; out-of-round repair
 };
 
 [[nodiscard]] const char* to_string(RebalanceKind kind);
@@ -48,6 +50,29 @@ class BalancerBase {
     SimTime tick_interval = seconds(1);
     /// Reports averaged over this many windows when computing load ratios.
     std::size_t lr_window = 3;
+
+    /// Reports older than this are purged before each decision round, so a
+    /// silent (dead or partitioned) server's last-window numbers stop
+    /// feeding est_lr / servers_by_load. 0 disables the purge. Keep this
+    /// above the failure detector's timeout: the emergency rebalance wants
+    /// the dead server's final report to know which channels it owned.
+    SimTime report_max_age = seconds(10);
+
+    /// Enables the heartbeat failure detector: LLA reports double as
+    /// liveness beacons, and a server silent past the detector's threshold
+    /// triggers handle_server_failure() (emergency rebalance in the
+    /// Dynamoth LB; plain detach by default).
+    bool detect_failures = false;
+    fault::FailureDetector::Config detector;
+  };
+
+  /// One failure-detector transition, for tests and experiment timelines.
+  struct LivenessEvent {
+    enum class Kind { kSuspected, kRejoined };
+    SimTime time = 0;
+    ServerId server = kInvalidServer;
+    Kind kind = Kind::kSuspected;
+    SimTime silence = 0;  // observed silence at the transition
   };
 
   BalancerBase(sim::Simulator& sim, net::Network& network, ServerRegistry& registry,
@@ -70,6 +95,10 @@ class BalancerBase {
 
   [[nodiscard]] const PlanPtr& current_plan() const { return plan_; }
   [[nodiscard]] const std::vector<RebalanceEvent>& events() const { return events_; }
+  /// Failure-detector transitions observed so far (suspicions, rejoins).
+  [[nodiscard]] const std::vector<LivenessEvent>& liveness_events() const {
+    return liveness_events_;
+  }
   /// Audit trail of every published plan: trigger thresholds, channel moves,
   /// hysteresis state. Queryable from tests, dumpable as a timeline.
   [[nodiscard]] const obs::RebalanceAuditLog& audit() const { return audit_; }
@@ -111,6 +140,14 @@ class BalancerBase {
   /// Periodic decision hook.
   virtual void decide() = 0;
 
+  /// Invoked (from the tick, before decide()) for each server the failure
+  /// detector newly suspects. The default just detaches it; the Dynamoth LB
+  /// overrides this with an emergency rebalance. Only called when
+  /// `detect_failures` is on.
+  virtual void handle_server_failure(ServerId server);
+
+  [[nodiscard]] fault::FailureDetector& detector() { return detector_; }
+
   /// Stamps, freezes, broadcasts and records a new plan. `record` carries the
   /// decision context (triggers, channel moves) assembled by the subclass;
   /// time/plan_id/kind/active_servers are stamped here.
@@ -140,10 +177,17 @@ class BalancerBase {
 
  private:
   void on_deliver(const ps::EnvelopePtr& env);
+  /// One decision round: purge stale reports, run the failure detector,
+  /// then the subclass's decide().
+  void tick();
+  void purge_stale_reports();
+  void check_liveness();
 
   PlanPtr plan_;
   std::map<ServerId, ServerState> servers_;
   std::vector<RebalanceEvent> events_;
+  fault::FailureDetector detector_;
+  std::vector<LivenessEvent> liveness_events_;
   obs::RebalanceAuditLog audit_;
   ClientId client_id_;
   std::uint64_t next_seq_ = 1;

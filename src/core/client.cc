@@ -40,6 +40,7 @@ void DynamothClient::shutdown() {
   for (auto& [_, conn] : conns_) conn->close();
   conns_.clear();
   channels_.clear();
+  pending_.clear();
 }
 
 DynamothClient::ChannelState& DynamothClient::state_for(const Channel& channel) {
@@ -58,7 +59,14 @@ DynamothClient::ChannelState& DynamothClient::state_for(const Channel& channel) 
 
 ps::RemoteConnection* DynamothClient::connection(ServerId server) {
   auto it = conns_.find(server);
-  if (it != conns_.end()) return it->second.get();
+  if (it != conns_.end()) {
+    if (it->second->server().running()) return it->second.get();
+    // The peer process is gone: the OS would fail further sends on this
+    // socket, so the library tears it down here. A *restarted* server is a
+    // new process — the old connection must not transfer to it.
+    ++stats_.connection_drops;
+    conns_.erase(it);
+  }
   ps::PubSubServer* srv = registry_.find(server);
   if (srv == nullptr || !srv->running()) return nullptr;
 
@@ -133,10 +141,19 @@ void DynamothClient::place_subscription(const Channel& channel, ChannelState& st
     want = {st.entry.primary()};
   }
 
-  // Subscribe where missing.
+  // Subscribe where missing. Only placements that actually reached a live
+  // server are recorded: recording wishes as facts made a subscriber whose
+  // target died mid-placement believe it was covered forever, and the sweep
+  // reconciliation below could never catch it.
+  std::set<ServerId> placed;
   for (ServerId s : want) {
-    if (!st.sub_servers.contains(s)) {
-      if (ps::RemoteConnection* conn = connection(s)) conn->subscribe(channel);
+    if (st.sub_servers.contains(s)) {
+      placed.insert(s);
+      continue;
+    }
+    if (ps::RemoteConnection* conn = connection(s)) {
+      conn->subscribe(channel);
+      placed.insert(s);
     }
   }
   // Unsubscribe from removed servers after a grace period: "subscribe to the
@@ -155,28 +172,119 @@ void DynamothClient::place_subscription(const Channel& channel, ChannelState& st
       if (ps::RemoteConnection* conn = connection(s)) conn->unsubscribe(channel);
     });
   }
-  st.sub_servers = std::move(want);
+  st.sub_servers = std::move(placed);
+}
+
+void DynamothClient::ensure_live_entry(const Channel& channel, ChannelState& st) {
+  // Entry pointing only at dead servers: fall back to consistent hashing
+  // (ring members are never released, so this always reaches a live server).
+  for (ServerId s : st.entry.servers) {
+    if (ps::PubSubServer* srv = registry_.find(s); srv && srv->running()) return;
+  }
+  const std::vector<ServerId> old_servers = st.entry.servers;
+  st.entry.servers = {base_ring_->lookup(channel)};
+  st.entry.mode = ReplicationMode::kNone;
+  st.entry.version = 0;
+  st.all_pubs_pick = kInvalidServer;
+  if (st.subscribed) place_subscription(channel, st);
+  if (st.entry.servers != old_servers) republish_recent(st);
+}
+
+bool DynamothClient::route(ChannelState& st, const ps::EnvelopePtr& env) {
+  bool sent = false;
+  switch (st.entry.mode) {
+    case ReplicationMode::kNone:
+      if (ps::RemoteConnection* conn = connection(st.entry.primary())) {
+        conn->publish(env);
+        ++stats_.messages_sent;
+        sent = true;
+      }
+      break;
+    case ReplicationMode::kAllSubscribers: {
+      // Publishers pick a random replica per publication (paper II-B1).
+      const auto idx = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(st.entry.servers.size()) - 1));
+      if (ps::RemoteConnection* conn = connection(st.entry.servers[idx])) {
+        conn->publish(env);
+        ++stats_.messages_sent;
+        sent = true;
+      }
+      break;
+    }
+    case ReplicationMode::kAllPublishers:
+      // Publishers send to every replica (paper II-B2).
+      for (ServerId s : st.entry.servers) {
+        if (ps::RemoteConnection* conn = connection(s)) {
+          conn->publish(env);
+          ++stats_.messages_sent;
+          sent = true;
+        }
+      }
+      break;
+  }
+  if (sent) remember_publish(st, env);
+  return sent;
+}
+
+void DynamothClient::remember_publish(ChannelState& st, const ps::EnvelopePtr& env) {
+  if (config_.republish_window <= 0 || env->kind != ps::MsgKind::kData) return;
+  const SimTime cutoff = sim_.now() - config_.republish_window;
+  while (!st.recent.empty() && st.recent.front().first < cutoff) st.recent.pop_front();
+  st.recent.emplace_back(sim_.now(), env);
+}
+
+void DynamothClient::republish_recent(ChannelState& st) {
+  if (config_.republish_window <= 0 || st.recent.empty()) return;
+  const SimTime cutoff = sim_.now() - config_.republish_window;
+  for (const auto& [t, env] : st.recent) {
+    if (t < cutoff) continue;
+    ++stats_.republishes;
+    if (pending_.size() >= config_.max_pending_publishes) {
+      ++stats_.publishes_dropped;
+      pending_.pop_front();
+    }
+    pending_.push_back(std::make_shared<ps::Envelope>(*env));
+  }
+  // The clones re-enter `recent` when they are flushed through the new
+  // placement; keeping the originals would retransmit them twice.
+  st.recent.clear();
+}
+
+void DynamothClient::stash_pending(std::shared_ptr<ps::Envelope> env) {
+  ++stats_.refused_publishes;
+  if (pending_.size() >= config_.max_pending_publishes) {
+    ++stats_.publishes_dropped;
+    pending_.pop_front();
+  }
+  pending_.push_back(std::move(env));
+}
+
+void DynamothClient::flush_pending() {
+  if (pending_.empty()) return;
+  std::deque<std::shared_ptr<ps::Envelope>> retry;
+  retry.swap(pending_);
+  for (std::shared_ptr<ps::Envelope>& env : retry) {
+    ChannelState& st = state_for(env->channel);
+    ensure_live_entry(env->channel, st);
+    // Safe to restamp: a stashed envelope was never handed to any receiver.
+    env->entry_version = st.entry.version;
+    if (route(st, env)) {
+      ++stats_.pending_flushed;
+    } else {
+      pending_.push_back(std::move(env));
+    }
+  }
 }
 
 ps::EnvelopePtr DynamothClient::publish(const Channel& channel, std::size_t payload_bytes) {
   DYN_CHECK(!is_control_channel(channel));
   DYN_CHECK(!shut_down_);
+  // Older refused publishes go first, preserving per-channel seq order when
+  // the outage ends.
+  flush_pending();
   ChannelState& st = state_for(channel);
   st.last_activity = sim_.now();
-
-  // Entry pointing only at dead servers: fall back to consistent hashing
-  // (ring members are never released, so this always reaches a live server).
-  bool any_alive = false;
-  for (ServerId s : st.entry.servers) {
-    if (ps::PubSubServer* srv = registry_.find(s); srv && srv->running()) any_alive = true;
-  }
-  if (!any_alive) {
-    st.entry.servers = {base_ring_->lookup(channel)};
-    st.entry.mode = ReplicationMode::kNone;
-    st.entry.version = 0;
-    st.all_pubs_pick = kInvalidServer;
-    if (st.subscribed) place_subscription(channel, st);
-  }
+  ensure_live_entry(channel, st);
 
   auto env = std::make_shared<ps::Envelope>();
   env->id = MessageId{id_, next_seq_++};
@@ -192,33 +300,7 @@ ps::EnvelopePtr DynamothClient::publish(const Channel& channel, std::size_t payl
   DYN_TRACE_HOT(instant(sim_.now(), node_, "client", "publish", "server",
                         static_cast<double>(st.entry.primary()), "version",
                         static_cast<double>(st.entry.version)));
-  switch (st.entry.mode) {
-    case ReplicationMode::kNone:
-      if (ps::RemoteConnection* conn = connection(st.entry.primary())) {
-        conn->publish(env);
-        ++stats_.messages_sent;
-      }
-      break;
-    case ReplicationMode::kAllSubscribers: {
-      // Publishers pick a random replica per publication (paper II-B1).
-      const auto idx = static_cast<std::size_t>(
-          rng_.uniform_int(0, static_cast<std::int64_t>(st.entry.servers.size()) - 1));
-      if (ps::RemoteConnection* conn = connection(st.entry.servers[idx])) {
-        conn->publish(env);
-        ++stats_.messages_sent;
-      }
-      break;
-    }
-    case ReplicationMode::kAllPublishers:
-      // Publishers send to every replica (paper II-B2).
-      for (ServerId s : st.entry.servers) {
-        if (ps::RemoteConnection* conn = connection(s)) {
-          conn->publish(env);
-          ++stats_.messages_sent;
-        }
-      }
-      break;
-  }
+  if (!route(st, env)) stash_pending(env);
   return env;
 }
 
@@ -244,31 +326,7 @@ ps::EnvelopePtr DynamothClient::publish_control(const Channel& channel,
   env->body = std::move(body);
 
   ++stats_.published;
-  switch (st.entry.mode) {
-    case ReplicationMode::kNone:
-      if (ps::RemoteConnection* conn = connection(st.entry.primary())) {
-        conn->publish(env);
-        ++stats_.messages_sent;
-      }
-      break;
-    case ReplicationMode::kAllSubscribers: {
-      const auto idx = static_cast<std::size_t>(
-          rng_.uniform_int(0, static_cast<std::int64_t>(st.entry.servers.size()) - 1));
-      if (ps::RemoteConnection* conn = connection(st.entry.servers[idx])) {
-        conn->publish(env);
-        ++stats_.messages_sent;
-      }
-      break;
-    }
-    case ReplicationMode::kAllPublishers:
-      for (ServerId s : st.entry.servers) {
-        if (ps::RemoteConnection* conn = connection(s)) {
-          conn->publish(env);
-          ++stats_.messages_sent;
-        }
-      }
-      break;
-  }
+  if (!route(st, env)) stash_pending(env);
   return env;
 }
 
@@ -277,9 +335,13 @@ void DynamothClient::apply_entry(const Channel& channel, const PlanEntry& entry)
   ChannelState& st = state_for(channel);
   if (entry.version < st.entry.version) return;  // stale update
   if (entry == st.entry) return;
+  const bool rehomed = entry.servers != st.entry.servers;
   st.entry = entry;
   st.last_activity = sim_.now();
   if (st.subscribed) place_subscription(channel, st);
+  // The previous owner may have died with the tail of our stream; push the
+  // recent publishes through the new placement (receivers dedup by id).
+  if (rehomed) republish_recent(st);
 }
 
 void DynamothClient::on_deliver(ServerId /*from*/, const ps::EnvelopePtr& env) {
@@ -370,17 +432,43 @@ void DynamothClient::on_closed(ServerId from, ps::CloseReason /*reason*/) {
 }
 
 void DynamothClient::sweep() {
+  flush_pending();
   // Expire plan entries for channels we neither subscribe to nor use
   // (paper IV-A5): next use falls back to consistent hashing.
   const SimTime now = sim_.now();
   for (auto it = channels_.begin(); it != channels_.end();) {
-    const ChannelState& st = it->second;
+    ChannelState& st = it->second;
     if (!st.subscribed && now - st.last_activity > config_.entry_timeout) {
       ++stats_.entries_expired;
       it = channels_.erase(it);
-    } else {
-      ++it;
+      continue;
     }
+    if (st.subscribed) {
+      // Reconciliation: a subscription whose placement is empty (placement
+      // failed) or references a dead server is not actually receiving
+      // anything — re-place it, falling back to the ring if needed.
+      bool broken = st.sub_servers.empty();
+      for (ServerId s : st.sub_servers) {
+        ps::PubSubServer* srv = registry_.find(s);
+        if (srv == nullptr || !srv->running()) {
+          broken = true;
+          break;
+        }
+      }
+      if (broken) {
+        ++stats_.fallback_resubscribes;
+        ensure_live_entry(it->first, st);
+        place_subscription(it->first, st);
+      } else if (config_.resubscribe_keepalive) {
+        // Re-SUBSCRIBE where we believe we are placed: idempotent at the
+        // server, and a zombie connection (closed server-side, notification
+        // lost) bounces with a reset, which finally tells us the truth.
+        for (ServerId s : st.sub_servers) {
+          if (ps::RemoteConnection* conn = connection(s)) conn->subscribe(it->first);
+        }
+      }
+    }
+    ++it;
   }
 }
 

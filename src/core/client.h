@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -39,6 +40,28 @@ class DynamothClient {
     SimTime reconnect_delay = millis(500);   // after the server dropped us
     std::size_t dedup_capacity = 8192;
     std::size_t default_payload_bytes = 128;
+
+    /// Publishes that could not reach any live server wait here for the
+    /// next flush (a later publish or the sweep); the oldest is dropped on
+    /// overflow. Models a client library's bounded send buffer.
+    std::size_t max_pending_publishes = 1024;
+
+    /// When a channel is re-homed onto a different server set (plan push or
+    /// dead-server fallback), clones of every data publish sent within this
+    /// window are re-routed through the new placement: the old owner may
+    /// have crashed or been cut off with the tail of the stream
+    /// unacknowledged. Receivers dedup by message id, so retransmission is
+    /// idempotent. 0 disables (default: healthy runs take the exact same
+    /// path as before).
+    SimTime republish_window = 0;
+
+    /// Re-issue SUBSCRIBE on every sweep for channels we believe are placed.
+    /// Subscribing twice is free at the server, but a *zombie* subscription
+    /// (the server dropped us and the close notification was lost, e.g. to a
+    /// partition) gets reset by the keepalive, which is how the client
+    /// finally finds out. Off by default: healthy runs don't need the
+    /// traffic; chaos experiments turn it on.
+    bool resubscribe_keepalive = false;
   };
 
   struct Stats {
@@ -52,6 +75,13 @@ class DynamothClient {
     std::uint64_t switches_followed = 0;
     std::uint64_t connection_drops = 0;
     std::uint64_t entries_expired = 0;
+
+    // Failure-related (chaos experiments chart these per window).
+    std::uint64_t fallback_resubscribes = 0;  // sweep found placement dead/missing
+    std::uint64_t refused_publishes = 0;      // no live server; stashed for retry
+    std::uint64_t pending_flushed = 0;        // stashed publishes later sent
+    std::uint64_t publishes_dropped = 0;      // stash overflowed; permanently lost
+    std::uint64_t republishes = 0;            // re-home retransmissions queued
   };
 
   using MessageHandler = std::function<void(const ps::EnvelopePtr&)>;
@@ -114,12 +144,28 @@ class DynamothClient {
     std::set<ServerId> sub_servers;  // where the subscription is placed
     ServerId all_pubs_pick = kInvalidServer;  // sticky pick (all-publishers)
     std::uint64_t next_channel_seq = 0;       // per-channel publish sequence
+    /// Recently routed data publishes (send time, envelope), bounded by
+    /// republish_window; empty when the feature is off.
+    std::deque<std::pair<SimTime, ps::EnvelopePtr>> recent;
   };
 
   ChannelState& state_for(const Channel& channel);
   ps::RemoteConnection* connection(ServerId server);
   void apply_entry(const Channel& channel, const PlanEntry& entry);
   void place_subscription(const Channel& channel, ChannelState& st);
+  /// Falls back to the consistent-hash ring when every server in the
+  /// channel's entry is dead (ring members are never released).
+  void ensure_live_entry(const Channel& channel, ChannelState& st);
+  /// Routes `env` per the entry's replication mode; false when no live
+  /// server could be reached (the caller stashes the envelope).
+  bool route(ChannelState& st, const ps::EnvelopePtr& env);
+  void stash_pending(std::shared_ptr<ps::Envelope> env);
+  void flush_pending();
+  /// Tracks a successfully routed data publish for re-home retransmission.
+  void remember_publish(ChannelState& st, const ps::EnvelopePtr& env);
+  /// Queues clones of the channel's recent publishes for delivery through
+  /// its (re-homed) entry.
+  void republish_recent(ChannelState& st);
   void on_deliver(ServerId from, const ps::EnvelopePtr& env);
   void on_closed(ServerId from, ps::CloseReason reason);
   void sweep();
@@ -135,6 +181,10 @@ class DynamothClient {
 
   std::map<Channel, ChannelState> channels_;
   std::map<ServerId, std::unique_ptr<ps::RemoteConnection>> conns_;
+  /// Refused publishes awaiting retry. Mutable envelopes: a stashed message
+  /// was never handed to a receiver, so restamping its entry version on
+  /// flush is safe.
+  std::deque<std::shared_ptr<ps::Envelope>> pending_;
   LruSet<MessageId> dedup_;
   Channel ctl_channel_;
   std::uint64_t next_seq_ = 1;

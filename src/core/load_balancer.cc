@@ -512,6 +512,57 @@ void DynamothLoadBalancer::release_server(ServerId server) {
   if (cloud_ != nullptr) cloud_->despawn(server);
 }
 
+void DynamothLoadBalancer::handle_server_failure(ServerId server) {
+  // Capture what the suspect owned BEFORE detaching: its (stale) reports
+  // are the only record of which ring-resolved channels lived there.
+  const std::map<Channel, double> orphans = channel_out_rates(server);
+  const SimTime silence = detector().silence(server, sim_.now());
+  const SimTime threshold = detector().config().timeout;
+
+  // Purge everything the dead server fed into load accounting: detaching
+  // drops its report history, so est_lr / servers_by_load can never use its
+  // last-window numbers again, and a pending release must not fire later.
+  detach_server(server);
+  releasing_.erase(server);
+  ++lb_stats_.emergency_rebalances;
+
+  Round r = build_round();
+  r.kind = RebalanceKind::kEmergency;
+  r.rec.suspected_server = server;
+  r.rec.triggers.push_back(obs::RebalanceTrigger{"detector: LLA silence exceeded threshold",
+                                                 server, to_seconds(silence),
+                                                 to_seconds(threshold)});
+  if (r.capacity.empty()) {
+    // No live reporting server to re-home onto; record the suspicion and let
+    // a later round repair the plan once capacity reappears.
+    record_audit_only(RebalanceKind::kEmergency, std::move(r.rec));
+    return;
+  }
+
+  // Plan entries naming the dead server are repaired by the shared pass...
+  repair_dead_entries(r);
+  // ...but channels it served via the consistent-hash fallback have no entry
+  // to repair: pin each one to a live server (the ring itself is immutable).
+  for (const auto& [channel, _] : orphans) {
+    const PlanEntry current = r.plan.resolve(channel, *base_ring_);
+    if (!current.owns(server)) continue;
+    const std::vector<ServerId> order = servers_by_load(r, {});
+    if (order.empty()) break;
+    PlanEntry fixed;
+    fixed.mode = ReplicationMode::kNone;
+    fixed.servers = {order.front()};
+    fixed.version = current.version + 1;
+    apply_entry_change(r, channel, fixed, "emergency: re-home channel off suspected server");
+  }
+
+  if (!r.changed) {
+    record_audit_only(RebalanceKind::kEmergency, std::move(r.rec));
+    return;
+  }
+  ++lb_stats_.plans_generated;
+  publish_plan(std::move(r.plan), RebalanceKind::kEmergency, std::move(r.rec));
+}
+
 void DynamothLoadBalancer::decide() {
   // Respect T_wait between plan generations (paper III-B) unless a fresh
   // server just arrived for a pending high-load situation.

@@ -64,6 +64,8 @@ class DynamothLoadBalancer final : public BalancerBase {
     std::uint64_t replications_cancelled = 0;
     std::uint64_t servers_spawned = 0;
     std::uint64_t servers_released = 0;
+    /// Out-of-round plans pushed because the failure detector fired.
+    std::uint64_t emergency_rebalances = 0;
   };
 
   DynamothLoadBalancer(sim::Simulator& sim, net::Network& network, ServerRegistry& registry,
@@ -75,6 +77,11 @@ class DynamothLoadBalancer final : public BalancerBase {
 
  protected:
   void decide() override;
+
+  /// Emergency rebalance (outside the periodic T_wait round): purge the
+  /// suspect, repair every plan entry that referenced it, re-home its
+  /// ring-resolved channels, and broadcast the plan immediately.
+  void handle_server_failure(ServerId server) override;
 
  private:
   /// Per-channel metrics aggregated across servers for one decision round.

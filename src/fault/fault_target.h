@@ -1,0 +1,49 @@
+// Abstract surface the fault injector manipulates.
+//
+// The injector lives below core/ and harness/ in the dependency order; the
+// experiment harness implements this interface over its Cluster + Network
+// (see harness/fault_adapter.h), and unit tests implement it with a plain
+// recording mock. Every method must be safe to call with a stale target
+// (e.g. restarting a server that an explicit event already restarted):
+// implementations ignore impossible requests instead of aborting, because
+// randomized schedules legitimately race their own reversals.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace dynamoth::fault {
+
+class FaultTarget {
+ public:
+  virtual ~FaultTarget() = default;
+
+  /// Servers currently eligible for a crash (live, possibly excluding
+  /// protected ones such as consistent-hash ring members).
+  [[nodiscard]] virtual std::vector<ServerId> crashable_servers() const = 0;
+  /// Servers currently down and eligible for a restart.
+  [[nodiscard]] virtual std::vector<ServerId> crashed_servers() const = 0;
+  /// Live servers (targets for partitions, loss, latency, degradation).
+  [[nodiscard]] virtual std::vector<ServerId> live_servers() const = 0;
+
+  virtual void crash_server(ServerId server) = 0;
+  virtual void restart_server(ServerId server) = 0;
+  virtual void crash_dispatcher(ServerId server) = 0;
+  virtual void restart_dispatcher(ServerId server) = 0;
+
+  /// Isolates `group` from every other node (both directions). A second call
+  /// replaces the current partition; heal_partition removes all of them.
+  virtual void partition(const std::vector<ServerId>& group) = 0;
+  virtual void heal_partition() = 0;
+
+  /// Per-node egress packet-loss probability in [0, 1]; 0 clears.
+  virtual void set_server_loss(ServerId server, double rate) = 0;
+  /// Additional propagation latency on every link touching `server`; 0 clears.
+  virtual void set_server_extra_latency(ServerId server, SimTime extra) = 0;
+  /// Scales the server's egress line rate by `factor` in (0, 1].
+  virtual void degrade_egress(ServerId server, double factor) = 0;
+  virtual void restore_egress(ServerId server) = 0;
+};
+
+}  // namespace dynamoth::fault

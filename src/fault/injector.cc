@@ -1,0 +1,233 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/trace.h"
+
+namespace dynamoth::fault {
+
+namespace {
+bool contains(const std::vector<ServerId>& v, ServerId s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulator& sim, FaultTarget& target, FaultSchedule schedule,
+                             Rng rng)
+    : sim_(sim),
+      target_(target),
+      schedule_(std::move(schedule)),
+      rng_(rng),
+      alive_(std::make_shared<bool>(true)) {
+  schedule_.sort();
+}
+
+FaultInjector::~FaultInjector() { *alive_ = false; }
+
+void FaultInjector::arm() {
+  DYN_CHECK(!armed_);
+  armed_ = true;
+  std::weak_ptr<bool> alive = alive_;
+  for (const FaultEvent& e : schedule_.events) {
+    sim_.schedule_after(std::max<SimTime>(e.at, 0), [this, alive, e] {
+      if (auto a = alive.lock(); a && *a) fire(e);
+    });
+  }
+}
+
+ServerId FaultInjector::pick(const std::vector<ServerId>& candidates, ServerId wanted) {
+  if (wanted != kAnyServer) return contains(candidates, wanted) ? wanted : kInvalidServer;
+  if (candidates.empty()) return kInvalidServer;
+  // Candidate lists come from ordered containers, so the same draw resolves
+  // to the same victim on every replay.
+  return candidates[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+}
+
+void FaultInjector::record(FaultKind kind, ServerId server, bool reversal,
+                           std::string detail) {
+  if (!reversal && first_fault_time_ < 0) first_fault_time_ = sim_.now();
+  DYN_TRACE(instant(sim_.now(), server == kInvalidServer ? 0 : server, "fault",
+                    to_string(kind), "reversal", reversal ? 1.0 : 0.0));
+  log_.push_back(Applied{sim_.now(), kind, server, reversal, std::move(detail)});
+}
+
+void FaultInjector::fire(const FaultEvent& e) {
+  std::weak_ptr<bool> alive = alive_;
+  char detail[96];
+  switch (e.kind) {
+    case FaultKind::kCrashServer: {
+      const ServerId s = pick(target_.crashable_servers(), e.server);
+      if (s == kInvalidServer) {
+        ++stats_.skipped;
+        return;
+      }
+      target_.crash_server(s);
+      ++stats_.crashes;
+      std::snprintf(detail, sizeof detail, "crash server %u (outage %.1fs)", s,
+                    to_seconds(e.duration));
+      record(e.kind, s, false, detail);
+      if (e.duration > 0) {
+        sim_.schedule_after(e.duration, [this, alive, s] {
+          auto a = alive.lock();
+          if (!a || !*a || !contains(target_.crashed_servers(), s)) return;
+          target_.restart_server(s);
+          ++stats_.restarts;
+          record(FaultKind::kRestartServer, s, true, "scheduled restart");
+        });
+      }
+      return;
+    }
+    case FaultKind::kRestartServer: {
+      const ServerId s = pick(target_.crashed_servers(), e.server);
+      if (s == kInvalidServer) {
+        ++stats_.skipped;
+        return;
+      }
+      target_.restart_server(s);
+      ++stats_.restarts;
+      record(e.kind, s, false, "explicit restart");
+      return;
+    }
+    case FaultKind::kCrashDispatcher: {
+      const ServerId s = pick(target_.live_servers(), e.server);
+      if (s == kInvalidServer) {
+        ++stats_.skipped;
+        return;
+      }
+      target_.crash_dispatcher(s);
+      ++stats_.dispatcher_crashes;
+      std::snprintf(detail, sizeof detail, "crash dispatcher on %u (outage %.1fs)", s,
+                    to_seconds(e.duration));
+      record(e.kind, s, false, detail);
+      if (e.duration > 0) {
+        sim_.schedule_after(e.duration, [this, alive, s] {
+          auto a = alive.lock();
+          if (!a || !*a || !contains(target_.live_servers(), s)) return;
+          target_.restart_dispatcher(s);
+          ++stats_.dispatcher_restarts;
+          record(FaultKind::kCrashDispatcher, s, true, "dispatcher restart");
+        });
+      }
+      return;
+    }
+    case FaultKind::kPartition: {
+      std::vector<ServerId> live = target_.live_servers();
+      // Overlapping partitions would be cut short by the earlier heal
+      // (healing is global); skip rather than silently shorten an outage.
+      if (live.size() < 2 || partition_active_) {
+        ++stats_.skipped;
+        return;
+      }
+      // Leave at least one server reachable; pick distinct victims.
+      const std::size_t n = std::min(e.count == 0 ? 1 : e.count, live.size() - 1);
+      std::vector<ServerId> group;
+      if (e.server != kAnyServer) {
+        if (!contains(live, e.server)) {
+          ++stats_.skipped;
+          return;
+        }
+        group.push_back(e.server);
+        std::erase(live, e.server);
+      }
+      while (group.size() < n && !live.empty()) {
+        const auto idx = static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+        group.push_back(live[idx]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+      }
+      std::sort(group.begin(), group.end());
+      target_.partition(group);
+      partition_active_ = true;
+      ++stats_.partitions;
+      std::snprintf(detail, sizeof detail, "isolate %zu server(s) for %.1fs", group.size(),
+                    to_seconds(e.duration));
+      record(e.kind, group.front(), false, detail);
+      if (e.duration > 0) {
+        sim_.schedule_after(e.duration, [this, alive] {
+          auto a = alive.lock();
+          if (!a || !*a) return;
+          target_.heal_partition();
+          partition_active_ = false;
+          ++stats_.heals;
+          record(FaultKind::kHeal, kInvalidServer, true, "partition healed");
+        });
+      }
+      return;
+    }
+    case FaultKind::kHeal:
+      target_.heal_partition();
+      partition_active_ = false;
+      ++stats_.heals;
+      record(e.kind, kInvalidServer, false, "heal all partitions");
+      return;
+    case FaultKind::kLoss: {
+      const ServerId s = pick(target_.live_servers(), e.server);
+      if (s == kInvalidServer) {
+        ++stats_.skipped;
+        return;
+      }
+      target_.set_server_loss(s, e.rate);
+      ++stats_.loss_periods;
+      std::snprintf(detail, sizeof detail, "%.0f%% egress loss on %u for %.1fs",
+                    e.rate * 100.0, s, to_seconds(e.duration));
+      record(e.kind, s, false, detail);
+      if (e.duration > 0) {
+        sim_.schedule_after(e.duration, [this, alive, s] {
+          auto a = alive.lock();
+          if (!a || !*a) return;
+          target_.set_server_loss(s, 0);
+          record(FaultKind::kLoss, s, true, "loss cleared");
+        });
+      }
+      return;
+    }
+    case FaultKind::kLatencySpike: {
+      const ServerId s = pick(target_.live_servers(), e.server);
+      if (s == kInvalidServer) {
+        ++stats_.skipped;
+        return;
+      }
+      target_.set_server_extra_latency(s, e.extra_latency);
+      ++stats_.latency_spikes;
+      std::snprintf(detail, sizeof detail, "+%.0fms latency on %u for %.1fs",
+                    to_seconds(e.extra_latency) * 1000.0, s, to_seconds(e.duration));
+      record(e.kind, s, false, detail);
+      if (e.duration > 0) {
+        sim_.schedule_after(e.duration, [this, alive, s] {
+          auto a = alive.lock();
+          if (!a || !*a) return;
+          target_.set_server_extra_latency(s, 0);
+          record(FaultKind::kLatencySpike, s, true, "latency restored");
+        });
+      }
+      return;
+    }
+    case FaultKind::kDegradeEgress: {
+      const ServerId s = pick(target_.live_servers(), e.server);
+      if (s == kInvalidServer || e.rate <= 0) {
+        ++stats_.skipped;
+        return;
+      }
+      target_.degrade_egress(s, e.rate);
+      ++stats_.degradations;
+      std::snprintf(detail, sizeof detail, "egress x%.2f on %u for %.1fs", e.rate, s,
+                    to_seconds(e.duration));
+      record(e.kind, s, false, detail);
+      if (e.duration > 0) {
+        sim_.schedule_after(e.duration, [this, alive, s] {
+          auto a = alive.lock();
+          if (!a || !*a) return;
+          target_.restore_egress(s);
+          record(FaultKind::kDegradeEgress, s, true, "egress restored");
+        });
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace dynamoth::fault

@@ -1,0 +1,88 @@
+// Fault-injection engine: executes a FaultSchedule against a FaultTarget
+// inside the simulator.
+//
+// arm() schedules every event at its (relative) time; events with a duration
+// also schedule their automatic reversal (restart / heal / clear). Events
+// whose target is kAnyServer resolve to a concrete server at fire time using
+// the injector's own forked Rng, so a given (schedule, seed) always picks
+// the same victims — chaos runs are replayable bit-for-bit.
+//
+// Impossible events (crash with nothing crashable, restart with nothing
+// down) are counted as skipped rather than aborting: randomized schedules
+// legitimately race their own reversals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "fault/fault_target.h"
+#include "fault/schedule.h"
+#include "sim/simulator.h"
+
+namespace dynamoth::fault {
+
+class FaultInjector {
+ public:
+  /// One fault actually applied (or reversed), for timelines and tests.
+  struct Applied {
+    SimTime time = 0;
+    FaultKind kind = FaultKind::kCrashServer;
+    ServerId server = kInvalidServer;  // kInvalidServer for heal-all
+    bool reversal = false;             // true for the auto-scheduled undo
+    std::string detail;
+  };
+
+  struct Stats {
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t dispatcher_crashes = 0;
+    std::uint64_t dispatcher_restarts = 0;
+    std::uint64_t partitions = 0;
+    std::uint64_t heals = 0;
+    std::uint64_t loss_periods = 0;
+    std::uint64_t latency_spikes = 0;
+    std::uint64_t degradations = 0;
+    std::uint64_t skipped = 0;  // events with no eligible target
+  };
+
+  FaultInjector(sim::Simulator& sim, FaultTarget& target, FaultSchedule schedule, Rng rng);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every event relative to now. Call at most once.
+  void arm();
+
+  [[nodiscard]] const FaultSchedule& schedule() const { return schedule_; }
+  [[nodiscard]] const std::vector<Applied>& log() const { return log_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Time of the first fault actually applied, or -1 if none fired yet.
+  [[nodiscard]] SimTime first_fault_time() const { return first_fault_time_; }
+
+ private:
+  void fire(const FaultEvent& e);
+  /// Resolves `wanted` against `candidates`; kInvalidServer when impossible.
+  ServerId pick(const std::vector<ServerId>& candidates, ServerId wanted);
+  void record(FaultKind kind, ServerId server, bool reversal, std::string detail);
+
+  sim::Simulator& sim_;
+  FaultTarget& target_;
+  FaultSchedule schedule_;
+  Rng rng_;
+  std::vector<Applied> log_;
+  Stats stats_;
+  SimTime first_fault_time_ = -1;
+  bool armed_ = false;
+  /// The target's heal is global (it clears every partition), so partitions
+  /// must not overlap: a second one would be silently healed by the first
+  /// one's reversal, cutting its outage short. Overlapping partition events
+  /// are skipped instead.
+  bool partition_active_ = false;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace dynamoth::fault

@@ -1,0 +1,166 @@
+#include "fault/schedule.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace dynamoth::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrashServer:
+      return "crash-server";
+    case FaultKind::kRestartServer:
+      return "restart-server";
+    case FaultKind::kCrashDispatcher:
+      return "crash-dispatcher";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kHeal:
+      return "heal";
+    case FaultKind::kLoss:
+      return "loss";
+    case FaultKind::kLatencySpike:
+      return "latency-spike";
+    case FaultKind::kDegradeEgress:
+      return "degrade-egress";
+  }
+  return "?";
+}
+
+FaultSchedule& FaultSchedule::crash(SimTime at, ServerId server, SimTime outage) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kCrashServer;
+  e.server = server;
+  e.duration = outage;
+  events.push_back(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::restart(SimTime at, ServerId server) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kRestartServer;
+  e.server = server;
+  events.push_back(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::crash_dispatcher(SimTime at, ServerId server, SimTime outage) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kCrashDispatcher;
+  e.server = server;
+  e.duration = outage;
+  events.push_back(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::partition(SimTime at, std::size_t count, SimTime duration,
+                                        ServerId server) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kPartition;
+  e.server = server;
+  e.count = count;
+  e.duration = duration;
+  events.push_back(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::loss(SimTime at, double rate, SimTime duration,
+                                   ServerId server) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kLoss;
+  e.server = server;
+  e.rate = rate;
+  e.duration = duration;
+  events.push_back(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::latency_spike(SimTime at, SimTime extra, SimTime duration,
+                                            ServerId server) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kLatencySpike;
+  e.server = server;
+  e.extra_latency = extra;
+  e.duration = duration;
+  events.push_back(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::degrade_egress(SimTime at, double factor, SimTime duration,
+                                             ServerId server) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kDegradeEgress;
+  e.server = server;
+  e.rate = factor;
+  e.duration = duration;
+  events.push_back(e);
+  return *this;
+}
+
+void FaultSchedule::sort() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+}
+
+FaultSchedule FaultSchedule::random(std::uint64_t seed, const RandomParams& params) {
+  Rng rng = Rng(seed).fork("fault-schedule");
+
+  std::vector<FaultKind> kinds;
+  if (params.crashes) kinds.push_back(FaultKind::kCrashServer);
+  if (params.dispatcher_crashes) kinds.push_back(FaultKind::kCrashDispatcher);
+  if (params.partitions) kinds.push_back(FaultKind::kPartition);
+  if (params.loss) kinds.push_back(FaultKind::kLoss);
+  if (params.latency_spikes) kinds.push_back(FaultKind::kLatencySpike);
+  if (params.degrade) kinds.push_back(FaultKind::kDegradeEgress);
+
+  FaultSchedule schedule;
+  if (kinds.empty() || params.horizon <= 0) return schedule;
+
+  for (std::size_t i = 0; i < params.faults; ++i) {
+    FaultEvent e;
+    e.kind = kinds[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kinds.size()) - 1))];
+
+    SimTime outage = static_cast<SimTime>(
+        rng.exponential(static_cast<double>(params.mean_outage)));
+    outage = std::clamp(outage, params.min_outage, params.max_outage);
+    outage = std::min(outage, params.horizon);
+    // Every random fault heals by the horizon (converging chaos), and the
+    // outage is never truncated below min_outage: the start time is pulled
+    // back instead. Experiments rely on min_outage to keep every outage
+    // longer than the failure detector's reaction time.
+    e.at = static_cast<SimTime>(
+        rng.uniform(0, static_cast<double>(params.horizon - outage)));
+    e.duration = outage;
+
+    switch (e.kind) {
+      case FaultKind::kLoss:
+        e.rate = params.loss_rate;
+        break;
+      case FaultKind::kLatencySpike:
+        e.extra_latency = params.latency_spike;
+        break;
+      case FaultKind::kDegradeEgress:
+        e.rate = params.degrade_factor;
+        break;
+      case FaultKind::kPartition:
+        e.count = params.partition_count;
+        break;
+      default:
+        break;
+    }
+    schedule.events.push_back(e);
+  }
+  schedule.sort();
+  return schedule;
+}
+
+}  // namespace dynamoth::fault

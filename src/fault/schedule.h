@@ -1,0 +1,97 @@
+// Declarative fault schedules: a seeded, reproducible list of timed fault
+// events the injector executes against a FaultTarget.
+//
+// Schedules are plain data so experiments can print them, tests can assert
+// on them, and the same schedule replays bit-identically across runs (the
+// repo-wide determinism invariant). Random schedules are generated from a
+// seed via the same forkable Rng the rest of the system uses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dynamoth::fault {
+
+/// Sentinel target: the injector picks a random eligible server at fire time.
+inline constexpr ServerId kAnyServer = kInvalidServer;
+
+enum class FaultKind {
+  kCrashServer,      // hard-kill a pub/sub server stack
+  kRestartServer,    // bring a crashed stack back on the same node
+  kCrashDispatcher,  // kill only the colocated dispatcher process
+  kPartition,        // isolate `count` servers from everything else
+  kHeal,             // remove all partitions
+  kLoss,             // per-node egress packet loss at `rate`
+  kLatencySpike,     // add `extra_latency` to every link of one server
+  kDegradeEgress,    // scale one server's egress line rate by `rate`
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  SimTime at = 0;                 // relative to FaultInjector::arm()
+  FaultKind kind = FaultKind::kCrashServer;
+  ServerId server = kAnyServer;   // explicit target, or random pick
+  /// Outage length; > 0 schedules the automatic reversal (restart / heal /
+  /// clear) at `at + duration`. 0 means permanent.
+  SimTime duration = 0;
+  double rate = 0;                // loss probability / egress scale factor
+  SimTime extra_latency = 0;      // for kLatencySpike
+  std::size_t count = 1;          // servers isolated by kPartition
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  // ---- fluent builders for hand-written scenarios ----
+  FaultSchedule& crash(SimTime at, ServerId server = kAnyServer, SimTime outage = 0);
+  FaultSchedule& restart(SimTime at, ServerId server = kAnyServer);
+  FaultSchedule& crash_dispatcher(SimTime at, ServerId server = kAnyServer,
+                                  SimTime outage = 0);
+  FaultSchedule& partition(SimTime at, std::size_t count, SimTime duration,
+                           ServerId server = kAnyServer);
+  FaultSchedule& loss(SimTime at, double rate, SimTime duration,
+                      ServerId server = kAnyServer);
+  FaultSchedule& latency_spike(SimTime at, SimTime extra, SimTime duration,
+                               ServerId server = kAnyServer);
+  FaultSchedule& degrade_egress(SimTime at, double factor, SimTime duration,
+                                ServerId server = kAnyServer);
+
+  /// Orders events by time (stable: equal-time events keep insertion order).
+  void sort();
+
+  struct RandomParams {
+    /// Faults are injected in [0, horizon]; every generated fault carries a
+    /// finite outage, clamped so it also ends by `horizon` — randomized
+    /// chaos runs always converge to a healthy system.
+    SimTime horizon = seconds(60);
+    std::size_t faults = 4;
+    SimTime mean_outage = seconds(8);
+    SimTime min_outage = seconds(2);
+    SimTime max_outage = seconds(20);
+
+    // Enabled fault classes (picked uniformly among the enabled ones).
+    bool crashes = true;
+    bool dispatcher_crashes = true;
+    bool partitions = true;
+    bool loss = true;
+    bool latency_spikes = true;
+    bool degrade = false;
+
+    double loss_rate = 0.3;
+    SimTime latency_spike = millis(150);
+    double degrade_factor = 0.5;
+    std::size_t partition_count = 1;
+  };
+
+  /// Seeded random schedule: same (seed, params) -> identical events.
+  [[nodiscard]] static FaultSchedule random(std::uint64_t seed, const RandomParams& params);
+  [[nodiscard]] static FaultSchedule random(std::uint64_t seed) {
+    return random(seed, RandomParams{});
+  }
+};
+
+}  // namespace dynamoth::fault

@@ -104,6 +104,73 @@ void Cluster::despawn_server(ServerId id) {
   // The stack object stays alive (in-flight callbacks may reference it).
 }
 
+void Cluster::crash_server(ServerId id) {
+  auto it = stacks_.find(id);
+  if (it == stacks_.end() || crashed_.contains(id)) return;
+  ServerStack& stack = it->second;
+  // Order matters: deregister first so nothing routes to the corpse while
+  // the crash tears down connections.
+  stack.dispatcher->stop();
+  stack.lla->clear_report_target();
+  stack.lla->stop();
+  registry_.remove(id);
+  stack.server->crash();
+  network_->set_active(id, false);
+  crashed_.insert(id);
+  // No note_server_stopped: the VM is still rented, just unresponsive.
+  DYN_TRACE(instant(sim_.now(), id, "fault", "server-crash"));
+}
+
+void Cluster::restart_server(ServerId id) {
+  auto it = stacks_.find(id);
+  if (it == stacks_.end() || !crashed_.contains(id)) return;
+  graveyard_.push_back(std::move(it->second));
+  stacks_.erase(it);
+  crashed_.erase(id);
+  const std::uint64_t incarnation = ++restart_counts_[id];
+
+  ServerStack stack;
+  stack.id = id;
+  stack.server = std::make_unique<ps::PubSubServer>(sim_, *network_, id, config_.pubsub);
+  registry_.add(id, stack.server.get());
+  auto lla_config = config_.lla;
+  lla_config.advertised_capacity = config_.server_capacity;
+  stack.lla = std::make_unique<core::LocalLoadAnalyzer>(sim_, *network_, *stack.server,
+                                                        lla_config);
+  // A distinct RNG lineage per incarnation: the old dispatcher's stream died
+  // with it, and reusing it would couple pre- and post-crash randomness.
+  stack.dispatcher = std::make_unique<core::Dispatcher>(
+      sim_, *network_, registry_, base_ring_, id, config_.dispatcher,
+      root_rng_.fork("dispatcher-restart").fork(id).fork(incarnation));
+
+  network_->set_active(id, true);
+  stack.lla->start();
+  stack.dispatcher->start();
+  if (balancer_ != nullptr) {
+    stack.dispatcher->apply_plan(balancer_->current_plan());
+    wire_balancer(stack);
+  }
+  stacks_.emplace(id, std::move(stack));
+  DYN_TRACE(instant(sim_.now(), id, "fault", "server-restart"));
+}
+
+void Cluster::crash_dispatcher(ServerId id) {
+  auto it = stacks_.find(id);
+  if (it == stacks_.end() || crashed_.contains(id) || registry_.find(id) == nullptr) return;
+  it->second.dispatcher->stop();
+  DYN_TRACE(instant(sim_.now(), id, "fault", "dispatcher-crash"));
+}
+
+void Cluster::restart_dispatcher(ServerId id) {
+  auto it = stacks_.find(id);
+  if (it == stacks_.end() || crashed_.contains(id) || registry_.find(id) == nullptr) return;
+  // The restarted process re-reads the latest plan from the balancer's
+  // store (in the real system: fetched on boot).
+  if (balancer_ != nullptr) it->second.dispatcher->apply_plan(balancer_->current_plan());
+  it->second.dispatcher->start();
+  DYN_TRACE(instant(sim_.now(), id, "fault", "dispatcher-restart"));
+}
+
 core::Dispatcher& Cluster::dispatcher(ServerId id) {
   auto it = stacks_.find(id);
   DYN_CHECK(it != stacks_.end());

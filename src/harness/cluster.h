@@ -10,6 +10,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "baseline/consistent_hash_balancer.h"
@@ -81,6 +82,24 @@ class Cluster {
   [[nodiscard]] core::Dispatcher& dispatcher(ServerId id);
   [[nodiscard]] core::LocalLoadAnalyzer& lla(ServerId id);
 
+  // ---- fault injection ----
+  /// Hard-kills the whole stack on a node: server, LLA and dispatcher die
+  /// instantly and silently (no close notifications reach clients — they
+  /// find out from timeouts / resets). The VM stays rented, so billing
+  /// keeps running until restart_server() or despawn_server().
+  void crash_server(ServerId id);
+  /// Boots a fresh, empty stack on the crashed server's node. Same ServerId,
+  /// none of the old subscriptions or forwarding state.
+  void restart_server(ServerId id);
+  /// Kills only the dispatcher process: the pub/sub server keeps serving
+  /// local subscribers but cross-server forwarding and plan updates stop.
+  void crash_dispatcher(ServerId id);
+  void restart_dispatcher(ServerId id);
+  [[nodiscard]] bool crashed(ServerId id) const { return crashed_.contains(id); }
+  [[nodiscard]] std::vector<ServerId> crashed_servers() const {
+    return {crashed_.begin(), crashed_.end()};
+  }
+
   // ---- balancers (choose at most one) ----
   core::DynamothLoadBalancer& use_dynamoth(core::DynamothLoadBalancer::Config config);
   baseline::ConsistentHashBalancer& use_hash_balancer(
@@ -132,6 +151,11 @@ class Cluster {
   NodeId balancer_node_ = kInvalidNode;
 
   std::map<ServerId, ServerStack> stacks_;      // live + retired (kept alive)
+  /// Stacks replaced by restart_server(); in-flight callbacks may still
+  /// reference the dead incarnation, so it must outlive the simulation.
+  std::vector<ServerStack> graveyard_;
+  std::set<ServerId> crashed_;
+  std::map<ServerId, std::uint64_t> restart_counts_;
   std::vector<std::unique_ptr<core::DynamothClient>> clients_;
   ClientId next_client_id_ = 1;
   std::uint64_t next_plan_id_ = 1'000'000;  // manual plans, above balancer ids

@@ -1,0 +1,92 @@
+// Failover experiment: a fixed pub/sub workload runs while a declarative
+// fault schedule crashes servers, drops links and partitions the fleet;
+// the harness measures how fast the control plane notices (detection
+// latency), how fast delivery comes back (recovery latency), and how many
+// publications were permanently lost — with and without the replay-based
+// reliability layer.
+//
+// Plans are propagated eagerly to every client here (the balancer's plan
+// listener feeds absorb_entry): the lazy SWITCH/wrong-server protocol
+// cannot re-home a channel whose only owner is dead, because there is no
+// live server left to send the correction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/balancer_base.h"
+#include "core/client.h"
+#include "core/load_balancer.h"
+#include "fault/injector.h"
+#include "fault/schedule.h"
+#include "harness/cluster.h"
+#include "obs/metrics_registry.h"
+#include "reliability/reliable_subscriber.h"
+
+namespace dynamoth::harness {
+
+struct FailoverConfig {
+  std::uint64_t seed = 1;
+  std::size_t servers = 4;  // all consistent-hash ring members
+  std::size_t channels = 6;
+  std::size_t subscribers = 3;  // clients; each subscribes to every channel
+  SimTime publish_interval = millis(100);  // per channel (one publisher each)
+  std::size_t payload_bytes = 200;
+
+  SimTime settle = seconds(2);    // subscriptions placed before traffic
+  SimTime duration = seconds(60); // traffic (faults are armed at its start)
+  SimTime drain = seconds(25);    // quiesce: replay retries, late windows
+  SimTime window = seconds(1);    // metrics window
+
+  /// Wrap every subscriber in the gap-detecting replay layer.
+  bool reliability = false;
+
+  fault::FaultSchedule schedule;
+  /// Injector arm time relative to traffic start. Schedules with faults
+  /// near t=0 should leave a few seconds so every subscriber establishes
+  /// its per-publisher sequence baseline first (gap detection is relative
+  /// to the first message seen).
+  SimTime fault_delay = 0;
+  /// Keep ring members uncrashable. Off by default: with eager plan
+  /// propagation the emergency rebalance can re-home ring-resolved
+  /// channels, so ring crashes are survivable here.
+  bool ring_safe_faults = false;
+
+  SimTime detector_timeout = seconds(4);
+  bool phi_accrual = false;
+  SimTime t_wait = seconds(15);
+
+  ClusterConfig cluster;  // seed/initial_servers overwritten
+};
+
+struct FailoverResult {
+  obs::MetricsRegistry metrics;  // one row per window (delivered, faults, ...)
+
+  std::uint64_t published = 0;
+  std::uint64_t expected = 0;           // published x subscribers
+  std::uint64_t delivered_unique = 0;   // distinct (subscriber, channel, seq)
+  std::uint64_t lost = 0;               // expected - delivered_unique
+  std::uint64_t duplicates = 0;         // handler invocations beyond unique
+
+  SimTime first_fault = -1;       // injector's first non-reversal event
+  SimTime first_suspicion = -1;   // detector's first kSuspected at/after it
+  SimTime detection_latency = -1;
+  /// End of the first window at/after the suspicion whose delivery rate is
+  /// back to >= 80% of the pre-fault mean (and the latency from the fault).
+  SimTime recovery_time = -1;
+  SimTime recovery_latency = -1;
+  double pre_fault_rate = 0;  // delivered per window before the first fault
+
+  std::vector<core::BalancerBase::LivenessEvent> liveness;
+  std::vector<fault::FaultInjector::Applied> faults;
+  fault::FaultInjector::Stats fault_stats;
+  core::DynamothLoadBalancer::Stats lb_stats;
+  core::DynamothClient::Stats client_totals;       // summed over all clients
+  rel::ReliableSubscriber::Stats reliability_totals;  // zero when disabled
+  std::string audit_timeline;  // human-readable rebalance audit dump
+};
+
+FailoverResult run_failover(const FailoverConfig& config);
+
+}  // namespace dynamoth::harness

@@ -42,7 +42,34 @@ SimTime Network::send(NodeId from, NodeId to, std::size_t bytes, DeliverFn on_de
   // The latency model is sampled on every send, fast path or not, so the RNG
   // draw sequence — and with it every downstream arrival time — is identical
   // regardless of which branch runs. Determinism before speed.
-  const SimTime prop = latency_->sample(src.config.kind, nodes_[to].config.kind, rng_);
+  SimTime prop = latency_->sample(src.config.kind, nodes_[to].config.kind, rng_);
+
+  if (faults_active_) {
+    Node& dst = nodes_[to];
+    // Partition check first: deterministic, consumes no RNG draw.
+    bool drop = src.partition_group != dst.partition_group;
+    if (!drop) {
+      double p = src.loss;
+      if (!link_loss_.empty()) {
+        if (auto it = link_loss_.find(link_key(from, to)); it != link_loss_.end()) {
+          p = std::max(p, it->second);
+        }
+      }
+      // Loss draws happen only on sends that can actually lose the message,
+      // so enabling loss on one node never shifts everyone else's samples.
+      drop = p > 0 && rng_.chance(p);
+    }
+    if (drop) {
+      src.counters.messages_dropped += 1;
+      src.counters.bytes_dropped += bytes;
+      DYN_TRACE_HOT(instant(start, from, "net", "drop", "to", static_cast<double>(to),
+                            "bytes", static_cast<double>(bytes)));
+      // The sender spent the egress time; the receiver just never hears it.
+      return src.egress_free + prop;
+    }
+    prop += src.fault_extra_latency + dst.fault_extra_latency;
+  }
+
   const SimTime arrival = src.egress_free + prop;
   DYN_TRACE_HOT(complete(start, arrival - start, from, "net", "send", "to",
                          static_cast<double>(to), "bytes", static_cast<double>(bytes)));
@@ -101,6 +128,58 @@ std::uint64_t Network::transmitted_bytes(NodeId node) const {
   const auto backlog_bytes = static_cast<std::uint64_t>(
       to_seconds(backlog) * n.config.egress_bytes_per_sec);
   return n.counters.bytes_sent > backlog_bytes ? n.counters.bytes_sent - backlog_bytes : 0;
+}
+
+void Network::set_partition_group(NodeId node, std::uint32_t group) {
+  DYN_CHECK(node < nodes_.size());
+  nodes_[node].partition_group = group;
+  refresh_faults_active();
+}
+
+std::uint32_t Network::partition_group(NodeId node) const {
+  DYN_CHECK(node < nodes_.size());
+  return nodes_[node].partition_group;
+}
+
+void Network::clear_partitions() {
+  for (Node& n : nodes_) n.partition_group = 0;
+  refresh_faults_active();
+}
+
+void Network::set_node_loss(NodeId node, double rate) {
+  DYN_CHECK(node < nodes_.size());
+  DYN_CHECK(rate >= 0 && rate < 1);
+  nodes_[node].loss = rate;
+  refresh_faults_active();
+}
+
+void Network::set_link_loss(NodeId from, NodeId to, double rate) {
+  DYN_CHECK(from < nodes_.size() && to < nodes_.size());
+  DYN_CHECK(rate >= 0 && rate < 1);
+  if (rate == 0) {
+    link_loss_.erase(link_key(from, to));
+  } else {
+    link_loss_[link_key(from, to)] = rate;
+  }
+  refresh_faults_active();
+}
+
+void Network::set_fault_extra_latency(NodeId node, SimTime extra) {
+  DYN_CHECK(node < nodes_.size());
+  DYN_CHECK(extra >= 0);
+  nodes_[node].fault_extra_latency = extra;
+  refresh_faults_active();
+}
+
+void Network::refresh_faults_active() {
+  faults_active_ = !link_loss_.empty();
+  if (faults_active_) return;
+  for (const Node& n : nodes_) {
+    if (n.partition_group != 0 || n.loss > 0 || n.fault_extra_latency > 0) {
+      faults_active_ = true;
+      return;
+    }
+  }
 }
 
 std::uint64_t Network::total_infrastructure_messages() const {

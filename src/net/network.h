@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -36,6 +37,11 @@ struct NodeConfig {
 struct EgressCounters {
   std::uint64_t bytes_sent = 0;  // enqueued on the egress port (offered load)
   std::uint64_t messages_sent = 0;
+  /// Messages/bytes dropped in flight by injected faults (partitions, loss).
+  /// Dropped traffic still consumed egress: the sender transmitted into the
+  /// void, which is exactly what keeps its load ratio honest during faults.
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_dropped = 0;
 };
 
 class Network {
@@ -91,18 +97,57 @@ class Network {
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] LatencyModel& latency_model() { return *latency_; }
 
+  // ---- fault-injection hooks (src/fault) -------------------------------
+  //
+  // All hooks affect only sends issued *after* the call; messages already in
+  // flight deliver normally (the wire does not eat packets retroactively).
+  // When no fault is configured anywhere, send() takes the exact pre-fault
+  // path with an identical RNG draw sequence — fault-free runs stay
+  // bit-identical to builds that never heard of these hooks.
+
+  /// Assigns the node to a partition group. Nodes in different groups cannot
+  /// exchange messages (both directions drop). Group 0 is the default
+  /// "connected" side; putting a node set in group 1 isolates it.
+  void set_partition_group(NodeId node, std::uint32_t group);
+  [[nodiscard]] std::uint32_t partition_group(NodeId node) const;
+  /// Returns every node to group 0.
+  void clear_partitions();
+
+  /// Drops each message leaving `node` with probability `rate` in [0, 1).
+  void set_node_loss(NodeId node, double rate);
+  /// Directional per-link loss (from -> to); overrides are combined with
+  /// node loss by taking the max. Rate 0 clears the link entry.
+  void set_link_loss(NodeId from, NodeId to, double rate);
+
+  /// Adds `extra` propagation delay to every link touching `node` (applied
+  /// to both its outgoing and incoming messages). 0 clears.
+  void set_fault_extra_latency(NodeId node, SimTime extra);
+
  private:
   struct Node {
     NodeConfig config;
     SimTime egress_free = 0;  // time at which the egress port next idles
     EgressCounters counters;
     bool active = true;
+    // Fault state; all-defaults means the node is healthy.
+    std::uint32_t partition_group = 0;
+    double loss = 0;
+    SimTime fault_extra_latency = 0;
   };
+
+  /// Recomputes the single "any fault anywhere?" flag the send path checks.
+  void refresh_faults_active();
+
+  static std::uint64_t link_key(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
 
   sim::Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
   Rng rng_;
   std::vector<Node> nodes_;
+  bool faults_active_ = false;
+  std::map<std::uint64_t, double> link_loss_;  // ordered: deterministic scans
 };
 
 }  // namespace dynamoth::net

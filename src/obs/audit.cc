@@ -35,6 +35,9 @@ void write_timeline_entry(std::ostream& os, const RebalanceRecord& record) {
   if (record.spawn_requested) os << "  spawn-requested";
   if (record.releasing > 0) os << "  releasing:" << record.releasing;
   if (record.drained_server != kInvalidServer) os << "  draining server " << record.drained_server;
+  if (record.suspected_server != kInvalidServer) {
+    os << "  suspected server " << record.suspected_server;
+  }
   os << '\n';
 
   for (const RebalanceTrigger& trigger : record.triggers) {

@@ -53,6 +53,8 @@ struct RebalanceRecord {
   SimTime since_last_plan = 0;   // time since the previous plan
 
   ServerId drained_server = kInvalidServer;  // low-load victim, if any
+  /// Emergency rounds only: the server the failure detector suspected.
+  ServerId suspected_server = kInvalidServer;
   std::vector<RebalanceTrigger> triggers;
   std::vector<ChannelMove> moves;
 };

@@ -13,17 +13,22 @@ RemoteConnection::RemoteConnection(sim::Simulator& sim, net::Network& network,
       network_(network),
       client_node_(client_node),
       server_(server),
-      alive_(std::make_shared<bool>(true)) {
+      alive_(std::make_shared<bool>(true)),
+      closed_(std::make_shared<ClosedFn>(std::move(on_closed))) {
   std::weak_ptr<bool> alive = alive_;
   conn_ = server_.open_connection(
       client_node_,
       [alive, deliver = std::move(on_deliver)](const EnvelopePtr& env) {
         if (auto a = alive.lock(); a && *a && deliver) deliver(env);
       },
-      [this, alive, closed = std::move(on_closed)](CloseReason reason) {
-        if (auto a = alive.lock(); a && *a) {
+      // The open_ check makes the close callback one-shot: a server-sent
+      // close notification and a connection reset can race (e.g. an overflow
+      // close whose notification was delayed), and the client must hear
+      // about the drop exactly once.
+      [this, alive, closed = closed_](CloseReason reason) {
+        if (auto a = alive.lock(); a && *a && open_) {
           open_ = false;
-          if (closed) closed(reason);
+          if (*closed) (*closed)(reason);
         }
       });
   open_ = true;
@@ -40,10 +45,31 @@ void RemoteConnection::send_command(std::size_t bytes, std::function<void()> act
   // clamp each arrival to the previous one. Without this, a SUBSCRIBE could
   // overtake the preceding control-channel subscription and the dispatcher
   // would not know whom to correct.
+  std::weak_ptr<bool> alive = alive_;
   last_cmd_arrival_ = network_.send(
       client_node_, server_.node(), bytes,
-      [srv = &server_, action = std::move(action)] {
-        if (srv->running()) action();
+      [this, alive, conn = conn_, srv = &server_, net = &network_,
+       action = std::move(action)] {
+        if (!srv->running()) return;  // dead host: the command just vanishes
+        if (srv->connection_alive(conn)) {
+          action();
+          return;
+        }
+        // TCP-RST path: a *running* server that no longer knows this
+        // connection resets it. This is how a client whose close
+        // notification was lost (dropped by a partition, or the server
+        // crashed and came back) finally learns the connection is dead —
+        // the next command it sends bounces. Suppressed when the stub
+        // already knows (nobody listens to a reset on a closed socket).
+        auto a = alive.lock();
+        if (!a || !*a || !open_) return;
+        net->send(srv->node(), client_node_, srv->config().msg_overhead_bytes,
+                  [this, alive] {
+                    if (auto b = alive.lock(); b && *b && open_) {
+                      open_ = false;
+                      if (*closed_) (*closed_)(CloseReason::kConnectionReset);
+                    }
+                  });
       },
       /*extra_delay=*/0, /*min_arrival=*/last_cmd_arrival_);
 }

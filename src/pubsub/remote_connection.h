@@ -58,6 +58,10 @@ class RemoteConnection {
   bool open_ = false;
   // Guards callbacks that outlive this stub (in-flight commands/deliveries).
   std::shared_ptr<bool> alive_;
+  /// The user's close callback, shared so the reset path (a command hitting
+  /// a running server that no longer knows this connection) can fire it
+  /// even though the server-side close wrapper is already gone.
+  std::shared_ptr<ClosedFn> closed_;
 };
 
 }  // namespace dynamoth::ps

@@ -219,8 +219,9 @@ void PubSubServer::close_internal(ConnId conn, CloseReason reason) {
   std::vector<std::string> patterns = std::move(c.patterns);
   std::erase(pattern_conns_, conn);
 
-  if (reason != CloseReason::kByClient && c.closed) {
-    // Notify the remote end (after transport) that it was dropped.
+  if (reason != CloseReason::kByClient && reason != CloseReason::kServerCrash && c.closed) {
+    // Notify the remote end (after transport) that it was dropped. A crashed
+    // process sends nothing — its remote ends discover the death themselves.
     ClosedFn closed = c.closed;
     network_.send(node_, c.client_node, config_.msg_overhead_bytes,
                   [closed, reason] { closed(reason); });
@@ -254,6 +255,16 @@ void PubSubServer::shutdown() {
   for (const auto& [id, _] : connections_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
   for (ConnId id : ids) close_internal(id, CloseReason::kServerShutdown);
+}
+
+void PubSubServer::crash() {
+  if (!running_) return;
+  running_ = false;
+  std::vector<ConnId> ids;
+  ids.reserve(connections_.size());
+  for (const auto& [id, _] : connections_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (ConnId id : ids) close_internal(id, CloseReason::kServerCrash);
 }
 
 bool PubSubServer::glob_match(const std::string& pattern, const std::string& text) {

@@ -36,6 +36,12 @@ enum class CloseReason {
   kByClient,
   kOutputBufferOverflow,
   kServerShutdown,
+  /// Hard kill by fault injection: no close notifications ever reach the
+  /// remote ends; they learn of the death from timeouts or connection resets.
+  kServerCrash,
+  /// A command arrived for a connection the (running) server does not know —
+  /// the TCP-RST path. Clients treat it like any other involuntary close.
+  kConnectionReset,
 };
 
 /// Zero-cost colocated observer (LLA / dispatcher). Callbacks fire when the
@@ -134,6 +140,13 @@ class PubSubServer {
 
   /// Shuts the server down, closing every connection with kServerShutdown.
   void shutdown();
+
+  /// Hard-kills the server (fault injection): every connection is dropped
+  /// *without* notifying its remote end — a crashed process sends nothing.
+  /// Observers still see the disconnects (they are colocated state being
+  /// torn down with the process, not messages on the wire).
+  void crash();
+
   [[nodiscard]] bool running() const { return running_; }
 
   /// Matches a '*' glob pattern against a channel name.

@@ -30,7 +30,6 @@ TEST(Failure, ServerShutdownMidTrafficFallsBackToHashing) {
   harness::Cluster cluster(config2());
   const auto servers = cluster.server_ids();
   const Channel c = "durable";
-  // The base ring only contains server 0 at bootstrap when initial_servers=2?
   // Both initial servers are ring members; pick a victim that is NOT the
   // channel's hash home so the fallback stays alive.
   const ServerId home = cluster.base_ring()->lookup(c);
@@ -126,7 +125,8 @@ TEST(Failure, SubscriberStormRecoversAfterOverflow) {
 
 TEST(Failure, BalancerSurvivesServerChurn) {
   // Dynamoth balancer active while a non-ring server is spawned and later
-  // crash-killed; the balancer must keep producing sane plans.
+  // crash-killed; the failure detector must notice the silence on its own
+  // and the balancer must keep producing sane plans.
   harness::ClusterConfig config = config2(53);
   config.initial_servers = 1;
   config.server_capacity = 120e3;
@@ -135,6 +135,8 @@ TEST(Failure, BalancerSurvivesServerChurn) {
   core::DynamothLoadBalancer::Config lb_config;
   lb_config.t_wait = seconds(5);
   lb_config.max_servers = 3;
+  lb_config.base.detect_failures = true;
+  lb_config.base.detector.timeout = seconds(4);
   auto& lb = cluster.use_dynamoth(lb_config);
 
   std::vector<std::unique_ptr<sim::PeriodicTask>> feeds;
@@ -151,16 +153,31 @@ TEST(Failure, BalancerSurvivesServerChurn) {
   cluster.sim().run_for(seconds(40));
   ASSERT_GT(cluster.active_servers(), 1u);
 
-  // Crash a spawned (non-ring) server without telling the balancer.
+  // Crash a spawned (non-ring) server without telling the balancer: only
+  // the heartbeat detector can find out.
   ServerId victim = kInvalidServer;
   for (ServerId s : cluster.server_ids()) {
     if (!cluster.base_ring()->contains(s)) victim = s;
   }
   ASSERT_NE(victim, kInvalidServer);
-  cluster.despawn_server(victim);
-  lb.detach_server(victim);  // monitoring notices the server is gone
+  cluster.crash_server(victim);
 
   cluster.sim().run_for(seconds(60));
+
+  // The detector suspected the victim and the emergency round audited it.
+  bool suspected = false;
+  for (const auto& ev : lb.liveness_events()) {
+    suspected = suspected ||
+                (ev.kind == core::BalancerBase::LivenessEvent::Kind::kSuspected &&
+                 ev.server == victim);
+  }
+  EXPECT_TRUE(suspected);
+  bool audited = false;
+  for (const auto& rec : lb.audit().records()) {
+    audited = audited || rec.suspected_server == victim;
+  }
+  EXPECT_TRUE(audited);
+
   // System still running: clients reconnected, plans still flowing, and the
   // dead server is not referenced as sole owner of active channels.
   for (int i = 0; i < 6; ++i) {
