@@ -9,6 +9,7 @@
 
 #include "common/channel_table.h"
 #include "common/lru_set.h"
+#include "harness/cluster.h"
 #include "common/rng.h"
 #include "core/consistent_hash.h"
 #include "core/plan.h"
@@ -221,7 +222,7 @@ void BM_PublishFanout(benchmark::State& state) {
   const ps::ConnId pub =
       server.open_connection(network.add_node({net::NodeKind::kClient, 1e9}), nullptr, nullptr);
 
-  auto env = std::make_shared<ps::Envelope>();
+  auto env = ps::make_envelope();
   env->id = MessageId{1, 1};
   env->kind = ps::MsgKind::kData;
   env->channel = "arena";
@@ -236,6 +237,96 @@ void BM_PublishFanout(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(subs));
 }
 BENCHMARK(BM_PublishFanout)->Arg(16)->Arg(256);
+
+void BM_MessagePathSubstrate(benchmark::State& state) {
+  // Steady-state publish -> deliver through the substrate client stubs: a
+  // RemoteConnection publisher sends over the simulated wire, the server
+  // fans out to N RemoteConnection subscribers, deliveries arrive at the
+  // client side. Exercises the full per-message machinery (envelope
+  // construction, command transport callbacks, fan-out, delivery callbacks)
+  // without the Dynamoth routing layer on top.
+  const auto subs = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  net::Network network(sim, std::make_unique<net::FixedLatencyModel>(millis(1), millis(1)),
+                       Rng(7));
+  const NodeId server_node = network.add_node({net::NodeKind::kInfrastructure, 1e12});
+  ps::PubSubServer::Config config;
+  config.conn_drain_bytes_per_sec = 1e12;
+  config.infra_drain_bytes_per_sec = 1e12;
+  config.conn_output_buffer_limit = std::size_t{1} << 40;
+  config.max_egress_backlog = seconds(1e6);
+  ps::PubSubServer server(sim, network, server_node, config);
+
+  std::uint64_t got = 0;
+  std::vector<std::unique_ptr<ps::RemoteConnection>> conns;
+  for (std::size_t i = 0; i < subs; ++i) {
+    const NodeId cn = network.add_node({net::NodeKind::kClient, 1e9});
+    conns.push_back(std::make_unique<ps::RemoteConnection>(
+        sim, network, cn, server, [&got](const ps::EnvelopePtr&) { ++got; }, nullptr));
+    conns.back()->subscribe("arena");
+  }
+  const NodeId pub_node = network.add_node({net::NodeKind::kClient, 1e9});
+  ps::RemoteConnection pub(sim, network, pub_node, server, nullptr, nullptr);
+  sim.run();  // settle subscriptions
+
+  constexpr int kBatch = 64;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      auto env = ps::make_envelope();
+      env->id = MessageId{1, ++seq};
+      env->kind = ps::MsgKind::kData;
+      env->channel = "arena";
+      env->payload_bytes = 128;
+      env->publish_time = sim.now();
+      env->publisher = 1;
+      env->channel_seq = seq;
+      pub.publish(std::move(env));
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(got);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_MessagePathSubstrate)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_MessagePathE2E(benchmark::State& state) {
+  // The paper's steady-state data plane end to end: a DynamothClient
+  // publisher routes through its local plan, the command crosses the wire,
+  // the server (with colocated LLA + dispatcher observers) fans out, and N
+  // DynamothClient subscribers dedup and deliver to their handlers.
+  const auto subs = static_cast<std::size_t>(state.range(0));
+  harness::ClusterConfig cluster_config;
+  cluster_config.seed = 11;
+  cluster_config.initial_servers = 1;
+  cluster_config.fixed_latency = true;
+  cluster_config.fixed_latency_value = millis(5);
+  cluster_config.server_capacity = 1e12;
+  cluster_config.server_nic_headroom = 1.0;
+  cluster_config.client_egress = 1e12;
+  cluster_config.pubsub.conn_drain_bytes_per_sec = 1e12;
+  cluster_config.pubsub.infra_drain_bytes_per_sec = 1e12;
+  cluster_config.pubsub.conn_output_buffer_limit = std::size_t{1} << 40;
+  cluster_config.pubsub.max_egress_backlog = seconds(1e6);
+  harness::Cluster cluster(cluster_config);
+  sim::Simulator& sim = cluster.sim();
+
+  std::uint64_t got = 0;
+  for (std::size_t i = 0; i < subs; ++i) {
+    cluster.add_client().subscribe("arena", [&got](const ps::EnvelopePtr&) { ++got; });
+  }
+  core::DynamothClient& pub = cluster.add_client();
+  sim.run_for(seconds(2));  // settle subscriptions + first LLA windows
+
+  constexpr int kBatch = 64;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) pub.publish("arena", 128);
+    sim.run_for(millis(200));
+  }
+  benchmark::DoNotOptimize(got);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_MessagePathE2E)->Arg(1)->Arg(16)->Arg(64);
 
 void BM_SimulatorSelfScheduling(benchmark::State& state) {
   // The common pattern: events that schedule follow-up events.

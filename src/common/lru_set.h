@@ -1,49 +1,129 @@
 // Fixed-capacity LRU set, used by the Dynamoth client library to deduplicate
 // publications that arrive via more than one pub/sub server during
 // reconfiguration (paper Section IV-A3: "globally unique message identifiers").
+//
+// Every received publication runs one insert(), so the representation is
+// allocation-free after construction: a flat node array (recency links and
+// hash chains are uint32 indices into it) replaces the previous
+// std::list + std::unordered_map pair, which paid two heap node allocations
+// per fresh insert — on the steady-state delivery path, per message.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
-#include <list>
-#include <unordered_map>
+#include <cstdint>
+#include <functional>
+#include <vector>
 
 namespace dynamoth {
 
 template <typename T, typename Hash = std::hash<T>>
 class LruSet {
  public:
-  explicit LruSet(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+  explicit LruSet(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+    nodes_.reserve(capacity_);  // push_back below never reallocates
+    std::size_t buckets = 2;
+    while (buckets < capacity_ * 2) buckets *= 2;  // load factor <= 0.5
+    buckets_.assign(buckets, kNil);
+    mask_ = static_cast<std::uint32_t>(buckets - 1);
+  }
 
   /// Inserts `value`. Returns true if it was newly inserted, false if it was
   /// already present (in which case it is refreshed to most-recently-used).
   bool insert(const T& value) {
-    auto it = index_.find(value);
-    if (it != index_.end()) {
-      order_.splice(order_.begin(), order_, it->second);
-      return false;
+    const std::uint32_t bucket = static_cast<std::uint32_t>(Hash{}(value)) & mask_;
+    for (std::uint32_t idx = buckets_[bucket]; idx != kNil; idx = nodes_[idx].hash_next) {
+      if (nodes_[idx].value == value) {
+        move_to_front(idx);
+        return false;
+      }
     }
-    order_.push_front(value);
-    index_.emplace(value, order_.begin());
-    if (order_.size() > capacity_) {
-      index_.erase(order_.back());
-      order_.pop_back();
+
+    std::uint32_t idx;
+    if (nodes_.size() < capacity_) {
+      idx = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.push_back(Node{value, kNil, kNil, kNil});
+    } else {
+      // Full: evict the least-recently-used node and reuse its slot.
+      idx = tail_;
+      unlink_order(idx);
+      unlink_chain(idx);
+      nodes_[idx].value = value;
     }
+    nodes_[idx].hash_next = buckets_[bucket];
+    buckets_[bucket] = idx;
+    push_front(idx);
     return true;
   }
 
-  [[nodiscard]] bool contains(const T& value) const { return index_.count(value) > 0; }
-  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] bool contains(const T& value) const {
+    const std::uint32_t bucket = static_cast<std::uint32_t>(Hash{}(value)) & mask_;
+    for (std::uint32_t idx = buckets_[bucket]; idx != kNil; idx = nodes_[idx].hash_next) {
+      if (nodes_[idx].value == value) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   void clear() {
-    order_.clear();
-    index_.clear();
+    nodes_.clear();  // keeps the reserved capacity
+    std::fill(buckets_.begin(), buckets_.end(), kNil);
+    head_ = tail_ = kNil;
   }
 
  private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Node {
+    T value;
+    std::uint32_t prev;       // LRU order, most-recent first
+    std::uint32_t next;
+    std::uint32_t hash_next;  // bucket chain
+  };
+
+  void push_front(std::uint32_t idx) {
+    nodes_[idx].prev = kNil;
+    nodes_[idx].next = head_;
+    if (head_ != kNil) nodes_[head_].prev = idx;
+    head_ = idx;
+    if (tail_ == kNil) tail_ = idx;
+  }
+
+  void unlink_order(std::uint32_t idx) {
+    const std::uint32_t prev = nodes_[idx].prev;
+    const std::uint32_t next = nodes_[idx].next;
+    (prev != kNil ? nodes_[prev].next : head_) = next;
+    (next != kNil ? nodes_[next].prev : tail_) = prev;
+  }
+
+  void move_to_front(std::uint32_t idx) {
+    if (head_ == idx) return;
+    unlink_order(idx);
+    push_front(idx);
+  }
+
+  /// Removes `idx` from the bucket chain of its *current* value (called
+  /// before the slot is reused for a new value).
+  void unlink_chain(std::uint32_t idx) {
+    const std::uint32_t bucket =
+        static_cast<std::uint32_t>(Hash{}(nodes_[idx].value)) & mask_;
+    std::uint32_t cur = buckets_[bucket];
+    if (cur == idx) {
+      buckets_[bucket] = nodes_[idx].hash_next;
+      return;
+    }
+    while (nodes_[cur].hash_next != idx) cur = nodes_[cur].hash_next;
+    nodes_[cur].hash_next = nodes_[idx].hash_next;
+  }
+
   std::size_t capacity_;
-  std::list<T> order_;
-  std::unordered_map<T, typename std::list<T>::iterator, Hash> index_;
+  std::vector<Node> nodes_;          // slots 0..size-1, stable once created
+  std::vector<std::uint32_t> buckets_;
+  std::uint32_t mask_ = 0;
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
 };
 
 }  // namespace dynamoth

@@ -228,7 +228,7 @@ void BalancerBase::publish_plan(Plan plan, RebalanceKind kind, obs::RebalanceRec
     auto body = std::make_shared<PlanUpdateBody>();
     body->plan = frozen;
     for (auto& [id, state] : servers_) {
-      auto env = std::make_shared<ps::Envelope>();
+      auto env = ps::make_envelope();
       env->id = MessageId{client_id_, next_seq_++};
       env->kind = ps::MsgKind::kPlanUpdate;
       env->channel = kPlanChannel;

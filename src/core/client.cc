@@ -243,14 +243,14 @@ void DynamothClient::republish_recent(ChannelState& st) {
       ++stats_.publishes_dropped;
       pending_.pop_front();
     }
-    pending_.push_back(std::make_shared<ps::Envelope>(*env));
+    pending_.push_back(ps::clone_envelope(*env));
   }
   // The clones re-enter `recent` when they are flushed through the new
   // placement; keeping the originals would retransmit them twice.
   st.recent.clear();
 }
 
-void DynamothClient::stash_pending(std::shared_ptr<ps::Envelope> env) {
+void DynamothClient::stash_pending(ps::MutEnvelopeRef env) {
   ++stats_.refused_publishes;
   if (pending_.size() >= config_.max_pending_publishes) {
     ++stats_.publishes_dropped;
@@ -261,9 +261,9 @@ void DynamothClient::stash_pending(std::shared_ptr<ps::Envelope> env) {
 
 void DynamothClient::flush_pending() {
   if (pending_.empty()) return;
-  std::deque<std::shared_ptr<ps::Envelope>> retry;
+  std::deque<ps::MutEnvelopeRef> retry;
   retry.swap(pending_);
-  for (std::shared_ptr<ps::Envelope>& env : retry) {
+  for (ps::MutEnvelopeRef& env : retry) {
     ChannelState& st = state_for(env->channel);
     ensure_live_entry(env->channel, st);
     // Safe to restamp: a stashed envelope was never handed to any receiver.
@@ -286,7 +286,7 @@ ps::EnvelopePtr DynamothClient::publish(const Channel& channel, std::size_t payl
   st.last_activity = sim_.now();
   ensure_live_entry(channel, st);
 
-  auto env = std::make_shared<ps::Envelope>();
+  auto env = ps::make_envelope();
   env->id = MessageId{id_, next_seq_++};
   env->kind = ps::MsgKind::kData;
   env->channel = channel;
@@ -315,7 +315,7 @@ ps::EnvelopePtr DynamothClient::publish_control(const Channel& channel,
   ChannelState& st = state_for(channel);
   st.last_activity = sim_.now();
 
-  auto env = std::make_shared<ps::Envelope>();
+  auto env = ps::make_envelope();
   env->id = MessageId{id_, next_seq_++};
   env->kind = ps::MsgKind::kControl;
   env->channel = channel;

@@ -18,6 +18,7 @@
 
 #include "common/lru_set.h"
 #include "common/rng.h"
+#include "common/small_function.h"
 #include "common/types.h"
 #include "core/consistent_hash.h"
 #include "core/control.h"
@@ -84,7 +85,9 @@ class DynamothClient {
     std::uint64_t republishes = 0;            // re-home retransmissions queued
   };
 
-  using MessageHandler = std::function<void(const ps::EnvelopePtr&)>;
+  /// Move-only, inline up to 48 capture bytes: installing a handler does not
+  /// heap-allocate (std::function would beyond 16 bytes of capture).
+  using MessageHandler = SmallFunction<void(const ps::EnvelopePtr&), 48>;
 
   DynamothClient(sim::Simulator& sim, net::Network& network, ServerRegistry& registry,
                  std::shared_ptr<const ConsistentHashRing> base_ring, NodeId node,
@@ -159,7 +162,7 @@ class DynamothClient {
   /// Routes `env` per the entry's replication mode; false when no live
   /// server could be reached (the caller stashes the envelope).
   bool route(ChannelState& st, const ps::EnvelopePtr& env);
-  void stash_pending(std::shared_ptr<ps::Envelope> env);
+  void stash_pending(ps::MutEnvelopeRef env);
   void flush_pending();
   /// Tracks a successfully routed data publish for re-home retransmission.
   void remember_publish(ChannelState& st, const ps::EnvelopePtr& env);
@@ -184,7 +187,7 @@ class DynamothClient {
   /// Refused publishes awaiting retry. Mutable envelopes: a stashed message
   /// was never handed to a receiver, so restamping its entry version on
   /// flush is safe.
-  std::deque<std::shared_ptr<ps::Envelope>> pending_;
+  std::deque<ps::MutEnvelopeRef> pending_;
   LruSet<MessageId> dedup_;
   Channel ctl_channel_;
   std::uint64_t next_seq_ = 1;

@@ -80,7 +80,7 @@ ps::RemoteConnection* Dispatcher::connection(ServerId server) {
 
 ps::EnvelopePtr Dispatcher::make_ctl(ps::MsgKind kind, Channel channel,
                                      std::shared_ptr<const ps::ControlBody> body) {
-  auto env = std::make_shared<ps::Envelope>();
+  auto env = ps::make_envelope();
   env->id = MessageId{dispatcher_client_id(self_), next_seq_++};
   env->kind = kind;
   env->channel = std::move(channel);
@@ -331,7 +331,7 @@ void Dispatcher::forward(const ps::EnvelopePtr& env, ServerId target,
   if (target == self_) return;
   ps::RemoteConnection* conn = connection(target);
   if (conn == nullptr) return;
-  auto copy = std::make_shared<ps::Envelope>(*env);
+  auto copy = ps::clone_envelope(*env);
   copy->forwarded = true;
   copy->via_server = self_;
   copy->entry_version = entry_version;

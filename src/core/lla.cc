@@ -1,5 +1,7 @@
 #include "core/lla.h"
 
+#include <algorithm>
+
 #include <utility>
 
 #include "common/check.h"
@@ -71,7 +73,8 @@ void LocalLoadAnalyzer::on_publish(const ps::EnvelopePtr& env, std::size_t subsc
   a.stats.cpu_us += static_cast<std::uint64_t>(
       server_.config().cpu_publish_cost_us +
       server_.config().cpu_delivery_cost_us * static_cast<double>(subscriber_count));
-  a.publishers.insert(env->publisher);
+  const auto pit = std::lower_bound(a.publishers.begin(), a.publishers.end(), env->publisher);
+  if (pit == a.publishers.end() || *pit != env->publisher) a.publishers.insert(pit, env->publisher);
 }
 
 void LocalLoadAnalyzer::on_subscribe(ps::ConnId conn, const Channel& channel,
@@ -139,6 +142,7 @@ void LocalLoadAnalyzer::emit_report() {
   // deterministic.
   const ChannelTable& table = ChannelTable::instance();
   for (auto& [cid, accum] : window_) {
+    if (!accum.active()) continue;  // carried-over entry, quiet this window
     ChannelStats stats = accum.stats;
     stats.publishers = static_cast<std::uint32_t>(accum.publishers.size());
     auto sit = subscriber_counts_.find(cid);
@@ -148,7 +152,7 @@ void LocalLoadAnalyzer::emit_report() {
   // Quiet channels that still have subscribers (they hold server state and
   // are migration candidates too).
   for (const auto& [cid, count] : subscriber_counts_) {
-    if (window_.contains(cid)) continue;
+    if (auto wit = window_.find(cid); wit != window_.end() && wit->second.active()) continue;
     ChannelStats stats;
     stats.subscribers = count;
     report.channels.emplace(table.name(cid), stats);
@@ -158,7 +162,9 @@ void LocalLoadAnalyzer::emit_report() {
   DYN_TRACE(instant(now, server_.node(), "lla", "report", "load_ratio", last_load_ratio_,
                     "channels", static_cast<double>(report.channels.size())));
   DYN_TRACE(counter(now, server_.node(), "lla", "load_ratio", last_load_ratio_));
-  window_.clear();
+  // Reset in place: entries and their publisher vectors keep their memory,
+  // so the first publication of the next window allocates nothing.
+  for (auto& [cid, accum] : window_) accum.reset_window();
   window_start_bytes_ = bytes_now;
   window_start_time_ = now;
 
@@ -171,7 +177,7 @@ void LocalLoadAnalyzer::emit_report() {
                   [sink = sink_, body] { sink(body->report); });
   }
 
-  auto env = std::make_shared<ps::Envelope>();
+  auto env = ps::make_envelope();
   env->id = MessageId{infra_client_id(server_.node()), static_cast<std::uint64_t>(now)};
   env->kind = ps::MsgKind::kLlaReport;
   env->channel = kLlaChannel;

@@ -13,7 +13,7 @@
 
 #include <map>
 #include <memory>
-#include <set>
+#include <vector>
 #include <unordered_map>
 
 #include "common/channel_table.h"
@@ -68,7 +68,19 @@ class LocalLoadAnalyzer final : public ps::LocalObserver {
  private:
   struct Accum {
     ChannelStats stats;
-    std::set<ClientId> publishers;  // distinct within the window
+    /// Distinct publishers within the window, kept sorted (small per
+    /// channel). A vector instead of std::set so the window rollover can
+    /// clear it while keeping its capacity — entries persist across windows
+    /// and on_publish stays allocation-free in steady state.
+    std::vector<ClientId> publishers;
+
+    /// An entry only exists after at least one publication, so a zeroed
+    /// stats block marks a carried-over entry with no traffic this window.
+    [[nodiscard]] bool active() const { return stats.publications > 0; }
+    void reset_window() {
+      stats = ChannelStats{};
+      publishers.clear();  // keeps capacity
+    }
   };
 
   void emit_report();

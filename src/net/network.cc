@@ -51,8 +51,8 @@ SimTime Network::send(NodeId from, NodeId to, std::size_t bytes, DeliverFn on_de
     if (!drop) {
       double p = src.loss;
       if (!link_loss_.empty()) {
-        if (auto it = link_loss_.find(link_key(from, to)); it != link_loss_.end()) {
-          p = std::max(p, it->second);
+        if (auto it = find_link_loss(link_key(from, to)); it != link_loss_.end()) {
+          p = std::max(p, it->rate);
         }
       }
       // Loss draws happen only on sends that can actually lose the message,
@@ -153,13 +153,29 @@ void Network::set_node_loss(NodeId node, double rate) {
   refresh_faults_active();
 }
 
+std::vector<Network::LinkLoss>::const_iterator Network::find_link_loss(
+    std::uint64_t key) const {
+  const auto it = std::lower_bound(
+      link_loss_.begin(), link_loss_.end(), key,
+      [](const LinkLoss& entry, std::uint64_t k) { return entry.key < k; });
+  return it != link_loss_.end() && it->key == key ? it : link_loss_.end();
+}
+
 void Network::set_link_loss(NodeId from, NodeId to, double rate) {
   DYN_CHECK(from < nodes_.size() && to < nodes_.size());
   DYN_CHECK(rate >= 0 && rate < 1);
+  const std::uint64_t key = link_key(from, to);
+  const auto it = std::lower_bound(
+      link_loss_.begin(), link_loss_.end(), key,
+      [](const LinkLoss& entry, std::uint64_t k) { return entry.key < k; });
+  const bool present = it != link_loss_.end() && it->key == key;
   if (rate == 0) {
-    link_loss_.erase(link_key(from, to));
+    if (present) link_loss_.erase(it);
+  } else if (present) {
+    const auto idx = it - link_loss_.begin();
+    link_loss_[static_cast<std::size_t>(idx)].rate = rate;
   } else {
-    link_loss_[link_key(from, to)] = rate;
+    link_loss_.insert(it, LinkLoss{key, rate});
   }
   refresh_faults_active();
 }

@@ -12,7 +12,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -142,12 +141,21 @@ class Network {
     return (static_cast<std::uint64_t>(from) << 32) | to;
   }
 
+  struct LinkLoss {
+    std::uint64_t key;  // link_key(from, to)
+    double rate;
+  };
+  /// Binary search in the sorted-by-key flat vector (fault path only).
+  [[nodiscard]] std::vector<LinkLoss>::const_iterator find_link_loss(std::uint64_t key) const;
+
   sim::Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
   Rng rng_;
   std::vector<Node> nodes_;
   bool faults_active_ = false;
-  std::map<std::uint64_t, double> link_loss_;  // ordered: deterministic scans
+  /// Sorted by key: cache-dense binary-search lookup on the fault path and
+  /// deterministic order, without std::map's per-link node allocations.
+  std::vector<LinkLoss> link_loss_;
 };
 
 }  // namespace dynamoth::net

@@ -1,0 +1,19 @@
+#include "pubsub/envelope.h"
+
+namespace dynamoth::ps {
+
+detail::EnvelopeSlot* EnvelopePool::grow() {
+  auto block = std::make_unique<detail::EnvelopeSlot[]>(kBlockSize);
+  detail::EnvelopeSlot* base = block.get();
+  blocks_.push_back(std::move(block));
+  slot_count_ += kBlockSize;
+  // Thread all but the first slot onto the free list (in address order, so a
+  // fresh pool hands out contiguous slots); the first serves this acquire.
+  for (std::size_t i = kBlockSize - 1; i >= 1; --i) {
+    base[i].next_free = free_head_;
+    free_head_ = &base[i];
+  }
+  return base;
+}
+
+}  // namespace dynamoth::ps

@@ -13,100 +13,118 @@ RemoteConnection::RemoteConnection(sim::Simulator& sim, net::Network& network,
       network_(network),
       client_node_(client_node),
       server_(server),
-      alive_(std::make_shared<bool>(true)),
-      closed_(std::make_shared<ClosedFn>(std::move(on_closed))) {
-  std::weak_ptr<bool> alive = alive_;
+      ctx_(std::make_shared<Ctx>()),
+      closed_(std::move(on_closed)) {
+  ctx_->self = this;
   conn_ = server_.open_connection(
       client_node_,
-      [alive, deliver = std::move(on_deliver)](const EnvelopePtr& env) {
-        if (auto a = alive.lock(); a && *a && deliver) deliver(env);
-      },
+      on_deliver ? PubSubServer::DeliverFn(
+                       [ctx = ctx_, deliver = std::move(on_deliver)](const EnvelopePtr& env) mutable {
+                         if (ctx->self != nullptr) deliver(env);
+                       })
+                 : nullptr,
       // The open_ check makes the close callback one-shot: a server-sent
       // close notification and a connection reset can race (e.g. an overflow
       // close whose notification was delayed), and the client must hear
       // about the drop exactly once.
-      [this, alive, closed = closed_](CloseReason reason) {
-        if (auto a = alive.lock(); a && *a && open_) {
-          open_ = false;
-          if (*closed) (*closed)(reason);
+      [ctx = ctx_](CloseReason reason) {
+        RemoteConnection* self = ctx->self;
+        if (self != nullptr && self->open_) {
+          self->open_ = false;
+          if (self->closed_) self->closed_(reason);
         }
       });
   open_ = true;
 }
 
 RemoteConnection::~RemoteConnection() {
-  *alive_ = false;
+  ctx_->self = nullptr;
   if (open_ && server_.running()) server_.close_connection(conn_);
 }
 
-void RemoteConnection::send_command(std::size_t bytes, std::function<void()> action) {
+void RemoteConnection::send_command(std::size_t bytes, net::Network::DeliverFn action) {
   if (!open_) return;
   // Commands on one connection arrive in order (it models a TCP stream):
   // clamp each arrival to the previous one. Without this, a SUBSCRIBE could
   // overtake the preceding control-channel subscription and the dispatcher
   // would not know whom to correct.
-  std::weak_ptr<bool> alive = alive_;
-  last_cmd_arrival_ = network_.send(
-      client_node_, server_.node(), bytes,
-      [this, alive, conn = conn_, srv = &server_, net = &network_,
-       action = std::move(action)] {
-        if (!srv->running()) return;  // dead host: the command just vanishes
-        if (srv->connection_alive(conn)) {
-          action();
-          return;
-        }
-        // TCP-RST path: a *running* server that no longer knows this
-        // connection resets it. This is how a client whose close
-        // notification was lost (dropped by a partition, or the server
-        // crashed and came back) finally learns the connection is dead —
-        // the next command it sends bounces. Suppressed when the stub
-        // already knows (nobody listens to a reset on a closed socket).
-        auto a = alive.lock();
-        if (!a || !*a || !open_) return;
-        net->send(srv->node(), client_node_, srv->config().msg_overhead_bytes,
-                  [this, alive] {
-                    if (auto b = alive.lock(); b && *b && open_) {
-                      open_ = false;
-                      if (*closed_) (*closed_)(CloseReason::kConnectionReset);
-                    }
-                  });
-      },
-      /*extra_delay=*/0, /*min_arrival=*/last_cmd_arrival_);
+  last_cmd_arrival_ = network_.send(client_node_, server_.node(), bytes, std::move(action),
+                                    /*extra_delay=*/0, /*min_arrival=*/last_cmd_arrival_);
+}
+
+void RemoteConnection::bounce_reset(const std::shared_ptr<Ctx>& ctx, PubSubServer* srv) {
+  RemoteConnection* self = ctx->self;
+  if (self == nullptr || !self->open_) return;
+  self->network_.send(srv->node(), self->client_node_, srv->config().msg_overhead_bytes,
+                      [ctx] {
+                        RemoteConnection* s = ctx->self;
+                        if (s != nullptr && s->open_) {
+                          s->open_ = false;
+                          if (s->closed_) s->closed_(CloseReason::kConnectionReset);
+                        }
+                      });
 }
 
 void RemoteConnection::subscribe(const Channel& channel) {
   const std::size_t bytes = server_.config().msg_overhead_bytes + channel.size();
-  send_command(bytes, [srv = &server_, conn = conn_, channel] {
-    srv->handle_subscribe(conn, channel);
+  send_command(bytes, [ctx = ctx_, srv = &server_, conn = conn_, channel] {
+    if (!srv->running()) return;  // dead host: the command just vanishes
+    if (srv->connection_alive(conn)) {
+      srv->handle_subscribe(conn, channel);
+      return;
+    }
+    bounce_reset(ctx, srv);
   });
 }
 
 void RemoteConnection::unsubscribe(const Channel& channel) {
   const std::size_t bytes = server_.config().msg_overhead_bytes + channel.size();
-  send_command(bytes, [srv = &server_, conn = conn_, channel] {
-    srv->handle_unsubscribe(conn, channel);
+  send_command(bytes, [ctx = ctx_, srv = &server_, conn = conn_, channel] {
+    if (!srv->running()) return;
+    if (srv->connection_alive(conn)) {
+      srv->handle_unsubscribe(conn, channel);
+      return;
+    }
+    bounce_reset(ctx, srv);
   });
 }
 
 void RemoteConnection::psubscribe(const std::string& pattern) {
   const std::size_t bytes = server_.config().msg_overhead_bytes + pattern.size();
-  send_command(bytes, [srv = &server_, conn = conn_, pattern] {
-    srv->handle_psubscribe(conn, pattern);
+  send_command(bytes, [ctx = ctx_, srv = &server_, conn = conn_, pattern] {
+    if (!srv->running()) return;
+    if (srv->connection_alive(conn)) {
+      srv->handle_psubscribe(conn, pattern);
+      return;
+    }
+    bounce_reset(ctx, srv);
   });
 }
 
 void RemoteConnection::punsubscribe(const std::string& pattern) {
   const std::size_t bytes = server_.config().msg_overhead_bytes + pattern.size();
-  send_command(bytes, [srv = &server_, conn = conn_, pattern] {
-    srv->handle_punsubscribe(conn, pattern);
+  send_command(bytes, [ctx = ctx_, srv = &server_, conn = conn_, pattern] {
+    if (!srv->running()) return;
+    if (srv->connection_alive(conn)) {
+      srv->handle_punsubscribe(conn, pattern);
+      return;
+    }
+    bounce_reset(ctx, srv);
   });
 }
 
 void RemoteConnection::publish(EnvelopePtr env) {
   DYN_CHECK(env != nullptr);
   const std::size_t bytes = wire_size(*env, server_.config().msg_overhead_bytes);
-  send_command(bytes, [srv = &server_, conn = conn_, env = std::move(env)] {
-    srv->handle_publish(conn, env);
+  // 40 capture bytes (guard + server + conn + envelope ref): inline in the
+  // network callback — the steady-state publish command allocates nothing.
+  send_command(bytes, [ctx = ctx_, srv = &server_, conn = conn_, env = std::move(env)] {
+    if (!srv->running()) return;
+    if (srv->connection_alive(conn)) {
+      srv->handle_publish(conn, env);
+      return;
+    }
+    bounce_reset(ctx, srv);
   });
 }
 

@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/small_function.h"
 #include "common/types.h"
 #include "net/network.h"
 #include "pubsub/envelope.h"
@@ -20,7 +21,8 @@ namespace dynamoth::ps {
 
 class RemoteConnection {
  public:
-  using DeliverFn = std::function<void(const EnvelopePtr&)>;
+  /// Per-message path: move-only, inline captures (see PubSubServer::DeliverFn).
+  using DeliverFn = SmallFunction<void(const EnvelopePtr&), 48>;
   using ClosedFn = std::function<void(CloseReason)>;
 
   /// Opens a connection from `client_node` to `server`. Delivery and close
@@ -47,7 +49,28 @@ class RemoteConnection {
   [[nodiscard]] ConnId conn_id() const { return conn_; }
 
  private:
-  void send_command(std::size_t bytes, std::function<void()> action);
+  /// Shared guard for callbacks that outlive this stub (in-flight commands
+  /// and deliveries): `self` is nulled by the destructor, so a callback
+  /// checks one pointer instead of locking a weak_ptr, and the capture is a
+  /// single shared_ptr (16 bytes) — publish command callbacks fit inline in
+  /// the network's 48-byte callback buffer where the old per-command
+  /// std::function wrapper forced two heap allocations per message.
+  struct Ctx {
+    RemoteConnection* self = nullptr;
+  };
+
+  /// TCP-RST path, shared by every command callback: a *running* server that
+  /// no longer knows the connection resets it. This is how a client whose
+  /// close notification was lost (dropped by a partition, or the server
+  /// crashed and came back) finally learns the connection is dead — the next
+  /// command it sends bounces. Suppressed when the stub already knows
+  /// (nobody listens to a reset on a closed socket). Cold by construction,
+  /// hence out of line.
+  static void bounce_reset(const std::shared_ptr<Ctx>& ctx, PubSubServer* srv);
+
+  /// Ships an already-built command callback to the server, preserving
+  /// per-connection FIFO arrival (a TCP-like stream).
+  void send_command(std::size_t bytes, net::Network::DeliverFn action);
 
   sim::Simulator& sim_;
   net::Network& network_;
@@ -56,12 +79,10 @@ class RemoteConnection {
   ConnId conn_ = kInvalidConn;
   SimTime last_cmd_arrival_ = 0;  // per-connection FIFO (TCP-like stream)
   bool open_ = false;
-  // Guards callbacks that outlive this stub (in-flight commands/deliveries).
-  std::shared_ptr<bool> alive_;
-  /// The user's close callback, shared so the reset path (a command hitting
-  /// a running server that no longer knows this connection) can fire it
+  std::shared_ptr<Ctx> ctx_;
+  /// The user's close callback; the reset path can fire it (through ctx_)
   /// even though the server-side close wrapper is already gone.
-  std::shared_ptr<ClosedFn> closed_;
+  ClosedFn closed_;
 };
 
 }  // namespace dynamoth::ps

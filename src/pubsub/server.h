@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/channel_table.h"
+#include "common/small_function.h"
 #include "common/types.h"
 #include "net/network.h"
 #include "pubsub/envelope.h"
@@ -95,7 +96,11 @@ class PubSubServer {
 
   // ---- connection management (called by RemoteConnection / local comps) ----
 
-  using DeliverFn = std::function<void(const EnvelopePtr&)>;
+  /// Delivery callbacks sit on the per-message path, so they are move-only
+  /// SmallFunctions: client-stub wrappers stay inline instead of paying
+  /// std::function's heap fallback. Close callbacks are copied when a close
+  /// notification is scheduled (cold path) and stay std::function.
+  using DeliverFn = SmallFunction<void(const EnvelopePtr&), 48>;
   using ClosedFn = std::function<void(CloseReason)>;
 
   /// Registers a connection from `client_node`. Connections from the server's
@@ -156,8 +161,9 @@ class PubSubServer {
   struct Connection {
     ConnId id = kInvalidConn;
     NodeId client_node = kInvalidNode;
-    /// Shared so each delivery captures a pointer copy, not a copy of the
-    /// (possibly heap-backed) std::function itself.
+    /// Shared so each delivery captures a pointer copy (DeliverFn itself is
+    /// move-only, and at 56 bytes would blow the network callback's inline
+    /// budget).
     std::shared_ptr<DeliverFn> deliver;
     ClosedFn closed;
     std::unordered_set<ChannelId> channels;  // interned subscriptions

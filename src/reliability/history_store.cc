@@ -12,7 +12,7 @@ HistoryStore::HistoryStore(std::size_t max_messages_per_channel)
 void HistoryStore::record(const ps::EnvelopePtr& env) {
   DYN_CHECK(env != nullptr);
   if (env->channel_seq == 0) return;  // unsequenced: not replayable
-  auto& queue = history_[env->channel];
+  auto& queue = history_[env->channel_id()];
   queue.push_back(env);
   if (queue.size() > capacity_) {
     queue.pop_front();
@@ -20,25 +20,51 @@ void HistoryStore::record(const ps::EnvelopePtr& env) {
   }
 }
 
-std::vector<ps::EnvelopePtr> HistoryStore::lookup(const Channel& channel, ClientId publisher,
-                                                  std::uint64_t from_seq,
-                                                  std::uint64_t to_seq) const {
-  std::vector<ps::EnvelopePtr> out;
+std::size_t HistoryStore::lookup_into(ChannelId channel, ClientId publisher,
+                                      std::uint64_t from_seq, std::uint64_t to_seq,
+                                      std::vector<ps::EnvelopePtr>& out) const {
   auto it = history_.find(channel);
-  if (it == history_.end()) return out;
+  if (it == history_.end()) return 0;
+  std::size_t matches = 0;
+  for (const ps::EnvelopePtr& env : it->second) {
+    if (env->publisher != publisher) continue;
+    if (env->channel_seq < from_seq || env->channel_seq > to_seq) continue;
+    ++matches;
+  }
+  if (matches == 0) return 0;
+  out.reserve(out.size() + matches);
   for (const ps::EnvelopePtr& env : it->second) {
     if (env->publisher != publisher) continue;
     if (env->channel_seq < from_seq || env->channel_seq > to_seq) continue;
     out.push_back(env);
   }
+  return matches;
+}
+
+std::vector<ps::EnvelopePtr> HistoryStore::lookup(const Channel& channel, ClientId publisher,
+                                                  std::uint64_t from_seq,
+                                                  std::uint64_t to_seq) const {
+  std::vector<ps::EnvelopePtr> out;
+  const ChannelId cid = ChannelTable::instance().find(channel);
+  if (cid != kInvalidChannelId) lookup_into(cid, publisher, from_seq, to_seq, out);
   return out;
 }
 
-std::size_t HistoryStore::stored(const Channel& channel) const {
+std::size_t HistoryStore::stored(ChannelId channel) const {
   auto it = history_.find(channel);
   return it == history_.end() ? 0 : it->second.size();
 }
 
-void HistoryStore::forget(const Channel& channel) { history_.erase(channel); }
+std::size_t HistoryStore::stored(const Channel& channel) const {
+  const ChannelId cid = ChannelTable::instance().find(channel);
+  return cid == kInvalidChannelId ? 0 : stored(cid);
+}
+
+void HistoryStore::forget(ChannelId channel) { history_.erase(channel); }
+
+void HistoryStore::forget(const Channel& channel) {
+  const ChannelId cid = ChannelTable::instance().find(channel);
+  if (cid != kInvalidChannelId) forget(cid);
+}
 
 }  // namespace dynamoth::rel

@@ -3,14 +3,20 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
+#include "common/channel_table.h"
 #include "common/types.h"
 #include "pubsub/envelope.h"
 
 namespace dynamoth::rel {
 
+/// Keyed by interned ChannelId: recording sits on the covered-channel
+/// delivery path (one record per received publication), and the envelope
+/// already carries its cached id — so the store never hashes a channel
+/// string per message. Name-based overloads intern nothing; an unknown name
+/// simply has no history.
 class HistoryStore {
  public:
   /// Keeps at most `max_messages_per_channel` publications per channel
@@ -21,23 +27,30 @@ class HistoryStore {
   /// channel_seq are replayable; others are ignored).
   void record(const ps::EnvelopePtr& env);
 
-  /// Messages on `channel` from `publisher` with channel_seq in
-  /// [from_seq, to_seq], in sequence order. Evicted messages are absent.
-  [[nodiscard]] std::vector<ps::EnvelopePtr> lookup(const Channel& channel,
-                                                    ClientId publisher,
+  /// Appends the messages on `channel` from `publisher` with channel_seq in
+  /// [from_seq, to_seq] to `out`, in sequence order (reserving up front;
+  /// refs into the pooled store, no envelope copies). Returns the number
+  /// appended. Evicted messages are absent.
+  std::size_t lookup_into(ChannelId channel, ClientId publisher, std::uint64_t from_seq,
+                          std::uint64_t to_seq, std::vector<ps::EnvelopePtr>& out) const;
+
+  /// Convenience form returning a fresh vector (tests, one-shot callers).
+  [[nodiscard]] std::vector<ps::EnvelopePtr> lookup(const Channel& channel, ClientId publisher,
                                                     std::uint64_t from_seq,
                                                     std::uint64_t to_seq) const;
 
+  [[nodiscard]] std::size_t stored(ChannelId channel) const;
   [[nodiscard]] std::size_t stored(const Channel& channel) const;
   [[nodiscard]] std::size_t channels() const { return history_.size(); }
   [[nodiscard]] std::uint64_t evicted() const { return evicted_; }
 
   /// Drops a channel's history entirely.
+  void forget(ChannelId channel);
   void forget(const Channel& channel);
 
  private:
   std::size_t capacity_;
-  std::map<Channel, std::deque<ps::EnvelopePtr>> history_;
+  std::unordered_map<ChannelId, std::deque<ps::EnvelopePtr>> history_;
   std::uint64_t evicted_ = 0;
 };
 

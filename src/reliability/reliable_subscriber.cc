@@ -16,20 +16,22 @@ ReliableSubscriber::ReliableSubscriber(sim::Simulator& sim, core::DynamothClient
 ReliableSubscriber::~ReliableSubscriber() { *alive_ = false; }
 
 void ReliableSubscriber::subscribe(const Channel& channel, MessageHandler handler) {
-  ChannelState& st = channels_[channel];
+  const ChannelId cid = intern_channel(channel);
+  ChannelState& st = channels_[cid];
+  st.name = channel;
   st.handler = std::move(handler);
-  client_.subscribe(channel, [this, channel](const ps::EnvelopePtr& env) {
-    on_message(channel, env);
-  });
+  client_.subscribe(channel,
+                    [this, cid](const ps::EnvelopePtr& env) { on_message(cid, env); });
 }
 
 void ReliableSubscriber::unsubscribe(const Channel& channel) {
-  channels_.erase(channel);
+  const ChannelId cid = ChannelTable::instance().find(channel);
+  if (cid != kInvalidChannelId) channels_.erase(cid);
   client_.unsubscribe(channel);
 }
 
-void ReliableSubscriber::on_message(const Channel& channel, const ps::EnvelopePtr& env) {
-  auto it = channels_.find(channel);
+void ReliableSubscriber::on_message(ChannelId cid, const ps::EnvelopePtr& env) {
+  auto it = channels_.find(cid);
   if (it == channels_.end()) return;
   ChannelState& st = it->second;
 
@@ -52,8 +54,8 @@ void ReliableSubscriber::on_message(const Channel& channel, const ps::EnvelopePt
     for (std::uint64_t seq = last + 1; seq < env->channel_seq; ++seq) missing.insert(seq);
     std::weak_ptr<bool> alive = alive_;
     const ClientId publisher = env->publisher;
-    sim_.schedule_after(config_.reorder_grace, [this, alive, channel, publisher] {
-      if (auto a = alive.lock(); a && *a) check_gap(channel, publisher);
+    sim_.schedule_after(config_.reorder_grace, [this, alive, cid, publisher] {
+      if (auto a = alive.lock(); a && *a) check_gap(cid, publisher);
     });
   }
 
@@ -74,28 +76,28 @@ void ReliableSubscriber::on_message(const Channel& channel, const ps::EnvelopePt
   if (st.handler) st.handler(env);
 }
 
-void ReliableSubscriber::check_gap(const Channel& channel, ClientId publisher) {
-  auto it = channels_.find(channel);
+void ReliableSubscriber::check_gap(ChannelId cid, ClientId publisher) {
+  auto it = channels_.find(cid);
   if (it == channels_.end()) return;
   auto pit = it->second.pending.find(publisher);
   if (pit == it->second.pending.end() || pit->second.empty()) return;
-  request_replay(channel, publisher, 0, pit->second.size());
+  request_replay(cid, publisher, 0, pit->second.size());
 }
 
-void ReliableSubscriber::request_replay(const Channel& channel, ClientId publisher,
+void ReliableSubscriber::request_replay(ChannelId cid, ClientId publisher,
                                         int retry, std::size_t last_missing) {
-  auto it = channels_.find(channel);
+  auto it = channels_.find(cid);
   if (it == channels_.end()) return;
   auto pit = it->second.pending.find(publisher);
   if (pit == it->second.pending.end() || pit->second.empty()) return;  // filled
   const std::size_t missing = pit->second.size();
 
   std::weak_ptr<bool> alive = alive_;
-  auto arm = [this, alive, channel, publisher](int next_retry, std::size_t count) {
+  auto arm = [this, alive, publisher, cid](int next_retry, std::size_t count) {
     sim_.schedule_after(config_.retry_interval,
-                        [this, alive, channel, publisher, next_retry, count] {
+                        [this, alive, publisher, count, cid, next_retry] {
                           if (auto a = alive.lock(); a && *a) {
-                            request_replay(channel, publisher, next_retry, count);
+                            request_replay(cid, publisher, next_retry, count);
                           }
                         });
   };
@@ -115,7 +117,7 @@ void ReliableSubscriber::request_replay(const Channel& channel, ClientId publish
   auto request = std::make_shared<ReplayRequestBody>();
   request->requester = client_.id();
   request->publisher = publisher;
-  request->channel = channel;
+  request->channel = it->second.name;
   request->from_seq = *pit->second.begin();
   request->to_seq = *pit->second.rbegin();
   client_.publish_control(kReplayRequestChannel, std::move(request));
@@ -127,7 +129,7 @@ void ReliableSubscriber::on_replay(const ps::EnvelopePtr& env) {
   const auto* batch = dynamic_cast<const ReplayBatchBody*>(env->body.get());
   if (batch == nullptr) return;
   for (const ps::EnvelopePtr& message : batch->messages) {
-    auto it = channels_.find(message->channel);
+    auto it = channels_.find(message->channel_id());
     if (it == channels_.end()) continue;
     ChannelState& st = it->second;
     auto pit = st.pending.find(message->publisher);

@@ -15,7 +15,9 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
 
+#include "common/channel_table.h"
 #include "common/types.h"
 #include "core/client.h"
 #include "reliability/protocol.h"
@@ -69,24 +71,29 @@ class ReliableSubscriber {
     int retries = 0;
   };
   struct ChannelState {
+    Channel name;  // for replay-request protocol bodies
     MessageHandler handler;
     std::map<ClientId, std::uint64_t> last_seq;           // per publisher
     std::map<ClientId, std::set<std::uint64_t>> pending;  // missing seqs
   };
 
-  void on_message(const Channel& channel, const ps::EnvelopePtr& env);
+  void on_message(ChannelId cid, const ps::EnvelopePtr& env);
   void on_replay(const ps::EnvelopePtr& env);
-  void check_gap(const Channel& channel, ClientId publisher);
+  void check_gap(ChannelId cid, ClientId publisher);
   /// Publishes a replay request for the still-missing span and arms the
   /// progress-checked retry timer. `retry` counts consecutive no-progress
   /// intervals; `last_missing` is the pending count at the previous check.
-  void request_replay(const Channel& channel, ClientId publisher, int retry,
+  void request_replay(ChannelId cid, ClientId publisher, int retry,
                       std::size_t last_missing);
 
   sim::Simulator& sim_;
   core::DynamothClient& client_;
   Config config_;
-  std::map<Channel, ChannelState> channels_;
+  /// Keyed by interned id: the per-delivery on_message lookup hashes 4 bytes
+  /// instead of the channel string, and the timer lambdas capture the id —
+  /// small enough to stay inline in the scheduler's callback buffer.
+  /// Iterated only by open_gaps() (an order-insensitive sum).
+  std::unordered_map<ChannelId, ChannelState> channels_;
   Stats stats_;
   std::shared_ptr<bool> alive_;
 };

@@ -21,14 +21,15 @@ void ReplayService::start() {
 }
 
 void ReplayService::cover(const Channel& channel) {
-  if (!covered_.insert(channel).second) return;
+  if (!covered_.insert(intern_channel(channel)).second) return;
   client_.subscribe(channel, [this](const ps::EnvelopePtr& env) { on_covered_message(env); });
 }
 
 void ReplayService::uncover(const Channel& channel) {
-  if (covered_.erase(channel) == 0) return;
+  const ChannelId cid = ChannelTable::instance().find(channel);
+  if (cid == kInvalidChannelId || covered_.erase(cid) == 0) return;
   client_.unsubscribe(channel);
-  store_.forget(channel);
+  store_.forget(cid);
 }
 
 void ReplayService::on_covered_message(const ps::EnvelopePtr& env) {

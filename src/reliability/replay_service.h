@@ -12,8 +12,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <set>
+#include <unordered_set>
 
+#include "common/channel_table.h"
 #include "core/client.h"
 #include "sim/simulator.h"
 #include "reliability/history_store.h"
@@ -57,7 +58,8 @@ class ReplayService {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const HistoryStore& store() const { return store_; }
   [[nodiscard]] bool covering(const Channel& channel) const {
-    return covered_.contains(channel);
+    const ChannelId cid = ChannelTable::instance().find(channel);
+    return cid != kInvalidChannelId && covered_.contains(cid);
   }
 
  private:
@@ -68,7 +70,7 @@ class ReplayService {
   core::DynamothClient& client_;
   Config config_;
   HistoryStore store_;
-  std::set<Channel> covered_;
+  std::unordered_set<ChannelId> covered_;  // interned; never iterated
   Stats stats_;
   std::shared_ptr<bool> alive_;
   bool started_ = false;

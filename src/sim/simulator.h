@@ -223,7 +223,9 @@ class Simulator {
 /// balancer, player AI ticks, and metric samplers.
 class PeriodicTask {
  public:
-  using TickFn = std::function<void()>;
+  /// Move-only with 48 inline capture bytes: constructing a periodic task
+  /// (LLA windows, balancer rounds, player ticks) does not heap-allocate.
+  using TickFn = SmallFunction<void(), 48>;
 
   PeriodicTask(Simulator& sim, SimTime period, TickFn fn)
       : sim_(sim), period_(period), fn_(std::move(fn)) {}

@@ -23,7 +23,7 @@ TEST(CpuAccounting, ExecutedTimeTracksBusyCpu) {
 
   const auto conn = server.open_connection(network.add_node({net::NodeKind::kClient, 1e6}),
                                            nullptr, nullptr);
-  auto env = std::make_shared<ps::Envelope>();
+  auto env = ps::make_envelope();
   env->kind = ps::MsgKind::kData;
   env->channel = "c";
   for (int i = 0; i < 10; ++i) server.handle_publish(conn, env);

@@ -13,7 +13,7 @@ namespace dynamoth::ps {
 namespace {
 
 EnvelopePtr make_data(const Channel& channel, std::uint64_t seq, SimTime now = 0) {
-  auto env = std::make_shared<Envelope>();
+  auto env = make_envelope();
   env->id = MessageId{99, seq};
   env->kind = MsgKind::kData;
   env->channel = channel;

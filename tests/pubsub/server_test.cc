@@ -15,7 +15,7 @@ namespace {
 
 EnvelopePtr make_data(const Channel& channel, ClientId publisher, std::uint64_t seq,
                       std::size_t payload = 100, SimTime now = 0) {
-  auto env = std::make_shared<Envelope>();
+  auto env = make_envelope();
   env->id = MessageId{publisher, seq};
   env->kind = MsgKind::kData;
   env->channel = channel;

@@ -6,7 +6,7 @@ namespace dynamoth::rel {
 namespace {
 
 ps::EnvelopePtr make_msg(const Channel& channel, ClientId publisher, std::uint64_t seq) {
-  auto env = std::make_shared<ps::Envelope>();
+  auto env = ps::make_envelope();
   env->id = MessageId{publisher, seq};
   env->kind = ps::MsgKind::kData;
   env->channel = channel;

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Compare a fresh google-benchmark JSON run against a checked-in baseline.
+
+Usage:
+    tools/bench_compare.py BASELINE.json FRESH.json [--max-regression 0.40]
+
+For every benchmark present in both files the throughput (items_per_second
+when reported, otherwise 1/real_time) is compared. The script exits non-zero
+if any benchmark's throughput fell below baseline * (1 - max_regression).
+
+The default threshold is deliberately loose (40%): shared CI runners are
+noisy and heterogeneous, so the gate is meant to catch structural
+regressions (an accidental per-message allocation, a hot path falling off
+its fast branch), not single-digit jitter. Local runs on a quiet machine can
+tighten it with --max-regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def throughput(entry: dict) -> float | None:
+    """Benchmark throughput in 'bigger is better' units, or None to skip."""
+    if entry.get("run_type") == "aggregate":
+        return None
+    if "items_per_second" in entry:
+        return float(entry["items_per_second"])
+    real = float(entry.get("real_time", 0.0))
+    return 1.0 / real if real > 0 else None
+
+
+def load(path: str) -> dict[str, float]:
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    out: dict[str, float] = {}
+    for entry in data.get("benchmarks", []):
+        value = throughput(entry)
+        if value is not None:
+            out[entry["name"]] = value
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument("fresh", help="freshly generated JSON")
+    parser.add_argument("--max-regression", type=float, default=0.40,
+                        help="allowed fractional throughput drop (default 0.40)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    if not fresh:
+        print(f"error: no benchmarks found in {args.fresh}", file=sys.stderr)
+        return 2
+
+    failures = []
+    width = max((len(n) for n in fresh), default=0)
+    for name in sorted(fresh):
+        if name not in base:
+            print(f"{name:<{width}}  NEW (no baseline entry)")
+            continue
+        ratio = fresh[name] / base[name]
+        status = "ok"
+        if ratio < 1.0 - args.max_regression:
+            status = "REGRESSION"
+            failures.append((name, ratio))
+        print(f"{name:<{width}}  baseline={base[name]:14.1f}  fresh={fresh[name]:14.1f}  "
+              f"ratio={ratio:5.2f}x  {status}")
+    for name in sorted(set(base) - set(fresh)):
+        print(f"{name:<{width}}  MISSING from fresh run")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed more than "
+              f"{args.max_regression:.0%} vs {args.baseline}:", file=sys.stderr)
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x of baseline", file=sys.stderr)
+        return 1
+    print(f"\nall {len(fresh)} benchmarks within {args.max_regression:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
