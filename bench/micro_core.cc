@@ -196,6 +196,28 @@ void BM_SimulatorCancel(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorCancel);
 
+// Server config with drains and buffers opened wide: the benchmarks below
+// measure the fan-out machinery, not the congestion model.
+ps::PubSubServer::Config unconstrained_server_config() {
+  ps::PubSubServer::Config config;
+  config.conn_drain_bytes_per_sec = 1e12;
+  config.infra_drain_bytes_per_sec = 1e12;
+  config.conn_output_buffer_limit = std::size_t{1} << 40;
+  config.max_egress_backlog = seconds(1e6);
+  return config;
+}
+
+ps::EnvelopePtr make_bench_envelope(const Channel& channel, std::uint64_t seq) {
+  auto env = ps::make_envelope();
+  env->id = MessageId{1, seq};
+  env->kind = ps::MsgKind::kData;
+  env->channel = channel;
+  env->payload_bytes = 128;
+  env->publisher = 1;
+  env->channel_seq = seq;
+  return env;
+}
+
 void BM_PublishFanout(benchmark::State& state) {
   // One publication fanned out to N subscriber connections through the full
   // server path: recipient collection, CPU accounting, per-connection drain
@@ -205,12 +227,7 @@ void BM_PublishFanout(benchmark::State& state) {
   net::Network network(sim, std::make_unique<net::FixedLatencyModel>(millis(1), millis(1)),
                        Rng(7));
   const NodeId server_node = network.add_node({net::NodeKind::kInfrastructure, 1e12});
-  ps::PubSubServer::Config config;
-  config.conn_drain_bytes_per_sec = 1e12;  // keep connections from overflowing
-  config.infra_drain_bytes_per_sec = 1e12;
-  config.conn_output_buffer_limit = std::size_t{1} << 40;
-  config.max_egress_backlog = seconds(1e6);
-  ps::PubSubServer server(sim, network, server_node, config);
+  ps::PubSubServer server(sim, network, server_node, unconstrained_server_config());
 
   std::uint64_t got = 0;
   for (std::size_t i = 0; i < subs; ++i) {
@@ -237,6 +254,152 @@ void BM_PublishFanout(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(subs));
 }
 BENCHMARK(BM_PublishFanout)->Arg(16)->Arg(256);
+
+void BM_FanoutDense(benchmark::State& state) {
+  // The cache-conscious fan-out core: N subscribers on ONE channel, packed 16
+  // connections per client node. Past 64 subscribers the SubscriberSet runs
+  // in bitmap mode, and the per-destination FanoutBatch sees 16-long
+  // same-destination runs instead of alternating node lookups.
+  const auto subs = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  net::Network network(sim, std::make_unique<net::FixedLatencyModel>(millis(1), millis(1)),
+                       Rng(7));
+  const NodeId server_node = network.add_node({net::NodeKind::kInfrastructure, 1e12});
+  ps::PubSubServer server(sim, network, server_node, unconstrained_server_config());
+
+  std::uint64_t got = 0;
+  NodeId cn = kInvalidNode;
+  for (std::size_t i = 0; i < subs; ++i) {
+    if (i % 16 == 0) cn = network.add_node({net::NodeKind::kClient, 1e9});
+    const ps::ConnId c =
+        server.open_connection(cn, [&got](const ps::EnvelopePtr&) { ++got; }, nullptr);
+    server.handle_subscribe(c, "fan:dense");
+  }
+  const ps::ConnId pub =
+      server.open_connection(network.add_node({net::NodeKind::kClient, 1e9}), nullptr, nullptr);
+
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    server.handle_publish(pub, make_bench_envelope("fan:dense", ++seq));
+    sim.run();
+  }
+  benchmark::DoNotOptimize(got);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(subs));
+}
+BENCHMARK(BM_FanoutDense)->Arg(64)->Arg(1024);
+
+void BM_FanoutSparseChannels(benchmark::State& state) {
+  // Many small channels, publishes round-robined across them: per-publish
+  // cost is dominated by the id-indexed ChannelHot lookup and fan-out setup,
+  // not the subscriber walk. This is the workload shape where the old
+  // per-channel hash probe paid two cache misses before the first delivery.
+  constexpr std::size_t kChannels = 256;
+  sim::Simulator sim;
+  net::Network network(sim, std::make_unique<net::FixedLatencyModel>(millis(1), millis(1)),
+                       Rng(7));
+  const NodeId server_node = network.add_node({net::NodeKind::kInfrastructure, 1e12});
+  ps::PubSubServer server(sim, network, server_node, unconstrained_server_config());
+
+  std::vector<Channel> channels;
+  channels.reserve(kChannels);
+  for (std::size_t i = 0; i < kChannels; ++i) channels.push_back("sp:" + std::to_string(i));
+  std::uint64_t got = 0;
+  const NodeId cn = network.add_node({net::NodeKind::kClient, 1e9});
+  for (const Channel& ch : channels) {
+    for (int s = 0; s < 2; ++s) {
+      const ps::ConnId c =
+          server.open_connection(cn, [&got](const ps::EnvelopePtr&) { ++got; }, nullptr);
+      server.handle_subscribe(c, ch);
+    }
+  }
+  const ps::ConnId pub =
+      server.open_connection(network.add_node({net::NodeKind::kClient, 1e9}), nullptr, nullptr);
+
+  constexpr int kBatch = 64;
+  std::uint64_t seq = 0;
+  std::size_t next = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      server.handle_publish(pub, make_bench_envelope(channels[next++ % kChannels], ++seq));
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(got);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_FanoutSparseChannels);
+
+void BM_FanoutChurn(benchmark::State& state) {
+  // The control-plane half of the fan-out table: membership oscillating
+  // across the promote/demote thresholds plus a channel that empties to a
+  // tombstoned slot and revives. Steady-state churn reuses slab slots and
+  // retained capacities; nothing here should touch the allocator.
+  constexpr std::size_t kConns = 96;  // crosses the 64-subscriber promote line
+  sim::Simulator sim;
+  net::Network network(sim, std::make_unique<net::FixedLatencyModel>(millis(1), millis(1)),
+                       Rng(7));
+  const NodeId server_node = network.add_node({net::NodeKind::kInfrastructure, 1e12});
+  ps::PubSubServer server(sim, network, server_node, unconstrained_server_config());
+
+  const NodeId cn = network.add_node({net::NodeKind::kClient, 1e9});
+  std::vector<ps::ConnId> conns;
+  conns.reserve(kConns);
+  for (std::size_t i = 0; i < kConns; ++i) {
+    conns.push_back(server.open_connection(cn, nullptr, nullptr));
+  }
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    for (ps::ConnId c : conns) server.handle_subscribe(c, "fan:osc");  // -> bitmap
+    for (std::size_t i = 4; i < kConns; ++i) {
+      server.handle_unsubscribe(conns[i], "fan:osc");  // -> vector (hysteresis)
+    }
+    for (std::size_t i = 1; i < 4; ++i) {
+      server.handle_unsubscribe(conns[i], "fan:osc");
+    }
+    server.handle_unsubscribe(conns[0], "fan:osc");  // empty: tombstoned slot
+    ops += static_cast<std::int64_t>(2 * kConns);
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_FanoutChurn);
+
+void BM_FanoutPatternScan(benchmark::State& state) {
+  // P live PSUBSCRIBE connections scanned on every publish. All but one
+  // pattern miss the published channel — most are rejected by the compiled
+  // pattern's length/first-byte prefilter without a character compare — and
+  // the one hit keeps the delivery path honest.
+  const auto pats = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  net::Network network(sim, std::make_unique<net::FixedLatencyModel>(millis(1), millis(1)),
+                       Rng(7));
+  const NodeId server_node = network.add_node({net::NodeKind::kInfrastructure, 1e12});
+  ps::PubSubServer server(sim, network, server_node, unconstrained_server_config());
+
+  std::uint64_t got = 0;
+  const NodeId cn = network.add_node({net::NodeKind::kClient, 1e9});
+  for (std::size_t i = 0; i + 1 < pats; ++i) {
+    const ps::ConnId c =
+        server.open_connection(cn, [&got](const ps::EnvelopePtr&) { ++got; }, nullptr);
+    server.handle_psubscribe(c, "tile:" + std::to_string(i) + ":*");  // misses "arena:*"
+  }
+  const ps::ConnId hit =
+      server.open_connection(cn, [&got](const ps::EnvelopePtr&) { ++got; }, nullptr);
+  server.handle_psubscribe(hit, "arena:*");
+  const ps::ConnId pub =
+      server.open_connection(network.add_node({net::NodeKind::kClient, 1e9}), nullptr, nullptr);
+
+  constexpr int kBatch = 64;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      server.handle_publish(pub, make_bench_envelope("arena:7", ++seq));
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(got);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_FanoutPatternScan)->Arg(8)->Arg(64);
 
 void BM_MessagePathSubstrate(benchmark::State& state) {
   // Steady-state publish -> deliver through the substrate client stubs: a

@@ -1,0 +1,77 @@
+// Non-atomic intrusive refcounted box for single-threaded hot paths.
+//
+// The per-connection deliver function is shared between the connection record
+// and every in-flight delivery callback. std::shared_ptr pays two atomic RMWs
+// per delivery (gtest/benchmark binaries link pthreads, which switches
+// libstdc++'s counter to atomic ops); the simulator is single-threaded by
+// design, so RcPtr uses a plain uint32 — the same boundary the envelope pool
+// and the event slab already commit to (DESIGN.md sections 7 and 10).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace dynamoth {
+
+template <class T>
+class RcPtr {
+ public:
+  RcPtr() = default;
+  RcPtr(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  RcPtr(const RcPtr& other) noexcept : box_(other.box_) {
+    if (box_ != nullptr) ++box_->refs;
+  }
+  RcPtr(RcPtr&& other) noexcept : box_(other.box_) { other.box_ = nullptr; }
+
+  RcPtr& operator=(const RcPtr& other) noexcept {
+    RcPtr(other).swap(*this);
+    return *this;
+  }
+  RcPtr& operator=(RcPtr&& other) noexcept {
+    RcPtr(std::move(other)).swap(*this);
+    return *this;
+  }
+  RcPtr& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  ~RcPtr() { reset(); }
+
+  void reset() noexcept {
+    if (box_ != nullptr && --box_->refs == 0) delete box_;
+    box_ = nullptr;
+  }
+  void swap(RcPtr& other) noexcept { std::swap(box_, other.box_); }
+
+  [[nodiscard]] T* get() const { return box_ != nullptr ? &box_->value : nullptr; }
+  T& operator*() const { return box_->value; }
+  T* operator->() const { return &box_->value; }
+  explicit operator bool() const { return box_ != nullptr; }
+
+  [[nodiscard]] std::uint32_t ref_count() const { return box_ != nullptr ? box_->refs : 0; }
+
+  template <class... Args>
+  static RcPtr make(Args&&... args) {
+    RcPtr p;
+    p.box_ = new Box{T(std::forward<Args>(args)...), 1};
+    return p;
+  }
+
+ private:
+  struct Box {
+    T value;
+    std::uint32_t refs = 0;
+  };
+
+  Box* box_ = nullptr;
+};
+
+/// Shorthand for RcPtr<T>::make(args...).
+template <class T, class... Args>
+[[nodiscard]] RcPtr<T> make_rc(Args&&... args) {
+  return RcPtr<T>::make(std::forward<Args>(args)...);
+}
+
+}  // namespace dynamoth

@@ -129,16 +129,20 @@ void Dispatcher::apply_plan(PlanPtr plan) {
       state.target = new_entry;
       state.expires = expires;
       moved_away_[cid] = state;
+      set_flag(cid, kFlagMoved);
       drain_.erase(cid);
       pending_switch_.erase(cid);
+      clear_flag(cid, kFlagDrain | kFlagPending);
       if (server.subscriber_count(c) == 0) maybe_send_drain_notice(cid, c);
     } else if (is_owner) {
       moved_away_.erase(cid);
+      clear_flag(cid, kFlagMoved);
       if (was_owner) {
         // Remaining an owner under a changed entry (replica set resized or
         // mode flipped): local subscribers need the fresh entry, delivered
         // with the next publication here (staggered, like SWITCH).
         pending_switch_[cid] = PendingSwitch{new_entry, expires};
+        set_flag(cid, kFlagPending);
       }
       // Forward to servers that may still hold subscribers not yet covered
       // by the new placement: old owners that left the set (until drained or
@@ -150,8 +154,10 @@ void Dispatcher::apply_plan(PlanPtr plan) {
         if (s == self_) continue;
         if (!new_entry.owns(s)) {
           drain_[cid].old_owners[s] = expires;
+          set_flag(cid, kFlagDrain);
         } else if (!was_owner && new_entry.mode == ReplicationMode::kAllSubscribers) {
           drain_[cid].old_owners[s] = sim_.now() + config_.replica_join_sync;
+          set_flag(cid, kFlagDrain);
         }
       }
     } else {
@@ -184,7 +190,10 @@ void Dispatcher::on_ctl_deliver(const ps::EnvelopePtr& env) {
         auto it = drain_.find(cid);
         if (it != drain_.end()) {
           it->second.old_owners.erase(body->drained_server);
-          if (it->second.old_owners.empty()) drain_.erase(it);
+          if (it->second.old_owners.empty()) {
+            drain_.erase(it);
+            clear_flag(cid, kFlagDrain);
+          }
         }
       }
       return;
@@ -209,6 +218,7 @@ Dispatcher::MovedAway& Dispatcher::moved_state(ChannelId cid, const ResolvedEntr
     state.target = target.materialize();
     state.expires = sim_.now() + config_.forward_timeout;
     it = moved_away_.emplace(cid, std::move(state)).first;
+    set_flag(cid, kFlagMoved);
   } else {
     it->second.target = target.materialize();
     it->second.expires = sim_.now() + config_.forward_timeout;
@@ -252,13 +262,22 @@ void Dispatcher::handle_data(const ps::EnvelopePtr& env, std::size_t /*subscribe
     return;
   }
 
-  // We own the channel. If the entry changed while we kept ownership, tell
-  // the local subscribers with this first publication (paper IV: switches
-  // ride on the first publication after the plan change).
-  if (auto pit = pending_switch_.find(cid); pit != pending_switch_.end()) {
-    if (sim_.now() > pit->second.expires || send_switch(c, pit->second.target)) {
-      pending_switch_.erase(pit);
-      ++stats_.switches_sent;
+  // We own the channel — the steady-state path. One flag byte tells us
+  // whether any reconfiguration state exists for this channel at all; when
+  // it is zero (almost always) the pending-switch and drain hash probes
+  // below are skipped entirely.
+  const std::uint8_t rf = flags(cid);
+
+  // If the entry changed while we kept ownership, tell the local subscribers
+  // with this first publication (paper IV: switches ride on the first
+  // publication after the plan change).
+  if (rf & kFlagPending) {
+    if (auto pit = pending_switch_.find(cid); pit != pending_switch_.end()) {
+      if (sim_.now() > pit->second.expires || send_switch(c, pit->second.target)) {
+        pending_switch_.erase(pit);
+        clear_flag(cid, kFlagPending);
+        ++stats_.switches_sent;
+      }
     }
   }
 
@@ -280,23 +299,28 @@ void Dispatcher::handle_data(const ps::EnvelopePtr& env, std::size_t /*subscribe
 
   // Forward to old owners still draining subscribers (paper IV: "publishing
   // on the new server").
-  auto dit = drain_.find(cid);
-  if (dit != drain_.end()) {
-    const SimTime now = sim_.now();
-    auto& holders = dit->second.old_owners;
-    for (auto it = holders.begin(); it != holders.end();) {
-      if (now > it->second) {
-        it = holders.erase(it);
-        continue;
+  if (rf & kFlagDrain) {
+    auto dit = drain_.find(cid);
+    if (dit != drain_.end()) {
+      const SimTime now = sim_.now();
+      auto& holders = dit->second.old_owners;
+      for (auto it = holders.begin(); it != holders.end();) {
+        if (now > it->second) {
+          it = holders.erase(it);
+          continue;
+        }
+        if (it->first != env->via_server) {  // echo guard
+          forward(env, it->first, entry.version());
+          ++stats_.forwards_to_drain;
+          --stats_.forwards_to_owner;  // forward() counts; reclassify
+        }
+        ++it;
       }
-      if (it->first != env->via_server) {  // echo guard
-        forward(env, it->first, entry.version());
-        ++stats_.forwards_to_drain;
-        --stats_.forwards_to_owner;  // forward() counts; reclassify
+      if (holders.empty()) {
+        drain_.erase(dit);
+        clear_flag(cid, kFlagDrain);
       }
-      ++it;
     }
-    if (holders.empty()) drain_.erase(dit);
   }
 }
 
@@ -396,7 +420,7 @@ void Dispatcher::on_unsubscribe(ps::ConnId /*conn*/, const Channel& channel,
                                 NodeId /*client_node*/) {
   if (is_control_channel(channel)) return;
   const ChannelId cid = ChannelTable::instance().find(channel);
-  if (cid == kInvalidChannelId || !moved_away_.contains(cid)) return;
+  if (cid == kInvalidChannelId || !(flags(cid) & kFlagMoved)) return;
   if (registry_.get(self_).subscriber_count(channel) == 0) maybe_send_drain_notice(cid, channel);
 }
 
@@ -409,7 +433,7 @@ void Dispatcher::on_disconnect(ps::ConnId conn, const std::vector<Channel>& chan
     if (is_control_channel(ch)) continue;
     const ChannelId cid = ChannelTable::instance().find(ch);
     if (cid == kInvalidChannelId) continue;
-    if (moved_away_.contains(cid) && server.subscriber_count(ch) == 0) {
+    if ((flags(cid) & kFlagMoved) && server.subscriber_count(ch) == 0) {
       maybe_send_drain_notice(cid, ch);
     }
   }
@@ -418,17 +442,32 @@ void Dispatcher::on_disconnect(ps::ConnId conn, const std::vector<Channel>& chan
 void Dispatcher::cleanup() {
   const SimTime now = sim_.now();
   for (auto it = moved_away_.begin(); it != moved_away_.end();) {
-    it = now > it->second.expires ? moved_away_.erase(it) : std::next(it);
+    if (now > it->second.expires) {
+      clear_flag(it->first, kFlagMoved);
+      it = moved_away_.erase(it);
+    } else {
+      ++it;
+    }
   }
   for (auto it = drain_.begin(); it != drain_.end();) {
     auto& holders = it->second.old_owners;
     for (auto hit = holders.begin(); hit != holders.end();) {
       hit = now > hit->second ? holders.erase(hit) : std::next(hit);
     }
-    it = holders.empty() ? drain_.erase(it) : std::next(it);
+    if (holders.empty()) {
+      clear_flag(it->first, kFlagDrain);
+      it = drain_.erase(it);
+    } else {
+      ++it;
+    }
   }
   for (auto it = pending_switch_.begin(); it != pending_switch_.end();) {
-    it = now > it->second.expires ? pending_switch_.erase(it) : std::next(it);
+    if (now > it->second.expires) {
+      clear_flag(it->first, kFlagPending);
+      it = pending_switch_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 

@@ -23,6 +23,7 @@
 #include <memory>
 #include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
@@ -116,6 +117,27 @@ class Dispatcher final : public ps::LocalObserver {
     SimTime expires = 0;
   };
 
+  // Per-channel reconfiguration flags, indexed by dense ChannelId. Each bit
+  // mirrors membership in one of the three reconfiguration maps below; the
+  // per-publication path (handle_data on an owned channel — the steady
+  // state) tests one byte instead of probing up to three hash maps. The
+  // flags carry no payload: every map mutation site updates them, and they
+  // only gate whether the authoritative map is consulted at all.
+  static constexpr std::uint8_t kFlagMoved = 1;    // moved_away_ has cid
+  static constexpr std::uint8_t kFlagDrain = 2;    // drain_ has cid
+  static constexpr std::uint8_t kFlagPending = 4;  // pending_switch_ has cid
+
+  void set_flag(ChannelId cid, std::uint8_t flag) {
+    if (reconfig_.size() <= cid) reconfig_.resize(cid + 1, 0);
+    reconfig_[cid] |= flag;
+  }
+  void clear_flag(ChannelId cid, std::uint8_t flag) {
+    if (cid < reconfig_.size()) reconfig_[cid] &= static_cast<std::uint8_t>(~flag);
+  }
+  [[nodiscard]] std::uint8_t flags(ChannelId cid) const {
+    return cid < reconfig_.size() ? reconfig_[cid] : 0;
+  }
+
   void on_ctl_deliver(const ps::EnvelopePtr& env);
   void handle_data(const ps::EnvelopePtr& env, std::size_t subscriber_count);
   MovedAway& moved_state(ChannelId cid, const ResolvedEntry& target);
@@ -148,6 +170,7 @@ class Dispatcher final : public ps::LocalObserver {
   std::unordered_map<ChannelId, MovedAway> moved_away_;
   std::unordered_map<ChannelId, Draining> drain_;
   std::unordered_map<ChannelId, PendingSwitch> pending_switch_;
+  std::vector<std::uint8_t> reconfig_;  // by ChannelId; see kFlag* above
   std::map<ps::ConnId, ClientId> conn_clients_;  // learned from @ctl:c:<id> subs
 
   std::map<ServerId, std::unique_ptr<ps::RemoteConnection>> conns_;

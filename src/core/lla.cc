@@ -62,6 +62,7 @@ void LocalLoadAnalyzer::stop() {
 void LocalLoadAnalyzer::on_publish(const ps::EnvelopePtr& env, std::size_t subscriber_count) {
   const ChannelId cid = env->channel_id();
   if (ChannelTable::instance().is_control(cid)) return;
+  if (window_.size() <= cid) window_.resize(cid + 1);
   Accum& a = window_[cid];
   const std::size_t bytes = ps::wire_size(*env, server_.config().msg_overhead_bytes);
   a.stats.publications += 1;
@@ -83,8 +84,13 @@ void LocalLoadAnalyzer::on_subscribe(ps::ConnId conn, const Channel& channel,
   // Only real clients count as subscribers for balancing decisions;
   // infrastructure connections (LB, dispatchers) are bookkeeping.
   const bool is_client = network_.kind(client_node) == net::NodeKind::kClient;
-  client_conns_[conn] = is_client;
-  if (is_client) subscriber_counts_[intern_channel(channel)] += 1;
+  if (conn_kind_.size() <= conn) conn_kind_.resize(conn + 1, 0);
+  conn_kind_[conn] = is_client ? 2 : 1;
+  if (is_client) {
+    const ChannelId cid = intern_channel(channel);
+    if (subscriber_counts_.size() <= cid) subscriber_counts_.resize(cid + 1, 0);
+    subscriber_counts_[cid] += 1;
+  }
 }
 
 void LocalLoadAnalyzer::on_unsubscribe(ps::ConnId conn, const Channel& channel,
@@ -93,28 +99,23 @@ void LocalLoadAnalyzer::on_unsubscribe(ps::ConnId conn, const Channel& channel,
   const bool is_client = network_.kind(client_node) == net::NodeKind::kClient;
   if (!is_client) return;
   const ChannelId cid = ChannelTable::instance().find(channel);
-  if (cid == kInvalidChannelId) return;
-  auto it = subscriber_counts_.find(cid);
-  if (it != subscriber_counts_.end() && it->second > 0) {
-    if (--it->second == 0) subscriber_counts_.erase(it);
-  }
+  if (cid == kInvalidChannelId || cid >= subscriber_counts_.size()) return;
+  if (subscriber_counts_[cid] > 0) subscriber_counts_[cid] -= 1;
   (void)conn;
 }
 
 void LocalLoadAnalyzer::on_disconnect(ps::ConnId conn, const std::vector<Channel>& channels,
                                       const std::vector<std::string>& /*patterns*/,
                                       ps::CloseReason /*reason*/) {
-  auto cit = client_conns_.find(conn);
-  const bool is_client = cit != client_conns_.end() && cit->second;
-  if (cit != client_conns_.end()) client_conns_.erase(cit);
+  const bool is_client = conn < conn_kind_.size() && conn_kind_[conn] == 2;
+  if (conn < conn_kind_.size()) conn_kind_[conn] = 0;
   if (!is_client) return;
   const ChannelTable& table = ChannelTable::instance();
   for (const Channel& ch : channels) {
     const ChannelId cid = table.find(ch);
     if (cid == kInvalidChannelId || table.is_control(cid)) continue;
-    auto it = subscriber_counts_.find(cid);
-    if (it != subscriber_counts_.end() && it->second > 0) {
-      if (--it->second == 0) subscriber_counts_.erase(it);
+    if (cid < subscriber_counts_.size() && subscriber_counts_[cid] > 0) {
+      subscriber_counts_[cid] -= 1;
     }
   }
 }
@@ -138,21 +139,23 @@ void LocalLoadAnalyzer::emit_report() {
   window_start_cpu_ = cpu_now;
 
   // Channels with traffic this window. The report's channel map is
-  // name-ordered, so inserting from unordered accumulators stays
-  // deterministic.
+  // name-ordered, so scanning the id-indexed accumulator slab in id order
+  // stays deterministic.
   const ChannelTable& table = ChannelTable::instance();
-  for (auto& [cid, accum] : window_) {
+  for (ChannelId cid = 0; cid < window_.size(); ++cid) {
+    Accum& accum = window_[cid];
     if (!accum.active()) continue;  // carried-over entry, quiet this window
     ChannelStats stats = accum.stats;
     stats.publishers = static_cast<std::uint32_t>(accum.publishers.size());
-    auto sit = subscriber_counts_.find(cid);
-    stats.subscribers = sit == subscriber_counts_.end() ? 0 : sit->second;
+    stats.subscribers = cid < subscriber_counts_.size() ? subscriber_counts_[cid] : 0;
     report.channels.emplace(table.name(cid), stats);
   }
   // Quiet channels that still have subscribers (they hold server state and
   // are migration candidates too).
-  for (const auto& [cid, count] : subscriber_counts_) {
-    if (auto wit = window_.find(cid); wit != window_.end() && wit->second.active()) continue;
+  for (ChannelId cid = 0; cid < subscriber_counts_.size(); ++cid) {
+    const std::uint32_t count = subscriber_counts_[cid];
+    if (count == 0) continue;
+    if (cid < window_.size() && window_[cid].active()) continue;
     ChannelStats stats;
     stats.subscribers = count;
     report.channels.emplace(table.name(cid), stats);
@@ -162,9 +165,12 @@ void LocalLoadAnalyzer::emit_report() {
   DYN_TRACE(instant(now, server_.node(), "lla", "report", "load_ratio", last_load_ratio_,
                     "channels", static_cast<double>(report.channels.size())));
   DYN_TRACE(counter(now, server_.node(), "lla", "load_ratio", last_load_ratio_));
-  // Reset in place: entries and their publisher vectors keep their memory,
-  // so the first publication of the next window allocates nothing.
-  for (auto& [cid, accum] : window_) accum.reset_window();
+  // Reset in place: slots and their publisher vectors keep their memory, so
+  // the first publication of the next window allocates nothing. Only active
+  // slots need the reset — inactive ones are already zeroed.
+  for (Accum& accum : window_) {
+    if (accum.active()) accum.reset_window();
+  }
   window_start_bytes_ = bytes_now;
   window_start_time_ = now;
 

@@ -11,10 +11,9 @@
 // NIC-measured outgoing bandwidth M_i and the advertised maximum T_i.
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <memory>
 #include <vector>
-#include <unordered_map>
 
 #include "common/channel_table.h"
 #include "common/types.h"
@@ -90,12 +89,15 @@ class LocalLoadAnalyzer final : public ps::LocalObserver {
   ps::PubSubServer& server_;
   Config config_;
 
-  // Both maps are keyed by interned id — on_publish runs once per local
-  // publication and must not hash channel strings. emit_report converts back
-  // to names into the (ordered) LoadReport, so reports stay deterministic.
-  std::unordered_map<ChannelId, Accum> window_;               // being accumulated
-  std::unordered_map<ChannelId, std::uint32_t> subscriber_counts_;  // current, persists
-  std::map<ps::ConnId, bool> client_conns_;         // conn -> is client-kind
+  // All per-channel state is indexed directly by the dense interned id —
+  // on_publish runs once per local publication and is now a vector index,
+  // not a hash probe. emit_report converts back to names into the (ordered)
+  // LoadReport, so reports stay deterministic regardless of index order.
+  std::vector<Accum> window_;                       // by ChannelId; being accumulated
+  std::vector<std::uint32_t> subscriber_counts_;    // by ChannelId; current, persists
+  /// Per-connection client-kind cache, indexed by dense ConnId:
+  /// 0 = untracked, 1 = infrastructure, 2 = client.
+  std::vector<std::uint8_t> conn_kind_;
   std::uint64_t window_start_bytes_ = 0;
   SimTime window_start_cpu_ = 0;
   SimTime window_start_time_ = 0;

@@ -22,67 +22,10 @@ SimTime Network::send(NodeId from, NodeId to, std::size_t bytes, DeliverFn on_de
                       SimTime extra_delay, SimTime min_arrival) {
   DYN_CHECK(from < nodes_.size() && to < nodes_.size());
   DYN_CHECK(extra_delay >= 0);
-  Node& src = nodes_[from];
-
-  if (from == to) {
-    // Loopback: no NIC, no propagation; still asynchronous for causality.
-    const SimTime at = std::max(sim_.now() + extra_delay, min_arrival);
-    sim_.schedule_at(at, std::move(on_deliver));
-    return at;
-  }
-
-  const SimTime now = sim_.now();
-  const auto tx_time =
-      static_cast<SimTime>(static_cast<double>(bytes) / src.config.egress_bytes_per_sec * kSecond);
-  const SimTime start = std::max(now, src.egress_free);
-  src.egress_free = start + tx_time;
-  src.counters.bytes_sent += bytes;
-  src.counters.messages_sent += 1;
-
-  // The latency model is sampled on every send, fast path or not, so the RNG
-  // draw sequence — and with it every downstream arrival time — is identical
-  // regardless of which branch runs. Determinism before speed.
-  SimTime prop = latency_->sample(src.config.kind, nodes_[to].config.kind, rng_);
-
-  if (faults_active_) {
-    Node& dst = nodes_[to];
-    // Partition check first: deterministic, consumes no RNG draw.
-    bool drop = src.partition_group != dst.partition_group;
-    if (!drop) {
-      double p = src.loss;
-      if (!link_loss_.empty()) {
-        if (auto it = find_link_loss(link_key(from, to)); it != link_loss_.end()) {
-          p = std::max(p, it->rate);
-        }
-      }
-      // Loss draws happen only on sends that can actually lose the message,
-      // so enabling loss on one node never shifts everyone else's samples.
-      drop = p > 0 && rng_.chance(p);
-    }
-    if (drop) {
-      src.counters.messages_dropped += 1;
-      src.counters.bytes_dropped += bytes;
-      DYN_TRACE_HOT(instant(start, from, "net", "drop", "to", static_cast<double>(to),
-                            "bytes", static_cast<double>(bytes)));
-      // The sender spent the egress time; the receiver just never hears it.
-      return src.egress_free + prop;
-    }
-    prop += src.fault_extra_latency + dst.fault_extra_latency;
-  }
-
-  const SimTime arrival = src.egress_free + prop;
-  DYN_TRACE_HOT(complete(start, arrival - start, from, "net", "send", "to",
-                         static_cast<double>(to), "bytes", static_cast<double>(bytes)));
-  if (extra_delay == 0 && min_arrival <= arrival) {
-    // Fast path: no receive-drain delay and per-connection FIFO already
-    // satisfied by the egress queue — the common case for control traffic
-    // and uncongested data paths.
-    sim_.schedule_at(arrival, std::move(on_deliver));
-    return arrival;
-  }
-  const SimTime at = std::max(arrival + extra_delay, min_arrival);
-  sim_.schedule_at(at, std::move(on_deliver));
-  return at;
+  // Single-send entry point; the implementation lives inline in the header
+  // (send_impl) and is shared verbatim with FanoutBatch::push.
+  return send_impl(nodes_[from], nodes_[to], from, to, bytes, std::move(on_deliver), extra_delay,
+                   min_arrival);
 }
 
 NodeKind Network::kind(NodeId node) const {

@@ -10,14 +10,17 @@
 // bandwidth ... not a limiting factor").
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "latency/latency_model.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace dynamoth::net {
@@ -44,6 +47,8 @@ struct EgressCounters {
 };
 
 class Network {
+  struct Node;  // defined below; forward-declared for FanoutBatch's members
+
  public:
   /// Delivery callbacks ride the simulator's small-buffer callback type so
   /// the per-message capture (an envelope pointer plus a deliver function)
@@ -68,6 +73,72 @@ class Network {
   /// Returns the scheduled arrival time.
   SimTime send(NodeId from, NodeId to, std::size_t bytes, DeliverFn on_deliver,
                SimTime extra_delay = 0, SimTime min_arrival = 0);
+
+  /// Batched fan-out entry point: one FanoutBatch per publish pins the sender
+  /// and carries per-destination runs of deliveries (the pub/sub layer groups
+  /// a publication's recipients by destination node and issues one run per
+  /// destination; each run's messages unpack into individual delivery events
+  /// at the receiving edge). Every message in a run goes through exactly the
+  /// same egress-accounting, latency-sampling and fault logic as send() — the
+  /// two share one inlined implementation — so batching never changes a
+  /// simulation's arrival times, RNG draw sequence or counters; it only
+  /// eliminates the per-recipient re-validation and node lookups.
+  ///
+  /// The batch holds no deferred state: egress counters and the backlog are
+  /// exact after every push, so interleaved calls to send() (e.g. a close
+  /// notification fired mid-fan-out) observe and extend the same queue.
+  /// Do not add nodes while a batch is open.
+  class FanoutBatch {
+   public:
+    FanoutBatch(Network& net, NodeId from) : net_(net), from_(from) {
+      DYN_CHECK(from < net.nodes_.size());
+      src_ = &net.nodes_[from];
+    }
+
+    FanoutBatch(const FanoutBatch&) = delete;
+    FanoutBatch& operator=(const FanoutBatch&) = delete;
+
+    /// Starts (or continues) the run to `to`; the destination node is
+    /// resolved once per run, not once per message.
+    void set_destination(NodeId to) {
+      DYN_CHECK(to < net_.nodes_.size());
+      to_ = to;
+      dst_ = &net_.nodes_[to];
+    }
+
+    /// Appends one message to the current run. Identical semantics and
+    /// return value to Network::send(from, to, ...).
+    SimTime push(std::size_t bytes, DeliverFn on_deliver, SimTime extra_delay = 0,
+                 SimTime min_arrival = 0) {
+      DYN_CHECK(extra_delay >= 0);
+      return net_.send_impl(*src_, *dst_, from_, to_, bytes, std::move(on_deliver),
+                            extra_delay, min_arrival);
+    }
+
+    /// Per-destination run grouping: switches the run's destination only
+    /// when `to` differs from the previous message's, then appends. This is
+    /// the call the fan-out loop makes per recipient — recipients are
+    /// delivered in subscriber order, and every maximal run of consecutive
+    /// recipients on one destination node resolves that node exactly once.
+    SimTime send(NodeId to, std::size_t bytes, DeliverFn on_deliver, SimTime extra_delay = 0,
+                 SimTime min_arrival = 0) {
+      if (to != to_) set_destination(to);
+      return push(bytes, std::move(on_deliver), extra_delay, min_arrival);
+    }
+
+    /// The sender's egress backlog, exact after every push — the same value
+    /// Network::egress_backlog(from) would return.
+    [[nodiscard]] SimTime backlog() const {
+      return std::max<SimTime>(0, src_->egress_free - net_.sim_.now());
+    }
+
+   private:
+    Network& net_;
+    Node* src_ = nullptr;
+    Node* dst_ = nullptr;
+    NodeId from_;
+    NodeId to_ = kInvalidNode;
+  };
 
   [[nodiscard]] NodeKind kind(NodeId node) const;
   [[nodiscard]] bool active(NodeId node) const;
@@ -123,6 +194,73 @@ class Network {
   void set_fault_extra_latency(NodeId node, SimTime extra);
 
  private:
+  /// The one send implementation: send() and FanoutBatch::push() both land
+  /// here, so batched and unbatched deliveries are identical by construction
+  /// — same egress arithmetic, same RNG draw sequence, same counters and
+  /// traces. Inline so the per-recipient batch path compiles to straight-line
+  /// code with the src/dst node pointers already pinned by the caller.
+  SimTime send_impl(Node& src, Node& dst, NodeId from, NodeId to, std::size_t bytes,
+                    DeliverFn on_deliver, SimTime extra_delay, SimTime min_arrival) {
+    if (from == to) {
+      // Loopback: no NIC, no propagation; still asynchronous for causality.
+      const SimTime at = std::max(sim_.now() + extra_delay, min_arrival);
+      sim_.schedule_at(at, std::move(on_deliver));
+      return at;
+    }
+
+    const SimTime now = sim_.now();
+    const auto tx_time = static_cast<SimTime>(static_cast<double>(bytes) /
+                                              src.config.egress_bytes_per_sec * kSecond);
+    const SimTime start = std::max(now, src.egress_free);
+    src.egress_free = start + tx_time;
+    src.counters.bytes_sent += bytes;
+    src.counters.messages_sent += 1;
+
+    // The latency model is sampled on every send, fast path or not, so the
+    // RNG draw sequence — and with it every downstream arrival time — is
+    // identical regardless of which branch runs. Determinism before speed.
+    SimTime prop = latency_->sample(src.config.kind, dst.config.kind, rng_);
+
+    if (faults_active_) {
+      // Partition check first: deterministic, consumes no RNG draw.
+      bool drop = src.partition_group != dst.partition_group;
+      if (!drop) {
+        double p = src.loss;
+        if (!link_loss_.empty()) {
+          if (auto it = find_link_loss(link_key(from, to)); it != link_loss_.end()) {
+            p = std::max(p, it->rate);
+          }
+        }
+        // Loss draws happen only on sends that can actually lose the message,
+        // so enabling loss on one node never shifts everyone else's samples.
+        drop = p > 0 && rng_.chance(p);
+      }
+      if (drop) {
+        src.counters.messages_dropped += 1;
+        src.counters.bytes_dropped += bytes;
+        DYN_TRACE_HOT(instant(start, from, "net", "drop", "to", static_cast<double>(to),
+                              "bytes", static_cast<double>(bytes)));
+        // The sender spent the egress time; the receiver just never hears it.
+        return src.egress_free + prop;
+      }
+      prop += src.fault_extra_latency + dst.fault_extra_latency;
+    }
+
+    const SimTime arrival = src.egress_free + prop;
+    DYN_TRACE_HOT(complete(start, arrival - start, from, "net", "send", "to",
+                           static_cast<double>(to), "bytes", static_cast<double>(bytes)));
+    if (extra_delay == 0 && min_arrival <= arrival) {
+      // Fast path: no receive-drain delay and per-connection FIFO already
+      // satisfied by the egress queue — the common case for control traffic
+      // and uncongested data paths.
+      sim_.schedule_at(arrival, std::move(on_deliver));
+      return arrival;
+    }
+    const SimTime at = std::max(arrival + extra_delay, min_arrival);
+    sim_.schedule_at(at, std::move(on_deliver));
+    return at;
+  }
+
   struct Node {
     NodeConfig config;
     SimTime egress_free = 0;  // time at which the egress port next idles

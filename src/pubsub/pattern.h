@@ -1,0 +1,102 @@
+// Compiled '*' glob patterns for the PSUBSCRIBE fast path.
+//
+// The server's publish loop used to re-run an interpreted, backtracking glob
+// matcher (PubSubServer::glob_match) over every pattern string on every
+// publication. A pattern is compiled once at PSUBSCRIBE time into:
+//
+//  - its literal segments (the runs of non-'*' characters),
+//  - min_len, the sum of segment lengths — any shorter channel name cannot
+//    match, a single size_t compare,
+//  - a first-byte prefilter: when the pattern does not start with '*', a
+//    non-matching leading byte rejects without touching the segment strings,
+//  - leading/trailing-star flags that turn the first and last segments into
+//    anchored prefix/suffix compares.
+//
+// Matching is the classic greedy left-to-right segment scan: anchor the
+// prefix and suffix, then find() each middle segment at its leftmost
+// position. For '*'-only wildcards this is exactly equivalent to the
+// backtracking matcher (leftmost placement of a segment leaves a maximal
+// window for the segments after it); tests/pubsub/pattern_test.cc cross-
+// checks the two on randomized inputs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dynamoth::ps {
+
+class CompiledPattern {
+ public:
+  static CompiledPattern compile(const std::string& pattern) {
+    CompiledPattern cp;
+    cp.text_ = pattern;
+    if (pattern.find('*') == std::string::npos) {
+      cp.literal_ = true;
+      cp.min_len_ = pattern.size();
+      if (!pattern.empty()) cp.first_byte_ = pattern.front();
+      return cp;
+    }
+    cp.leading_star_ = pattern.front() == '*';
+    cp.trailing_star_ = pattern.back() == '*';
+    std::size_t i = 0;
+    while (i < pattern.size()) {
+      if (pattern[i] == '*') {
+        ++i;
+        continue;
+      }
+      std::size_t j = pattern.find('*', i);
+      if (j == std::string::npos) j = pattern.size();
+      cp.segments_.emplace_back(pattern, i, j - i);
+      cp.min_len_ += j - i;
+      i = j;
+    }
+    if (!cp.leading_star_ && !cp.segments_.empty()) cp.first_byte_ = cp.segments_.front().front();
+    return cp;
+  }
+
+  /// Equivalent to PubSubServer::glob_match(text(), t).
+  [[nodiscard]] bool match(const std::string& t) const {
+    // Length + first-byte prefilter: rejects most non-matching channels
+    // before any string memory is touched.
+    if (t.size() < min_len_) return false;
+    if (!leading_star_ && min_len_ != 0 && t.front() != first_byte_) return false;
+    if (literal_) return t.size() == min_len_ && t == text_;
+
+    std::size_t pos = 0;       // first unconsumed text position
+    std::size_t end = t.size();  // one past the last usable text position
+    std::size_t b = 0, e = segments_.size();
+    if (!leading_star_) {
+      const std::string& s = segments_[b++];
+      if (t.compare(0, s.size(), s) != 0) return false;
+      pos = s.size();
+    }
+    if (!trailing_star_ && e > b) {
+      const std::string& s = segments_[--e];
+      if (end - pos < s.size() || t.compare(end - s.size(), s.size(), s) != 0) return false;
+      end -= s.size();
+    }
+    for (; b < e; ++b) {
+      const std::string& s = segments_[b];
+      const std::size_t found = t.find(s, pos);
+      if (found == std::string::npos || found + s.size() > end) return false;
+      pos = found + s.size();
+    }
+    return pos <= end;
+  }
+
+  [[nodiscard]] const std::string& text() const { return text_; }
+  [[nodiscard]] std::size_t min_len() const { return min_len_; }
+  [[nodiscard]] bool literal() const { return literal_; }
+
+ private:
+  std::string text_;                   // the original pattern
+  std::vector<std::string> segments_;  // literal runs between '*'s
+  std::size_t min_len_ = 0;            // sum of segment lengths
+  bool literal_ = false;               // no '*' anywhere: exact-match pattern
+  bool leading_star_ = false;
+  bool trailing_star_ = false;
+  char first_byte_ = 0;  // first literal byte when !leading_star_
+};
+
+}  // namespace dynamoth::ps

@@ -10,30 +10,56 @@ PubSubServer::PubSubServer(sim::Simulator& sim, net::Network& network, NodeId no
                            Config config)
     : sim_(sim), network_(network), node_(node), config_(config) {}
 
+PubSubServer::Connection* PubSubServer::allocate_connection() {
+  if (free_conns_.empty()) {
+    conn_blocks_.push_back(std::make_unique<Connection[]>(kConnBlockSize));
+    Connection* block = conn_blocks_.back().get();
+    free_conns_.reserve(free_conns_.size() + kConnBlockSize);
+    // Pushed in reverse so slots are handed out in ascending address order.
+    for (std::size_t i = kConnBlockSize; i > 0; --i) free_conns_.push_back(&block[i - 1]);
+  }
+  Connection* conn = free_conns_.back();
+  free_conns_.pop_back();
+  return conn;
+}
+
+void PubSubServer::release_connection(Connection& conn) {
+  conn_index_[conn.id] = nullptr;
+  conn.id = kInvalidConn;
+  conn.client_node = kInvalidNode;
+  conn.deliver.reset();
+  conn.closed = nullptr;
+  conn.channels.clear();  // keeps capacity for the slot's next occupant
+  conn.patterns.clear();
+  conn.pattern_pos = kNoPatternPos;
+  conn.drain_free = 0;
+  conn.last_arrival = 0;
+  conn.drain_rate = 0;
+  conn.local = false;
+  free_conns_.push_back(&conn);
+  --live_conns_;
+}
+
 ConnId PubSubServer::open_connection(NodeId client_node, DeliverFn deliver, ClosedFn closed) {
   DYN_CHECK(running_);
-  Connection conn;
-  conn.id = next_conn_++;
-  conn.client_node = client_node;
-  if (deliver) conn.deliver = std::make_shared<DeliverFn>(std::move(deliver));
-  conn.closed = std::move(closed);
-  conn.local = client_node == node_;
+  Connection* conn = allocate_connection();
+  conn->id = next_conn_++;
+  conn->client_node = client_node;
+  if (deliver) conn->deliver = make_rc<DeliverFn>(std::move(deliver));
+  conn->closed = std::move(closed);
+  conn->local = client_node == node_;
   // The client's node kind never changes, so resolve the drain rate once
   // here instead of per delivery.
-  conn.drain_rate = network_.kind(client_node) == net::NodeKind::kInfrastructure
-                        ? config_.infra_drain_bytes_per_sec
-                        : config_.conn_drain_bytes_per_sec;
-  const ConnId id = conn.id;
-  connections_.emplace(id, std::move(conn));
-  return id;
+  conn->drain_rate = network_.kind(client_node) == net::NodeKind::kInfrastructure
+                         ? config_.infra_drain_bytes_per_sec
+                         : config_.conn_drain_bytes_per_sec;
+  if (conn_index_.size() <= conn->id) conn_index_.resize(conn->id + 1, nullptr);
+  conn_index_[conn->id] = conn;
+  ++live_conns_;
+  return conn->id;
 }
 
 void PubSubServer::close_connection(ConnId conn) { close_internal(conn, CloseReason::kByClient); }
-
-PubSubServer::Connection* PubSubServer::find(ConnId conn) {
-  auto it = connections_.find(conn);
-  return it == connections_.end() ? nullptr : &it->second;
-}
 
 SimTime PubSubServer::consume_cpu(double cost_us) {
   const SimTime start = std::max(sim_.now(), cpu_free_);
@@ -55,19 +81,31 @@ void PubSubServer::handle_subscribe(ConnId conn, const Channel& channel) {
   if (!c || !running_) return;
   consume_cpu(config_.cpu_command_cost_us);
   const ChannelId cid = intern_channel(channel);
-  if (!c->channels.insert(cid).second) return;  // already subscribed
-  std::vector<ConnId>& subs = subscribers_[cid];
-  subs.insert(std::lower_bound(subs.begin(), subs.end(), conn), conn);
+  const auto pos = std::lower_bound(c->channels.begin(), c->channels.end(), cid);
+  if (pos != c->channels.end() && *pos == cid) return;  // already subscribed
+  c->channels.insert(pos, cid);
+
+  if (channel_hot_.size() <= cid) channel_hot_.resize(cid + 1);
+  ChannelHot& hot = channel_hot_[cid];
+  if (hot.set == kNoSet) {
+    hot.set = static_cast<std::uint32_t>(sets_.size());
+    sets_.emplace_back();
+  }
+  // The per-connection channel list is the authority on duplicates, so this
+  // insert must always be a real insertion.
+  DYN_CHECK(sets_[hot.set].insert(conn));
+  ++hot.count;
   for (LocalObserver* obs : observers_) obs->on_subscribe(conn, channel, c->client_node);
 }
 
 void PubSubServer::drop_subscriber(ChannelId channel, ConnId conn) {
-  auto it = subscribers_.find(channel);
-  if (it == subscribers_.end()) return;
-  std::vector<ConnId>& subs = it->second;
-  const auto pos = std::lower_bound(subs.begin(), subs.end(), conn);
-  if (pos != subs.end() && *pos == conn) subs.erase(pos);
-  if (subs.empty()) subscribers_.erase(it);
+  if (channel >= channel_hot_.size()) return;
+  ChannelHot& hot = channel_hot_[channel];
+  if (hot.set == kNoSet) return;
+  // An emptied set stays tombstoned in its slab slot, capacity intact: a
+  // channel oscillating between 0 and 1 subscribers re-uses its memory
+  // instead of re-creating a map node per cycle (the pre-slab behaviour).
+  if (sets_[hot.set].erase(conn)) --hot.count;
 }
 
 void PubSubServer::handle_unsubscribe(ConnId conn, const Channel& channel) {
@@ -75,7 +113,10 @@ void PubSubServer::handle_unsubscribe(ConnId conn, const Channel& channel) {
   if (!c || !running_) return;
   consume_cpu(config_.cpu_command_cost_us);
   const ChannelId cid = ChannelTable::instance().find(channel);
-  if (cid == kInvalidChannelId || c->channels.erase(cid) == 0) return;
+  if (cid == kInvalidChannelId) return;
+  const auto pos = std::lower_bound(c->channels.begin(), c->channels.end(), cid);
+  if (pos == c->channels.end() || *pos != cid) return;
+  c->channels.erase(pos);
   drop_subscriber(cid, conn);
   for (LocalObserver* obs : observers_) obs->on_unsubscribe(conn, channel, c->client_node);
 }
@@ -84,17 +125,33 @@ void PubSubServer::handle_psubscribe(ConnId conn, const std::string& pattern) {
   Connection* c = find(conn);
   if (!c || !running_) return;
   consume_cpu(config_.cpu_command_cost_us);
-  if (std::find(c->patterns.begin(), c->patterns.end(), pattern) != c->patterns.end()) return;
-  c->patterns.push_back(pattern);
-  if (c->patterns.size() == 1) pattern_conns_.push_back(conn);
+  for (const CompiledPattern& p : c->patterns) {
+    if (p.text() == pattern) return;
+  }
+  c->patterns.push_back(CompiledPattern::compile(pattern));
+  if (c->patterns.size() == 1) {
+    c->pattern_pos = static_cast<std::uint32_t>(pattern_conns_.size());
+    pattern_conns_.push_back(conn);
+  }
+}
+
+void PubSubServer::remove_pattern_conn(Connection& conn) {
+  DYN_CHECK(conn.pattern_pos < pattern_conns_.size());
+  const ConnId moved = pattern_conns_.back();
+  pattern_conns_[conn.pattern_pos] = moved;
+  pattern_conns_.pop_back();
+  // Fix the moved entry's back-pointer (a no-op write when conn was last).
+  conn_index_[moved]->pattern_pos = conn.pattern_pos;
+  conn.pattern_pos = kNoPatternPos;
 }
 
 void PubSubServer::handle_punsubscribe(ConnId conn, const std::string& pattern) {
   Connection* c = find(conn);
   if (!c || !running_) return;
   consume_cpu(config_.cpu_command_cost_us);
-  std::erase(c->patterns, pattern);
-  if (c->patterns.empty()) std::erase(pattern_conns_, conn);
+  std::erase_if(c->patterns,
+                [&](const CompiledPattern& p) { return p.text() == pattern; });
+  if (c->patterns.empty() && c->pattern_pos != kNoPatternPos) remove_pattern_conn(*c);
 }
 
 void PubSubServer::handle_publish(ConnId conn, EnvelopePtr env) {
@@ -105,25 +162,31 @@ void PubSubServer::handle_publish(ConnId conn, EnvelopePtr env) {
   // Collect the recipient set: channel subscribers plus pattern matches, at
   // most once per connection (mirrors a client holding one subscription).
   // Copied into a reusable scratch buffer — a delivery can overflow and
-  // close a connection, which mutates the subscriber list being fanned out.
+  // close a connection, which mutates the subscriber set being fanned out.
+  // For the common no-pattern case this is one 8-byte ChannelHot load plus a
+  // straight append from the channel's flat set.
   const ChannelId cid = env->channel_id();
   std::vector<ConnId>& recipients = fanout_scratch_;
   recipients.clear();
-  if (auto it = subscribers_.find(cid); it != subscribers_.end()) {
-    recipients.assign(it->second.begin(), it->second.end());
+  if (cid < channel_hot_.size()) {
+    const ChannelHot hot = channel_hot_[cid];
+    if (hot.count != 0) sets_[hot.set].append_to(recipients);
   }
   if (!pattern_conns_.empty()) {
     const std::size_t plain = recipients.size();
     for (ConnId pc : pattern_conns_) {
       Connection* c = find(pc);
-      if (!c || c->channels.count(cid)) continue;
-      if (std::any_of(c->patterns.begin(), c->patterns.end(),
-                      [&](const std::string& p) { return glob_match(p, env->channel); })) {
-        recipients.push_back(pc);
+      if (!c || channel_member(*c, cid)) continue;
+      for (const CompiledPattern& p : c->patterns) {
+        if (p.match(env->channel)) {
+          recipients.push_back(pc);
+          break;
+        }
       }
     }
-    // Deterministic fan-out order. Subscriber lists are maintained sorted,
-    // so sorting is only needed when pattern matches were appended.
+    // Deterministic fan-out order. Plain subscriber sets iterate in
+    // ascending ConnId order, so sorting is only needed when pattern matches
+    // were appended.
     if (recipients.size() > plain) std::sort(recipients.begin(), recipients.end());
   }
 
@@ -136,11 +199,17 @@ void PubSubServer::handle_publish(ConnId conn, EnvelopePtr env) {
   // recipient.
   const std::size_t bytes = wire_size(*env, config_.msg_overhead_bytes);
 
+  // One batch per publication: the egress node is pinned once, and each
+  // consecutive run of recipients on the same destination node reuses the
+  // resolved destination. Deliveries stay per-subscriber (each gets its own
+  // latency sample and delivery event), so arrival times, counters and RNG
+  // draws are identical to per-recipient Network::send calls.
+  net::Network::FanoutBatch batch(network_, node_);
   std::size_t delivered = 0;
   for (ConnId rc : recipients) {
     Connection* c = find(rc);
-    if (!c) continue;
-    deliver_to(*c, env, done, bytes);
+    if (!c) continue;  // closed by an earlier overflow in this same fan-out
+    deliver_to(*c, env, done, bytes, batch);
     ++delivered;
   }
 
@@ -153,14 +222,14 @@ void PubSubServer::handle_publish(ConnId conn, EnvelopePtr env) {
 }
 
 void PubSubServer::deliver_to(Connection& conn, const EnvelopePtr& env, SimTime ready,
-                              std::size_t bytes) {
-  // Each delivery captures the shared deliver-function pointer plus the
-  // envelope pointer: 32 bytes, inline in the network's callback type, so
+                              std::size_t bytes, net::Network::FanoutBatch& batch) {
+  // Each delivery captures the refcounted deliver-function pointer plus the
+  // envelope pointer: 16 bytes, inline in the network's callback type, so
   // fanning a publication out to N subscribers allocates nothing.
   if (conn.local) {
     // Colocated component: loopback, no NIC, no drain modelling.
-    conn.last_arrival = network_.send(
-        node_, conn.client_node, bytes,
+    conn.last_arrival = batch.send(
+        conn.client_node, bytes,
         [d = conn.deliver, env] {
           if (d && *d) (*d)(env);
         },
@@ -172,7 +241,7 @@ void PubSubServer::deliver_to(Connection& conn, const EnvelopePtr& env, SimTime 
   // would block — Redis drops the slow client rather than buffer without
   // limit, and the short shared queue keeps control traffic (wrong-server
   // replies, switches) flowing during overload.
-  if (network_.egress_backlog(node_) > config_.max_egress_backlog) {
+  if (batch.backlog() > config_.max_egress_backlog) {
     close_internal(conn.id, CloseReason::kOutputBufferOverflow);
     return;
   }
@@ -195,8 +264,8 @@ void PubSubServer::deliver_to(Connection& conn, const EnvelopePtr& env, SimTime 
   }
 
   const SimTime extra = conn.drain_free - sim_.now();
-  conn.last_arrival = network_.send(
-      node_, conn.client_node, bytes,
+  conn.last_arrival = batch.send(
+      conn.client_node, bytes,
       [d = conn.deliver, env] {
         if (d && *d) (*d)(env);
       },
@@ -204,9 +273,9 @@ void PubSubServer::deliver_to(Connection& conn, const EnvelopePtr& env, SimTime 
 }
 
 void PubSubServer::close_internal(ConnId conn, CloseReason reason) {
-  auto it = connections_.find(conn);
-  if (it == connections_.end()) return;
-  Connection& c = it->second;
+  Connection* cp = find(conn);
+  if (cp == nullptr) return;
+  Connection& c = *cp;
 
   std::vector<Channel> channels;
   channels.reserve(c.channels.size());
@@ -216,8 +285,10 @@ void PubSubServer::close_internal(ConnId conn, CloseReason reason) {
     channels.push_back(table.name(cid));
   }
   std::sort(channels.begin(), channels.end());
-  std::vector<std::string> patterns = std::move(c.patterns);
-  std::erase(pattern_conns_, conn);
+  std::vector<std::string> patterns;
+  patterns.reserve(c.patterns.size());
+  for (CompiledPattern& p : c.patterns) patterns.push_back(p.text());
+  if (c.pattern_pos != kNoPatternPos) remove_pattern_conn(c);
 
   if (reason != CloseReason::kByClient && reason != CloseReason::kServerCrash && c.closed) {
     // Notify the remote end (after transport) that it was dropped. A crashed
@@ -226,7 +297,7 @@ void PubSubServer::close_internal(ConnId conn, CloseReason reason) {
     network_.send(node_, c.client_node, config_.msg_overhead_bytes,
                   [closed, reason] { closed(reason); });
   }
-  connections_.erase(it);
+  release_connection(c);
 
   for (LocalObserver* obs : observers_) obs->on_disconnect(conn, channels, patterns, reason);
 }
@@ -240,20 +311,25 @@ void PubSubServer::remove_observer(LocalObserver* observer) { std::erase(observe
 
 std::size_t PubSubServer::subscriber_count(const Channel& channel) const {
   const ChannelId cid = ChannelTable::instance().find(channel);
-  if (cid == kInvalidChannelId) return 0;
-  auto it = subscribers_.find(cid);
-  return it == subscribers_.end() ? 0 : it->second.size();
+  if (cid == kInvalidChannelId || cid >= channel_hot_.size()) return 0;
+  return channel_hot_[cid].count;
 }
 
-bool PubSubServer::connection_alive(ConnId conn) const { return connections_.count(conn) > 0; }
+bool PubSubServer::subscriber_set_dense(const Channel& channel) const {
+  const ChannelId cid = ChannelTable::instance().find(channel);
+  if (cid == kInvalidChannelId || cid >= channel_hot_.size()) return false;
+  const ChannelHot hot = channel_hot_[cid];
+  return hot.set != kNoSet && sets_[hot.set].dense();
+}
 
 void PubSubServer::shutdown() {
   if (!running_) return;
   running_ = false;
   std::vector<ConnId> ids;
-  ids.reserve(connections_.size());
-  for (const auto& [id, _] : connections_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
+  ids.reserve(live_conns_);
+  for (ConnId id = 0; id < conn_index_.size(); ++id) {
+    if (conn_index_[id] != nullptr) ids.push_back(id);
+  }
   for (ConnId id : ids) close_internal(id, CloseReason::kServerShutdown);
 }
 
@@ -261,9 +337,10 @@ void PubSubServer::crash() {
   if (!running_) return;
   running_ = false;
   std::vector<ConnId> ids;
-  ids.reserve(connections_.size());
-  for (const auto& [id, _] : connections_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
+  ids.reserve(live_conns_);
+  for (ConnId id = 0; id < conn_index_.size(); ++id) {
+    if (conn_index_[id] != nullptr) ids.push_back(id);
+  }
   for (ConnId id : ids) close_internal(id, CloseReason::kServerCrash);
 }
 

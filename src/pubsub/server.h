@@ -11,21 +11,34 @@
 //   - local observer hooks: the colocation equivalent of the LLA and
 //     dispatcher registering as observers of every channel (paper III-A);
 //     observer callbacks are free because they never cross the NIC.
+//
+// Memory architecture of the fan-out path (DESIGN.md section 11): channel
+// state is an id-indexed structure-of-arrays — one 8-byte ChannelHot record
+// (subscriber count + set-slab slot) per interned ChannelId, with the
+// subscriber memberships in a parallel slab of SubscriberSets (flat sorted
+// vectors that promote to bitmaps past a density threshold). handle_publish
+// reads exactly one ChannelHot before the delivery loop; no string hash, no
+// hash-map probe, no per-node pointer chase. Connections live in a
+// stable-address block slab indexed by dense ConnId, and deliveries are
+// issued through a Network::FanoutBatch that pins the egress node once per
+// publication.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/channel_table.h"
+#include "common/rc.h"
 #include "common/small_function.h"
 #include "common/types.h"
 #include "net/network.h"
 #include "pubsub/envelope.h"
+#include "pubsub/pattern.h"
+#include "pubsub/subscriber_set.h"
 #include "sim/simulator.h"
 
 namespace dynamoth::ps {
@@ -128,10 +141,16 @@ class PubSubServer {
   [[nodiscard]] std::size_t subscriber_count(const Channel& channel) const;
   /// Number of connections holding at least one pattern subscription.
   [[nodiscard]] std::size_t pattern_connection_count() const { return pattern_conns_.size(); }
-  [[nodiscard]] std::size_t connection_count() const { return connections_.size(); }
-  [[nodiscard]] bool connection_alive(ConnId conn) const;
+  [[nodiscard]] std::size_t connection_count() const { return live_conns_; }
+  [[nodiscard]] bool connection_alive(ConnId conn) const {
+    return conn < conn_index_.size() && conn_index_[conn] != nullptr;
+  }
   [[nodiscard]] NodeId node() const { return node_; }
   [[nodiscard]] const Config& config() const { return config_; }
+
+  /// True when `channel`'s subscriber set is currently in its dense (bitmap)
+  /// representation — introspection for tests and DESIGN.md section 11.
+  [[nodiscard]] bool subscriber_set_dense(const Channel& channel) const;
 
   /// How far the CPU queue extends past now; grows without bound when the
   /// server is CPU-saturated (Fig 4a beyond ~500 subscribers).
@@ -154,44 +173,88 @@ class PubSubServer {
 
   [[nodiscard]] bool running() const { return running_; }
 
-  /// Matches a '*' glob pattern against a channel name.
+  /// Matches a '*' glob pattern against a channel name. Reference
+  /// implementation; the publish path uses CompiledPattern, which
+  /// tests/pubsub/pattern_test.cc cross-checks against this.
   static bool glob_match(const std::string& pattern, const std::string& text);
 
  private:
+  static constexpr std::uint32_t kNoSet = 0xFFFF'FFFF;
+  static constexpr std::uint32_t kNoPatternPos = 0xFFFF'FFFF;
+  static constexpr std::size_t kConnBlockSize = 64;  // connections per slab block
+
   struct Connection {
     ConnId id = kInvalidConn;
     NodeId client_node = kInvalidNode;
-    /// Shared so each delivery captures a pointer copy (DeliverFn itself is
-    /// move-only, and at 56 bytes would blow the network callback's inline
-    /// budget).
-    std::shared_ptr<DeliverFn> deliver;
+    /// Refcounted so each delivery captures a pointer copy (DeliverFn itself
+    /// is move-only, and at 56 bytes would blow the network callback's inline
+    /// budget). Non-atomic: the simulator is single-threaded by design, and
+    /// shared_ptr's atomic RMWs were measurable on the fan-out path.
+    RcPtr<DeliverFn> deliver;
     ClosedFn closed;
-    std::unordered_set<ChannelId> channels;  // interned subscriptions
-    std::vector<std::string> patterns;
+    /// Interned subscriptions, sorted by id: membership is a binary search
+    /// and the publish-path "already plain-subscribed?" test never hashes.
+    std::vector<ChannelId> channels;
+    std::vector<CompiledPattern> patterns;  // in PSUBSCRIBE order
+    std::uint32_t pattern_pos = kNoPatternPos;  // index into pattern_conns_
     SimTime drain_free = 0;      // receive-path busy-until time
     SimTime last_arrival = 0;    // per-connection FIFO delivery ordering
     double drain_rate = 0;       // receive rate, fixed by the client's kind
     bool local = false;
   };
 
+  /// Hot per-channel scalars, structure-of-arrays by ChannelId: the publish
+  /// path loads this one 8-byte record and — for the common no-pattern case —
+  /// already knows the fan-out count and where the members live. `set` is a
+  /// slot in sets_, assigned on first subscribe and kept for the channel's
+  /// lifetime (empty sets are tombstones that retain their capacity).
+  struct ChannelHot {
+    std::uint32_t count = 0;
+    std::uint32_t set = kNoSet;
+  };
+
   /// Advances the CPU queue by `cost_us` and returns the completion time.
   SimTime consume_cpu(double cost_us);
 
-  void deliver_to(Connection& conn, const EnvelopePtr& env, SimTime ready, std::size_t bytes);
+  void deliver_to(Connection& conn, const EnvelopePtr& env, SimTime ready, std::size_t bytes,
+                  net::Network::FanoutBatch& batch);
   void close_internal(ConnId conn, CloseReason reason);
   void drop_subscriber(ChannelId channel, ConnId conn);
-  Connection* find(ConnId conn);
+
+  /// O(1) id lookup; null for closed or never-issued ids.
+  Connection* find(ConnId conn) {
+    return conn < conn_index_.size() ? conn_index_[conn] : nullptr;
+  }
+
+  Connection* allocate_connection();
+  void release_connection(Connection& conn);
+  /// Swap-remove `conn` from pattern_conns_, fixing the moved entry's
+  /// position index — O(1) where the old std::erase scanned the vector.
+  void remove_pattern_conn(Connection& conn);
+
+  [[nodiscard]] static bool channel_member(const Connection& conn, ChannelId cid) {
+    const auto pos = std::lower_bound(conn.channels.begin(), conn.channels.end(), cid);
+    return pos != conn.channels.end() && *pos == cid;
+  }
 
   sim::Simulator& sim_;
   net::Network& network_;
   NodeId node_;
   Config config_;
 
-  std::unordered_map<ConnId, Connection> connections_;
-  /// Per-channel subscriber lists, keyed by interned id and kept sorted by
-  /// ConnId, so the no-pattern fan-out (the common case) needs neither a
-  /// string hash nor a sort.
-  std::unordered_map<ChannelId, std::vector<ConnId>> subscribers_;
+  // Connection slab: fixed-size blocks with stable addresses (observer
+  // callbacks re-enter the server mid-iteration; a growing flat vector would
+  // invalidate the Connection reference being delivered to), recycled through
+  // a free list, looked up through a dense id->pointer index.
+  std::vector<std::unique_ptr<Connection[]>> conn_blocks_;
+  std::vector<Connection*> free_conns_;
+  std::vector<Connection*> conn_index_;  // by ConnId; null = closed/unused
+  std::size_t live_conns_ = 0;
+
+  // SoA channel table (see class comment).
+  std::vector<ChannelHot> channel_hot_;  // by ChannelId
+  std::vector<SubscriberSet> sets_;      // slab; slot = ChannelHot::set
+
   std::vector<ConnId> pattern_conns_;  // connections holding >= 1 pattern
   std::vector<LocalObserver*> observers_;
   std::vector<ConnId> fanout_scratch_;  // recipient buffer reused per publish

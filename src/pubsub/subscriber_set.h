@@ -1,0 +1,175 @@
+// Per-channel subscriber set with two cache-conscious representations.
+//
+// The fan-out hot path iterates a channel's subscribers once per publication,
+// in ascending ConnId order (the substrate's deterministic delivery order).
+// Both representations preserve that order exactly, so switching between them
+// never changes a simulation's output:
+//
+//  - sparse: a flat sorted vector<ConnId>. Optimal for the long tail of
+//    channels with a handful of subscribers — iteration is a linear scan of
+//    one contiguous array, membership is a binary search, and insert/erase
+//    shift a few machine words.
+//  - dense: a bitmap over the ConnId space (ids are handed out densely by the
+//    server, so bit index == ConnId). Insert/erase/membership become O(1) bit
+//    ops, and iteration walks 64 subscribers per cache line via countr_zero —
+//    the representation of choice for hot channels with hundreds or thousands
+//    of subscribers (the paper's Fig-4 regime).
+//
+// Promotion / demotion policy (see DESIGN.md section 11): promote to dense
+// when the set holds >= kPromoteCount members AND the bitmap would stay
+// reasonably full (<= kMaxWordsPerSub words per member, i.e. at least one
+// member per kMaxWordsPerSub*64 ids of span); demote back to sparse with
+// hysteresis when membership falls below kDemoteCount, or when churn has left
+// the bitmap too sparse to be worth its span. Both transitions are O(n) and
+// happen on the subscribe/unsubscribe control path, never during a publish.
+//
+// Capacity is retained across clear() and across emptying the set, so a
+// tombstoned channel slot that oscillates between 0 and 1 subscribers (the
+// pre-slab code re-created its hash-map node every cycle) reuses its memory
+// without touching the allocator.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dynamoth::ps {
+
+class SubscriberSet {
+ public:
+  /// Minimum membership for promotion to the dense bitmap.
+  static constexpr std::size_t kPromoteCount = 64;
+  /// Hysteresis: demote back to the sorted vector below this membership.
+  static constexpr std::size_t kDemoteCount = 24;
+  /// Density gate: a bitmap may spend at most this many 64-bit words per
+  /// member. Beyond it, iteration would touch more cache lines than the flat
+  /// vector, so the set stays (or becomes) sparse.
+  static constexpr std::size_t kMaxWordsPerSub = 4;
+
+  /// Inserts `id`; returns false if already present. May promote.
+  bool insert(std::uint64_t id) {
+    if (!dense_) {
+      const auto pos = std::lower_bound(sorted_.begin(), sorted_.end(), id);
+      if (pos != sorted_.end() && *pos == id) return false;
+      sorted_.insert(pos, id);
+      ++count_;
+      maybe_promote();
+      return true;
+    }
+    const std::uint64_t word = id >> 6;
+    if (words_.empty()) {
+      base_word_ = word;
+      words_.push_back(0);
+    } else if (word < base_word_) {
+      words_.insert(words_.begin(), base_word_ - word, 0);
+      base_word_ = word;
+    } else if (word >= base_word_ + words_.size()) {
+      words_.resize(word - base_word_ + 1, 0);
+    }
+    std::uint64_t& w = words_[word - base_word_];
+    const std::uint64_t bit = std::uint64_t{1} << (id & 63);
+    if (w & bit) return false;
+    w |= bit;
+    ++count_;
+    return true;
+  }
+
+  /// Erases `id`; returns false if absent. May demote.
+  bool erase(std::uint64_t id) {
+    if (!dense_) {
+      const auto pos = std::lower_bound(sorted_.begin(), sorted_.end(), id);
+      if (pos == sorted_.end() || *pos != id) return false;
+      sorted_.erase(pos);
+      --count_;
+      return true;
+    }
+    const std::uint64_t word = id >> 6;
+    if (word < base_word_ || word >= base_word_ + words_.size()) return false;
+    std::uint64_t& w = words_[word - base_word_];
+    const std::uint64_t bit = std::uint64_t{1} << (id & 63);
+    if (!(w & bit)) return false;
+    w &= ~bit;
+    --count_;
+    maybe_demote();
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t id) const {
+    if (!dense_) {
+      const auto pos = std::lower_bound(sorted_.begin(), sorted_.end(), id);
+      return pos != sorted_.end() && *pos == id;
+    }
+    const std::uint64_t word = id >> 6;
+    if (word < base_word_ || word >= base_word_ + words_.size()) return false;
+    return (words_[word - base_word_] >> (id & 63)) & 1;
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  /// True when the set is in bitmap representation (tests, DESIGN.md §11).
+  [[nodiscard]] bool dense() const { return dense_; }
+
+  /// Appends all members to `out` in ascending id order.
+  void append_to(std::vector<std::uint64_t>& out) const {
+    if (!dense_) {
+      out.insert(out.end(), sorted_.begin(), sorted_.end());
+      return;
+    }
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      const std::uint64_t word_base = (base_word_ + wi) << 6;
+      while (w != 0) {
+        out.push_back(word_base + static_cast<std::uint64_t>(std::countr_zero(w)));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Empties the set but keeps its memory (tombstoned channel slots reuse
+  /// their capacity on the next subscribe).
+  void clear() {
+    sorted_.clear();
+    words_.clear();
+    base_word_ = 0;
+    count_ = 0;
+    dense_ = false;
+  }
+
+ private:
+  void maybe_promote() {
+    if (count_ < kPromoteCount) return;
+    const std::uint64_t span_words = (sorted_.back() >> 6) - (sorted_.front() >> 6) + 1;
+    if (span_words > count_ * kMaxWordsPerSub) return;  // too sparse for a bitmap
+    base_word_ = sorted_.front() >> 6;
+    words_.assign(static_cast<std::size_t>(span_words), 0);
+    for (const std::uint64_t id : sorted_) {
+      words_[(id >> 6) - base_word_] |= std::uint64_t{1} << (id & 63);
+    }
+    sorted_.clear();  // keeps capacity for a future demotion
+    dense_ = true;
+  }
+
+  void maybe_demote() {
+    // Hysteresis on membership, plus a sparsity check: heavy churn can leave
+    // a wide bitmap with few bits set, at which point the flat vector both
+    // iterates faster and frees the span.
+    if (count_ >= kDemoteCount && words_.size() <= (count_ + 1) * kMaxWordsPerSub * 2) return;
+    sorted_.clear();
+    sorted_.reserve(count_);
+    append_to(sorted_);
+    words_.clear();  // keeps capacity for a future promotion
+    base_word_ = 0;
+    dense_ = false;
+  }
+
+  std::size_t count_ = 0;
+  bool dense_ = false;
+  std::vector<std::uint64_t> sorted_;  // sparse: sorted member ids
+  std::vector<std::uint64_t> words_;   // dense: bitmap words
+  std::uint64_t base_word_ = 0;        // id>>6 of words_[0]
+};
+
+}  // namespace dynamoth::ps

@@ -130,6 +130,154 @@ TEST(AllocGuard, SubstratePublishFanOutDeliverIsAllocationFree) {
   EXPECT_EQ(got - delivered_before, 2u * kBatch * kSubscribers);
 }
 
+TEST(AllocGuard, BitmapFanOutWithBatchingAndPatternsIsAllocationFree) {
+  // The cache-conscious fan-out path at scale: enough subscribers on one
+  // channel to promote the SubscriberSet to its bitmap representation, packed
+  // onto few client nodes so the per-destination FanoutBatch sees long
+  // same-destination runs, plus one live PSUBSCRIBE connection so the
+  // compiled-pattern scan runs on every publish. All of it must stay off the
+  // allocator once warm.
+  sim::Simulator sim;
+  net::Network network(sim, std::make_unique<net::FixedLatencyModel>(millis(1), millis(1)),
+                       Rng(19));
+  const NodeId server_node = network.add_node({net::NodeKind::kInfrastructure, 1e12});
+  ps::PubSubServer::Config config;
+  config.conn_drain_bytes_per_sec = 1e12;
+  config.infra_drain_bytes_per_sec = 1e12;
+  config.conn_output_buffer_limit = std::size_t{1} << 40;
+  config.max_egress_backlog = seconds(1e6);
+  ps::PubSubServer server(sim, network, server_node, config);
+
+  // 80 subscribers (> SubscriberSet::kPromoteCount) on 8 nodes: 10-connection
+  // same-destination runs through the batch.
+  constexpr std::size_t kNodes = 8;
+  constexpr std::size_t kConnsPerNode = 10;
+  constexpr std::size_t kSubscribers = kNodes * kConnsPerNode;
+  static_assert(kSubscribers > ps::SubscriberSet::kPromoteCount);
+  std::uint64_t got = 0;
+  std::vector<std::unique_ptr<ps::RemoteConnection>> conns;
+  for (std::size_t n = 0; n < kNodes; ++n) {
+    const NodeId cn = network.add_node({net::NodeKind::kClient, 1e9});
+    for (std::size_t i = 0; i < kConnsPerNode; ++i) {
+      conns.push_back(std::make_unique<ps::RemoteConnection>(
+          sim, network, cn, server, [&got](const ps::EnvelopePtr&) { ++got; }, nullptr));
+      conns.back()->subscribe("arena");
+    }
+  }
+  const NodeId pat_node = network.add_node({net::NodeKind::kClient, 1e9});
+  std::uint64_t pattern_got = 0;
+  ps::RemoteConnection pattern_conn(
+      sim, network, pat_node, server,
+      [&pattern_got](const ps::EnvelopePtr&) { ++pattern_got; }, nullptr);
+  pattern_conn.psubscribe("are*");
+  const NodeId pub_node = network.add_node({net::NodeKind::kClient, 1e9});
+  ps::RemoteConnection pub(sim, network, pub_node, server, nullptr, nullptr);
+  sim.run();  // settle subscriptions
+  ASSERT_TRUE(server.subscriber_set_dense("arena"));
+
+  constexpr int kBatch = 64;
+  std::uint64_t seq = 0;
+  auto publish_batch = [&] {
+    for (int i = 0; i < kBatch; ++i) {
+      auto env = ps::make_envelope();
+      env->id = MessageId{1, ++seq};
+      env->kind = ps::MsgKind::kData;
+      env->channel = "arena";
+      env->payload_bytes = 128;
+      env->publish_time = sim.now();
+      env->publisher = 1;
+      env->channel_seq = seq;
+      pub.publish(std::move(env));
+    }
+    sim.run();
+  };
+
+  for (int i = 0; i < 3; ++i) publish_batch();
+  const std::uint64_t delivered_before = got;
+
+  const std::uint64_t allocs_before = g_new_calls;
+  for (int i = 0; i < 2; ++i) publish_batch();
+  const std::uint64_t allocs = g_new_calls - allocs_before;
+
+  EXPECT_EQ(allocs, 0u) << "bitmap fan-out with batching allocated " << allocs
+                        << " times over " << 2 * kBatch << " messages";
+  EXPECT_EQ(got - delivered_before, 2u * kBatch * kSubscribers);
+  EXPECT_EQ(pattern_got, 5u * kBatch);  // every batch, warm-up included
+}
+
+TEST(AllocGuard, SubscriptionChurnOnWarmChannelsIsAllocationFree) {
+  // The tombstone + representation-oscillation paths, driven through the
+  // server API directly: a channel whose membership swings across the
+  // promote/demote thresholds every cycle, and a channel that empties to a
+  // tombstoned set slot and revives. After one warm cycle the slab slots,
+  // set capacities, and per-connection channel lists are all retained, so
+  // steady churn must not allocate.
+  sim::Simulator sim;
+  net::Network network(sim, std::make_unique<net::FixedLatencyModel>(millis(1), millis(1)),
+                       Rng(23));
+  const NodeId server_node = network.add_node({net::NodeKind::kInfrastructure, 1e12});
+  const NodeId client_node = network.add_node({net::NodeKind::kClient, 1e9});
+  ps::PubSubServer::Config config;
+  config.conn_drain_bytes_per_sec = 1e12;
+  config.infra_drain_bytes_per_sec = 1e12;
+  config.conn_output_buffer_limit = std::size_t{1} << 40;
+  config.max_egress_backlog = seconds(1e6);
+  ps::PubSubServer server(sim, network, server_node, config);
+
+  constexpr std::size_t kConns = ps::SubscriberSet::kPromoteCount + 6;
+  std::uint64_t got = 0;
+  std::vector<ps::ConnId> ids;
+  for (std::size_t i = 0; i < kConns; ++i) {
+    ids.push_back(server.open_connection(
+        client_node, [&got](const ps::EnvelopePtr&) { ++got; }, nullptr));
+  }
+  std::uint64_t seq = 0;
+  auto cycle = [&] {
+    // Oscillating channel: everybody in (vector -> bitmap), then most out
+    // (bitmap -> vector via the hysteresis threshold).
+    for (ps::ConnId id : ids) server.handle_subscribe(id, "osc");
+    ASSERT_TRUE(server.subscriber_set_dense("osc"));
+    for (std::size_t i = 4; i < kConns; ++i) server.handle_unsubscribe(ids[i], "osc");
+    ASSERT_FALSE(server.subscriber_set_dense("osc"));
+    // Tombstone channel: empty out completely, publish into the tombstone,
+    // then revive the slot.
+    server.handle_subscribe(ids[0], "churn");
+    auto env = ps::make_envelope();
+    env->id = MessageId{1, ++seq};
+    env->kind = ps::MsgKind::kData;
+    env->channel = "churn";
+    env->payload_bytes = 64;
+    env->publish_time = sim.now();
+    env->publisher = 1;
+    env->channel_seq = seq;
+    server.handle_publish(ids[1], std::move(env));
+    server.handle_unsubscribe(ids[0], "churn");  // count -> 0: tombstoned slot
+    auto env2 = ps::make_envelope();
+    env2->id = MessageId{1, ++seq};
+    env2->kind = ps::MsgKind::kData;
+    env2->channel = "churn";
+    env2->payload_bytes = 64;
+    env2->publish_time = sim.now();
+    env2->publisher = 1;
+    env2->channel_seq = seq;
+    server.handle_publish(ids[1], std::move(env2));  // fan-out over the tombstone
+    for (std::size_t i = 4; i < kConns; ++i) server.handle_subscribe(ids[i], "osc");
+    for (ps::ConnId id : ids) server.handle_unsubscribe(id, "osc");
+    sim.run();
+  };
+
+  for (int i = 0; i < 2; ++i) cycle();  // warm: intern channels, grow capacities
+  const std::uint64_t delivered_before = got;
+  const std::uint64_t allocs_before = g_new_calls;
+  for (int i = 0; i < 4; ++i) cycle();
+  const std::uint64_t allocs = g_new_calls - allocs_before;
+
+  EXPECT_EQ(allocs, 0u) << "warm subscribe/unsubscribe churn allocated " << allocs << " times";
+  EXPECT_EQ(got - delivered_before, 4u);  // one delivery per cycle (pre-tombstone publish)
+  EXPECT_EQ(server.subscriber_count("osc"), 0u);
+  EXPECT_EQ(server.subscriber_count("churn"), 0u);
+}
+
 TEST(AllocGuard, EndToEndClientPublishDeliverIsAllocationFree) {
   // The paper's steady-state data plane end to end: DynamothClient publisher
   // routes via its local plan, the server (with colocated LLA + dispatcher)

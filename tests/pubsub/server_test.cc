@@ -474,5 +474,153 @@ TEST(PubSubServer, InfrastructureConnectionsDrainAtLanRate) {
   EXPECT_TRUE(server.connection_alive(infra_sub));
 }
 
+TEST(PubSubServer, SubscriberSetPromotesAndDemotesThroughServer) {
+  ServerFixture f;
+  const NodeId cn = f.add_client_node();
+  std::vector<ConnId> subs;
+  // Enough subscribers to cross the density threshold: the channel's set
+  // must flip to its bitmap representation while subscriber_count stays
+  // exact at every step.
+  const std::size_t n = SubscriberSet::kPromoteCount + 16;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ConnId c = f.server.open_connection(cn, [](const EnvelopePtr&) {}, nullptr);
+    f.server.handle_subscribe(c, "hot");
+    subs.push_back(c);
+    EXPECT_EQ(f.server.subscriber_count("hot"), i + 1);
+  }
+  EXPECT_TRUE(f.server.subscriber_set_dense("hot"));
+
+  // Fan-out still reaches everyone in the dense representation.
+  const ConnId pub = f.server.open_connection(cn, nullptr, nullptr);
+  f.server.handle_publish(pub, make_data("hot", 1, 1));
+  f.sim.run();
+
+  // Unsubscribe below the hysteresis threshold: back to the flat vector,
+  // count exact throughout.
+  for (std::size_t i = 0; i < n; ++i) {
+    f.server.handle_unsubscribe(subs[i], "hot");
+    EXPECT_EQ(f.server.subscriber_count("hot"), n - i - 1);
+    if (n - i - 1 < SubscriberSet::kDemoteCount) {
+      EXPECT_FALSE(f.server.subscriber_set_dense("hot"));
+    }
+  }
+  EXPECT_EQ(f.server.subscriber_count("hot"), 0u);
+}
+
+TEST(PubSubServer, MidPublishSubscribeAndUnsubscribe) {
+  ServerFixture f;
+  const NodeId cn = f.add_client_node();
+  // Delivery callbacks mutate the subscriber set being fanned out: sub A
+  // unsubscribes B and subscribes C on first delivery. The in-flight
+  // publication must still reach the snapshot taken at publish time, and
+  // the counts must be exact afterwards.
+  int got_a = 0, got_b = 0, got_c = 0;
+  ConnId b = kInvalidConn, c = kInvalidConn;
+  bool mutated = false;
+  const ConnId a = f.server.open_connection(
+      cn,
+      [&](const EnvelopePtr&) {
+        ++got_a;
+        if (!mutated) {
+          mutated = true;
+          f.server.handle_unsubscribe(b, "m");
+          f.server.handle_subscribe(c, "m");
+        }
+      },
+      nullptr);
+  b = f.server.open_connection(cn, [&](const EnvelopePtr&) { ++got_b; }, nullptr);
+  c = f.server.open_connection(cn, [&](const EnvelopePtr&) { ++got_c; }, nullptr);
+  const ConnId pub = f.server.open_connection(cn, nullptr, nullptr);
+  f.server.handle_subscribe(a, "m");
+  f.server.handle_subscribe(b, "m");
+
+  f.server.handle_publish(pub, make_data("m", 1, 1));
+  f.sim.run();
+  // First publication: A and B were subscribed when it was accepted.
+  EXPECT_EQ(got_a, 1);
+  EXPECT_EQ(got_b, 1);
+  EXPECT_EQ(got_c, 0);
+  EXPECT_EQ(f.server.subscriber_count("m"), 2u);  // A and C now
+
+  f.server.handle_publish(pub, make_data("m", 1, 2));
+  f.sim.run();
+  EXPECT_EQ(got_a, 2);
+  EXPECT_EQ(got_b, 1);
+  EXPECT_EQ(got_c, 1);
+}
+
+TEST(PubSubServer, TombstonedChannelSurvivesSubscriberOscillation) {
+  ServerFixture f;
+  const NodeId cn = f.add_client_node();
+  int got = 0;
+  const ConnId sub = f.server.open_connection(cn, [&](const EnvelopePtr&) { ++got; }, nullptr);
+  const ConnId pub = f.server.open_connection(cn, nullptr, nullptr);
+  // A channel oscillating between 0 and 1 subscribers (the pre-slab code
+  // destroyed and re-created its map node each cycle).
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    f.server.handle_subscribe(sub, "osc");
+    EXPECT_EQ(f.server.subscriber_count("osc"), 1u);
+    f.server.handle_publish(pub, make_data("osc", 1, static_cast<std::uint64_t>(cycle)));
+    f.server.handle_unsubscribe(sub, "osc");
+    EXPECT_EQ(f.server.subscriber_count("osc"), 0u);
+  }
+  f.sim.run();
+  EXPECT_EQ(got, 50);
+  // Publishing into the tombstoned (empty) channel delivers to nobody.
+  f.server.handle_publish(pub, make_data("osc", 1, 99));
+  f.sim.run();
+  EXPECT_EQ(got, 50);
+}
+
+TEST(PubSubServer, PatternConnSwapRemoveKeepsMatchingIntact) {
+  ServerFixture f;
+  const NodeId cn = f.add_client_node();
+  // Five pattern connections; closing/punsubscribing from the middle uses
+  // swap-remove, which must keep every other connection matching.
+  std::vector<int> got(5, 0);
+  std::vector<ConnId> conns;
+  for (int i = 0; i < 5; ++i) {
+    conns.push_back(f.server.open_connection(
+        cn, [&got, i](const EnvelopePtr&) { ++got[static_cast<std::size_t>(i)]; }, nullptr));
+    f.server.handle_psubscribe(conns.back(), "p:*");
+  }
+  EXPECT_EQ(f.server.pattern_connection_count(), 5u);
+
+  // Remove the middle by punsubscribe and the first by close.
+  f.server.handle_punsubscribe(conns[2], "p:*");
+  EXPECT_EQ(f.server.pattern_connection_count(), 4u);
+  f.server.close_connection(conns[0]);
+  EXPECT_EQ(f.server.pattern_connection_count(), 3u);
+
+  const ConnId pub = f.server.open_connection(cn, nullptr, nullptr);
+  f.server.handle_publish(pub, make_data("p:x", 1, 1));
+  f.sim.run();
+  EXPECT_EQ(got[0], 0);
+  EXPECT_EQ(got[1], 1);
+  EXPECT_EQ(got[2], 0);
+  EXPECT_EQ(got[3], 1);
+  EXPECT_EQ(got[4], 1);
+
+  // Re-adding a pattern to a swap-removed connection works (position index
+  // was reset correctly).
+  f.server.handle_psubscribe(conns[2], "p:*");
+  EXPECT_EQ(f.server.pattern_connection_count(), 4u);
+  f.server.handle_publish(pub, make_data("p:y", 1, 2));
+  f.sim.run();
+  EXPECT_EQ(got[2], 1);
+}
+
+TEST(PubSubServer, ConnIdsAreNotRecycled) {
+  ServerFixture f;
+  const NodeId cn = f.add_client_node();
+  const ConnId a = f.server.open_connection(cn, nullptr, nullptr);
+  f.server.close_connection(a);
+  const ConnId b = f.server.open_connection(cn, nullptr, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(f.server.connection_alive(a));
+  EXPECT_TRUE(f.server.connection_alive(b));
+  EXPECT_EQ(f.server.connection_count(), 1u);
+}
+
 }  // namespace
 }  // namespace dynamoth::ps

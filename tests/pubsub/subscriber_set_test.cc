@@ -1,0 +1,163 @@
+#include "pubsub/subscriber_set.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dynamoth::ps {
+namespace {
+
+std::vector<std::uint64_t> members(const SubscriberSet& set) {
+  std::vector<std::uint64_t> out;
+  set.append_to(out);
+  return out;
+}
+
+TEST(SubscriberSet, InsertEraseContains) {
+  SubscriberSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.insert(7));
+  EXPECT_FALSE(set.insert(7));  // duplicate
+  EXPECT_TRUE(set.insert(3));
+  EXPECT_TRUE(set.insert(11));
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_FALSE(set.contains(8));
+  EXPECT_TRUE(set.erase(7));
+  EXPECT_FALSE(set.erase(7));  // already gone
+  EXPECT_FALSE(set.contains(7));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(SubscriberSet, AppendToIsAscending) {
+  SubscriberSet set;
+  for (std::uint64_t id : {9u, 2u, 40u, 17u, 1u}) set.insert(id);
+  EXPECT_EQ(members(set), (std::vector<std::uint64_t>{1, 2, 9, 17, 40}));
+}
+
+TEST(SubscriberSet, PromotesAtThresholdWithDenseIds) {
+  SubscriberSet set;
+  for (std::uint64_t id = 1; id < SubscriberSet::kPromoteCount; ++id) {
+    set.insert(id);
+    EXPECT_FALSE(set.dense());
+  }
+  set.insert(SubscriberSet::kPromoteCount);  // crosses the threshold
+  EXPECT_TRUE(set.dense());
+  EXPECT_EQ(set.size(), SubscriberSet::kPromoteCount);
+  // Iteration order is unchanged by the representation switch.
+  std::vector<std::uint64_t> expect;
+  for (std::uint64_t id = 1; id <= SubscriberSet::kPromoteCount; ++id) expect.push_back(id);
+  EXPECT_EQ(members(set), expect);
+}
+
+TEST(SubscriberSet, SparseIdsDoNotPromote) {
+  // Ids spread so wide that the bitmap would exceed the words-per-member
+  // budget: the set must stay in vector representation.
+  SubscriberSet set;
+  const std::uint64_t stride = 64 * SubscriberSet::kMaxWordsPerSub + 64;
+  for (std::uint64_t i = 0; i < SubscriberSet::kPromoteCount + 8; ++i) {
+    set.insert(1 + i * stride);
+  }
+  EXPECT_FALSE(set.dense());
+  EXPECT_EQ(set.size(), SubscriberSet::kPromoteCount + 8);
+}
+
+TEST(SubscriberSet, DemotesBelowHysteresisThreshold) {
+  SubscriberSet set;
+  for (std::uint64_t id = 1; id <= SubscriberSet::kPromoteCount; ++id) set.insert(id);
+  ASSERT_TRUE(set.dense());
+  // Erasing down to kDemoteCount keeps the bitmap (hysteresis)...
+  for (std::uint64_t id = 1; id + SubscriberSet::kDemoteCount <= SubscriberSet::kPromoteCount;
+       ++id) {
+    set.erase(id);
+  }
+  EXPECT_EQ(set.size(), SubscriberSet::kDemoteCount);
+  EXPECT_TRUE(set.dense());
+  // ...and dropping below it demotes back to the sorted vector.
+  set.erase(SubscriberSet::kPromoteCount);
+  EXPECT_FALSE(set.dense());
+  EXPECT_EQ(set.size(), SubscriberSet::kDemoteCount - 1);
+  std::vector<std::uint64_t> expect;
+  for (std::uint64_t id = SubscriberSet::kPromoteCount - SubscriberSet::kDemoteCount + 1;
+       id < SubscriberSet::kPromoteCount; ++id) {
+    expect.push_back(id);
+  }
+  EXPECT_EQ(members(set), expect);
+}
+
+TEST(SubscriberSet, RepromotesAfterDemotion) {
+  SubscriberSet set;
+  for (std::uint64_t id = 1; id <= SubscriberSet::kPromoteCount; ++id) set.insert(id);
+  ASSERT_TRUE(set.dense());
+  for (std::uint64_t id = SubscriberSet::kDemoteCount; id <= SubscriberSet::kPromoteCount; ++id) {
+    set.erase(id);
+  }
+  ASSERT_FALSE(set.dense());
+  for (std::uint64_t id = SubscriberSet::kDemoteCount; id <= SubscriberSet::kPromoteCount; ++id) {
+    set.insert(id);
+  }
+  EXPECT_TRUE(set.dense());
+  EXPECT_EQ(set.size(), SubscriberSet::kPromoteCount);
+}
+
+TEST(SubscriberSet, ChurnSparsityDemotes) {
+  // Fill a dense contiguous run, then erase everything except a few ids at
+  // the far ends: the wide, nearly-empty bitmap must demote even though the
+  // membership sits at the hysteresis boundary.
+  SubscriberSet set;
+  const std::uint64_t top = 64 * SubscriberSet::kMaxWordsPerSub *
+                            (SubscriberSet::kDemoteCount + 2) * 4;
+  for (std::uint64_t id = 1; id <= SubscriberSet::kPromoteCount; ++id) set.insert(id);
+  ASSERT_TRUE(set.dense());
+  set.insert(top);      // widen the bitmap span
+  ASSERT_TRUE(set.dense());
+  for (std::uint64_t id = 1; id <= SubscriberSet::kPromoteCount - SubscriberSet::kDemoteCount;
+       ++id) {
+    set.erase(id);
+  }
+  // Sparsity check: few members, huge word span -> back to the vector.
+  EXPECT_FALSE(set.dense());
+  EXPECT_TRUE(set.contains(top));
+}
+
+TEST(SubscriberSet, ClearEmptiesAndResets) {
+  SubscriberSet set;
+  for (std::uint64_t id = 1; id <= SubscriberSet::kPromoteCount; ++id) set.insert(id);
+  ASSERT_TRUE(set.dense());
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.dense());
+  EXPECT_FALSE(set.contains(1));
+  EXPECT_TRUE(set.insert(5));
+  EXPECT_EQ(members(set), (std::vector<std::uint64_t>{5}));
+}
+
+TEST(SubscriberSet, RandomizedEquivalenceWithReferenceSet) {
+  Rng rng(0xF00D);
+  SubscriberSet set;
+  std::set<std::uint64_t> ref;
+  for (int step = 0; step < 20000; ++step) {
+    // Mixed-density id space: clustered low ids plus occasional far ids, so
+    // the run crosses promote/demote boundaries many times.
+    const auto id = static_cast<std::uint64_t>(
+        rng.chance(0.9) ? 1 + rng.uniform_int(0, 299) : 1 + rng.uniform_int(0, 1 << 20));
+    if (rng.chance(0.55)) {
+      EXPECT_EQ(set.insert(id), ref.insert(id).second);
+    } else {
+      EXPECT_EQ(set.erase(id), ref.erase(id) > 0);
+    }
+    ASSERT_EQ(set.size(), ref.size());
+    if (step % 500 == 0) {
+      EXPECT_EQ(members(set), std::vector<std::uint64_t>(ref.begin(), ref.end()));
+    }
+  }
+  EXPECT_EQ(members(set), std::vector<std::uint64_t>(ref.begin(), ref.end()));
+}
+
+}  // namespace
+}  // namespace dynamoth::ps

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Cache-behaviour snapshot of the fan-out hot path.
+#
+# Runs the BM_Fanout* / BM_MessagePath* microbenchmarks under
+# `perf stat -e cache-misses,LLC-load-misses` so the cache-conscious fan-out
+# work (flat subscriber sets, SoA channel state, per-destination batching) can
+# be judged on hardware counters, not just wall clock. See DESIGN.md section 11
+# and the "Fan-out benchmarks" recipe in EXPERIMENTS.md.
+#
+# Degrades gracefully: where perf(1) is missing, or the kernel refuses the
+# events (perf_event_paranoid, seccomp'd CI containers, VMs without PMU
+# passthrough), it falls back to a plain benchmark run and still exits 0.
+# Usage:
+#   BENCH_BIN=build/bench/micro_core tools/perf_stat.sh
+#   cmake --build build --target perf-stat
+set -eu
+
+BENCH_BIN="${BENCH_BIN:-build/bench/micro_core}"
+FILTER="${FILTER:-BM_Fanout|BM_MessagePath}"
+EVENTS="${EVENTS:-cache-misses,LLC-load-misses}"
+
+if [ ! -x "$BENCH_BIN" ]; then
+  echo "perf_stat.sh: benchmark binary not found: $BENCH_BIN" >&2
+  echo "perf_stat.sh: build it first (cmake --build build --target micro_core)" >&2
+  exit 1
+fi
+
+# Probe that perf exists AND can actually count on this machine: `perf stat
+# true` fails fast under perf_event_paranoid / missing PMU, where merely
+# checking `command -v perf` would not.
+if command -v perf >/dev/null 2>&1 && perf stat -e "$EVENTS" -- true >/dev/null 2>&1; then
+  exec perf stat -e "$EVENTS" -- "$BENCH_BIN" "--benchmark_filter=$FILTER"
+fi
+
+echo "perf_stat.sh: perf events unavailable here; running benchmarks without counters"
+exec "$BENCH_BIN" "--benchmark_filter=$FILTER"
