@@ -35,4 +35,19 @@ ServerId ConsistentHashRing::lookup(const Channel& channel) const {
   return it->second;
 }
 
+std::vector<ServerId> ConsistentHashRing::successors(const Channel& channel) const {
+  DYN_CHECK(!ring_.empty());
+  const std::uint64_t h = mix64(fnv1a64(channel));
+  std::vector<ServerId> chain;
+  chain.reserve(servers_.size());
+  std::set<ServerId> seen;
+  auto it = ring_.lower_bound(h);
+  for (std::size_t hops = 0; hops < ring_.size() && chain.size() < servers_.size(); ++hops) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (seen.insert(it->second).second) chain.push_back(it->second);
+    ++it;
+  }
+  return chain;
+}
+
 }  // namespace dynamoth::core

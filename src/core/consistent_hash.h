@@ -27,6 +27,12 @@ class ConsistentHashRing {
   /// channel's hash. Aborts if the ring is empty.
   [[nodiscard]] ServerId lookup(const Channel& channel) const;
 
+  /// Distinct servers clockwise from `channel`'s hash: the owner first, then
+  /// each next-nearest distinct server — the forwarding chain bounded-load
+  /// placement walks when the owner is at capacity. Aborts if the ring is
+  /// empty; result has server_count() entries.
+  [[nodiscard]] std::vector<ServerId> successors(const Channel& channel) const;
+
   [[nodiscard]] bool contains(ServerId server) const { return servers_.contains(server); }
   [[nodiscard]] std::size_t server_count() const { return servers_.size(); }
   [[nodiscard]] bool empty() const { return servers_.empty(); }

@@ -18,10 +18,91 @@ DynamothLoadBalancer::DynamothLoadBalancer(sim::Simulator& sim, net::Network& ne
       config_(config) {
   DYN_CHECK(config_.lr_safe <= config_.lr_high);
   DYN_CHECK(config_.min_servers >= 1);
+  limits_.lr_high = config_.lr_high;
+  limits_.lr_safe = config_.lr_safe;
+  limits_.lr_low = config_.lr_low;
+  limits_.cpu_aware = config_.cpu_aware;
+  limits_.cpu_high = config_.cpu_high;
+  limits_.cpu_safe = config_.cpu_safe;
+  limits_.min_servers = config_.min_servers;
+  policy_ = placement::make_policy(config_.placement);
+  policy_desc_ = policy_->name();
+  const std::string params = policy_->params();
+  if (!params.empty()) policy_desc_ += "(" + params + ")";
 }
+
+/// Bridges the policy's RoundOps view onto the balancer's Round. The adapter
+/// is transparent: every accessor returns the very container the in-balancer
+/// passes (repair, Algorithm 1) mutate, so the extracted greedy policy sees
+/// bit-identical state in bit-identical order.
+class DynamothLoadBalancer::RoundOpsImpl final : public placement::RoundOps {
+ public:
+  RoundOpsImpl(DynamothLoadBalancer& lb, Round& r) : lb_(lb), r_(r) {}
+
+  [[nodiscard]] SimTime now() const override { return lb_.sim_.now(); }
+  [[nodiscard]] const placement::Limits& limits() const override { return lb_.limits_; }
+  [[nodiscard]] const Plan& plan() const override { return r_.plan; }
+  [[nodiscard]] const ConsistentHashRing& base_ring() const override { return *lb_.base_ring_; }
+  [[nodiscard]] const std::map<ServerId, double>& capacity() const override {
+    return r_.capacity;
+  }
+  [[nodiscard]] const std::map<ServerId, double>& est_out() const override { return r_.est_out; }
+  [[nodiscard]] double est_lr(ServerId s) const override { return lb_.est_lr(r_, s); }
+  [[nodiscard]] double est_cpu(ServerId s) const override { return lb_.est_cpu(r_, s); }
+  [[nodiscard]] double pressure(ServerId s) const override { return lb_.pressure(r_, s); }
+  [[nodiscard]] const std::map<Channel, double>& rates(ServerId s) const override {
+    return r_.rates[s];  // operator[]: mirrors the pre-extraction code exactly
+  }
+  [[nodiscard]] const std::map<Channel, double>& cpu_rates(ServerId s) const override {
+    return r_.cpu_rates[s];
+  }
+  [[nodiscard]] std::vector<ServerId> servers_by_load(
+      const std::set<ServerId>& exclude) const override {
+    return lb_.servers_by_load(r_, exclude);
+  }
+  [[nodiscard]] bool server_live(ServerId s) const override {
+    return lb_.servers().contains(s);
+  }
+  [[nodiscard]] std::size_t roster_size() const override { return lb_.servers().size(); }
+
+  [[nodiscard]] std::vector<placement::ChannelLoad> channel_loads() const override {
+    std::vector<placement::ChannelLoad> loads;
+    loads.reserve(r_.channels.size());
+    const auto& table = ChannelTable::instance();
+    for (const auto& [channel, agg] : r_.channels) {  // name-ordered
+      // find() (not intern): observing load must never perturb the interner.
+      loads.push_back(
+          placement::ChannelLoad{table.find(channel), &channel, agg.out_bytes_per_sec});
+    }
+    return loads;
+  }
+
+  void apply(const Channel& channel, const PlanEntry& entry, std::string reason) override {
+    lb_.apply_entry_change(r_, channel, entry, std::move(reason));
+  }
+  void add_trigger(std::string reason, ServerId server, double value,
+                   double threshold) override {
+    r_.rec.triggers.push_back(
+        obs::RebalanceTrigger{std::move(reason), server, value, threshold});
+  }
+  void set_kind(RebalanceKind kind) override { r_.kind = kind; }
+  void mark_overloaded() override { r_.overloaded = true; }
+  void note_migration() override { ++lb_.lb_stats_.channels_migrated; }
+  bool request_spawn() override {
+    if (!lb_.request_spawn_if_possible()) return false;
+    r_.rec.spawn_requested = true;
+    return true;
+  }
+  void begin_drain(ServerId victim) override { lb_.drain_server(r_, victim); }
+
+ private:
+  DynamothLoadBalancer& lb_;
+  Round& r_;
+};
 
 DynamothLoadBalancer::Round DynamothLoadBalancer::build_round() const {
   Round r;
+  r.rec.policy = policy_desc_;  // every audit entry names the active policy
   r.plan = *current_plan();  // working copy
   for (const auto& [id, state] : servers()) {
     if (state.reports.empty()) continue;
@@ -299,191 +380,15 @@ void DynamothLoadBalancer::channel_level_rebalance(Round& r) {
   }
 }
 
-void DynamothLoadBalancer::high_load_rebalance(Round& r) {
-  // Algorithm 2. Bounded by a migration budget to stay O(channels).
-  std::set<Channel> moved_this_round;
-  int outer_guard = static_cast<int>(servers().size()) + 2;
-
-  while (outer_guard-- > 0) {
-    // (H_max) = most pressured server (bandwidth LR, and CPU when enabled).
-    ServerId h_max = kInvalidServer;
-    double p_max = -1;
-    for (const auto& [id, _] : r.capacity) {
-      const double p = pressure(r, id);
-      if (p > p_max) {
-        h_max = id;
-        p_max = p;
-      }
-    }
-    // pressure >= 1 means past lr_high (or cpu_high).
-    if (h_max == kInvalidServer || p_max < 1.0) return;
-    r.overloaded = true;
-    r.kind = RebalanceKind::kHighLoad;
-    const bool cpu_bound =
-        config_.cpu_aware && est_cpu(r, h_max) / config_.cpu_high >
-                                 est_lr(r, h_max) / config_.lr_high;
-    r.rec.triggers.push_back(obs::RebalanceTrigger{
-        cpu_bound ? "CPU >= cpu_high" : "LR >= lr_high", h_max,
-        cpu_bound ? est_cpu(r, h_max) : est_lr(r, h_max),
-        cpu_bound ? config_.cpu_high : config_.lr_high});
-
-    bool stuck = false;
-    while (est_lr(r, h_max) >= config_.lr_safe ||
-           (config_.cpu_aware && est_cpu(r, h_max) >= config_.cpu_safe)) {
-      // Busiest migratable channel on H_max, by the binding dimension.
-      // Replicated channels are the micro balancer's business; control
-      // channels never appear in plans.
-      const auto& rates = cpu_bound ? r.cpu_rates[h_max] : r.rates[h_max];
-      Channel busiest;
-      double busiest_rate = 0;
-      for (const auto& [channel, rate] : rates) {
-        if (moved_this_round.contains(channel)) continue;
-        const PlanEntry entry = r.plan.resolve(channel, *base_ring_);
-        if (entry.mode != ReplicationMode::kNone) continue;
-        if (rate > busiest_rate) {
-          busiest = channel;
-          busiest_rate = rate;
-        }
-      }
-      if (busiest.empty()) {
-        stuck = true;
-        break;
-      }
-      const double busiest_bytes =
-          r.rates[h_max].contains(busiest) ? r.rates[h_max][busiest] : 0.0;
-      const double busiest_cpu =
-          config_.cpu_aware && r.cpu_rates[h_max].contains(busiest)
-              ? r.cpu_rates[h_max][busiest]
-              : 0.0;
-
-      // (H_min) = least pressured server.
-      const std::vector<ServerId> order = servers_by_load(r, {h_max});
-      if (order.empty()) {
-        stuck = true;
-        break;
-      }
-      const ServerId h_min = order.front();
-      const double target_lr_after =
-          (r.est_out[h_min] + busiest_bytes) / std::max(r.capacity[h_min], 1.0);
-      const double target_cpu_after = est_cpu(r, h_min) + busiest_cpu;
-      const bool target_unsafe =
-          (target_lr_after >= config_.lr_safe &&
-           r.est_out[h_min] + busiest_bytes >= r.est_out[h_max]) ||
-          (config_.cpu_aware && target_cpu_after >= config_.cpu_safe &&
-           target_cpu_after >= est_cpu(r, h_max));
-      if (target_unsafe) {
-        // Moving it would just shift the hot spot.
-        stuck = true;
-        break;
-      }
-
-      PlanEntry entry;
-      entry.servers = {h_min};
-      entry.mode = ReplicationMode::kNone;
-      entry.version = r.plan.resolve(busiest, *base_ring_).version + 1;
-      char why[80];
-      std::snprintf(why, sizeof why, "busiest %s channel on overloaded server %u",
-                    cpu_bound ? "cpu" : "egress", h_max);
-      apply_entry_change(r, busiest, entry, why);
-      moved_this_round.insert(busiest);
-      ++lb_stats_.channels_migrated;
-    }
-
-    if (stuck) {
-      // Migrations alone cannot relieve the hot spot: rent a server.
-      if (request_spawn_if_possible()) r.rec.spawn_requested = true;
-      return;
-    }
-  }
-}
-
-void DynamothLoadBalancer::low_load_rebalance(Round& r) {
-  const std::vector<ServerId> order = servers_by_load(r, {});
-  if (order.size() <= config_.min_servers) return;
-
-  // Global average estimated load ratio.
-  double avg = 0;
-  for (ServerId s : order) avg += est_lr(r, s);
-  avg /= static_cast<double>(order.size());
-  if (avg >= config_.lr_low) return;
-
-  // Never release a ring member: consistent-hash fallback must keep
-  // resolving to a live server (base servers host "plan 0" traffic).
-  ServerId victim = kInvalidServer;
-  for (ServerId s : order) {
-    if (!base_ring_->contains(s)) {
-      victim = s;
-      break;
-    }
-  }
-  if (victim == kInvalidServer) return;
-  r.rec.triggers.push_back(
-      obs::RebalanceTrigger{"avg LR < lr_low", victim, avg, config_.lr_low});
-
-  // Drain: move every channel off the victim while targets stay safe.
-  // Collect first (apply_entry_change mutates r.rates[victim]).
-  std::vector<std::pair<Channel, double>> load;
-  for (const auto& [channel, rate] : r.rates[victim]) load.emplace_back(channel, rate);
-  std::sort(load.begin(), load.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
-
-  // Also channels mapped to the victim with zero traffic this window.
-  for (const auto& [channel, entry] : r.plan.entries()) {
-    if (entry.owns(victim) && !r.rates[victim].contains(channel)) {
-      load.emplace_back(channel, 0.0);
-    }
-  }
-
-  bool all_moved = true;
-  for (const auto& [channel, rate] : load) {
-    const PlanEntry current = r.plan.resolve(channel, *base_ring_);
-    if (!current.owns(victim)) continue;
-
-    if (current.mode != ReplicationMode::kNone && current.servers.size() > 2) {
-      // Shrink the replica set away from the victim.
-      PlanEntry entry = current;
-      std::erase(entry.servers, victim);
-      entry.version = current.version + 1;
-      char why[64];
-      std::snprintf(why, sizeof why, "shrink replicas off draining server %u", victim);
-      apply_entry_change(r, channel, entry, why);
-      r.kind = RebalanceKind::kLowLoad;
-      continue;
-    }
-
-    const std::vector<ServerId> targets = servers_by_load(r, {victim});
-    if (targets.empty()) {
-      all_moved = false;
-      break;
-    }
-    const ServerId target = targets.front();
-    const double after = (r.est_out[target] + rate) / std::max(r.capacity[target], 1.0);
-    if (after >= config_.lr_safe) {
-      all_moved = false;  // would overload the rest; try again later
-      break;
-    }
-    PlanEntry entry = current;
-    entry.servers = {target};
-    entry.mode = ReplicationMode::kNone;
-    entry.version = current.version + 1;
-    char why[64];
-    std::snprintf(why, sizeof why, "drain underloaded server %u", victim);
-    apply_entry_change(r, channel, entry, why);
-    r.kind = RebalanceKind::kLowLoad;
-    ++lb_stats_.channels_migrated;
-  }
-
-  if (all_moved) {
-    // Nothing maps to the victim in the new plan; release after a drain
-    // period so forwarding and stale clients settle.
-    servers_mut()[victim].retiring = true;
-    releasing_.insert(victim);
-    r.changed = true;
-    r.kind = RebalanceKind::kLowLoad;
-    r.rec.drained_server = victim;
-    const ServerId id = victim;
-    sim_.schedule_after(config_.despawn_drain_delay, [this, id] { release_server(id); });
-  }
+void DynamothLoadBalancer::drain_server(Round& r, ServerId victim) {
+  // Nothing maps to the victim in the new plan; release after a drain
+  // period so forwarding and stale clients settle.
+  servers_mut()[victim].retiring = true;
+  releasing_.insert(victim);
+  r.changed = true;
+  r.rec.drained_server = victim;
+  const ServerId id = victim;
+  sim_.schedule_after(config_.despawn_drain_delay, [this, id] { release_server(id); });
 }
 
 bool DynamothLoadBalancer::request_spawn_if_possible() {
@@ -542,15 +447,18 @@ void DynamothLoadBalancer::handle_server_failure(ServerId server) {
   // Plan entries naming the dead server are repaired by the shared pass...
   repair_dead_entries(r);
   // ...but channels it served via the consistent-hash fallback have no entry
-  // to repair: pin each one to a live server (the ring itself is immutable).
+  // to repair: the active policy picks a live home for each (the default
+  // greedy choice is the least-pressured server, re-ranked per channel as
+  // estimated load shifts; ring-based policies walk their own structure).
+  RoundOpsImpl ops(*this, r);
   for (const auto& [channel, _] : orphans) {
     const PlanEntry current = r.plan.resolve(channel, *base_ring_);
     if (!current.owns(server)) continue;
-    const std::vector<ServerId> order = servers_by_load(r, {});
-    if (order.empty()) break;
+    const ServerId home = policy_->emergency_home(ops, channel);
+    if (home == kInvalidServer) break;
     PlanEntry fixed;
     fixed.mode = ReplicationMode::kNone;
-    fixed.servers = {order.front()};
+    fixed.servers = {home};
     fixed.version = current.version + 1;
     apply_entry_change(r, channel, fixed, "emergency: re-home channel off suspected server");
   }
@@ -575,8 +483,11 @@ void DynamothLoadBalancer::decide() {
 
   repair_dead_entries(r);
   channel_level_rebalance(r);
-  high_load_rebalance(r);
-  if (!forced && !r.overloaded) low_load_rebalance(r);
+  // System-level slot: the configured placement policy relieves overload
+  // (Algorithm 2 under the default greedy policy) and, when allowed, drains
+  // idle servers. Scale-down never runs in a forced (fresh-server) round.
+  RoundOpsImpl ops(*this, r);
+  policy_->system_rebalance(ops, /*scale_down_allowed=*/!forced);
 
   r.rec.forced = forced;
   r.rec.releasing = releasing_.size();

@@ -5,18 +5,22 @@
 //  1. channel-level rebalancing (Algorithm 1): decide per channel whether
 //     all-subscribers / all-publishers replication should be (de)activated
 //     and across how many servers;
-//  2. system-level rebalancing: high-load (Algorithm 2 — migrate busiest
-//     channels off the most loaded server, renting new cloud servers when
-//     nothing else helps) and low-load (drain the least loaded server and
-//     release it).
+//  2. system-level rebalancing, delegated to a pluggable PlacementPolicy
+//     (src/placement). The default GreedyPolicy is the paper's Algorithm 2 —
+//     migrate busiest channels off the most loaded server, rent new cloud
+//     servers when nothing else helps — plus the low-load drain; alternative
+//     policies (bounded-load hashing, Peak-EWMA, Maglev) slot into the same
+//     round, audit log and emergency path.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 
 #include "core/balancer_base.h"
+#include "placement/policy.h"
 
 namespace dynamoth::core {
 
@@ -54,6 +58,10 @@ class DynamothLoadBalancer final : public BalancerBase {
     /// Delay between emptying a server and releasing it (lets forwarding
     /// state and stale clients drain).
     SimTime despawn_drain_delay = seconds(30);
+
+    /// Which placement policy fills the system-level rebalance slot. The
+    /// default (greedy) reproduces the paper bit-for-bit.
+    placement::PolicyConfig placement;
   };
 
   struct Stats {
@@ -74,6 +82,8 @@ class DynamothLoadBalancer final : public BalancerBase {
 
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const Stats& stats() const { return lb_stats_; }
+  /// The active placement policy (for inspection in tests/benches).
+  [[nodiscard]] const placement::PlacementPolicy& policy() const { return *policy_; }
 
  protected:
   void decide() override;
@@ -123,9 +133,6 @@ class DynamothLoadBalancer final : public BalancerBase {
   void repair_dead_entries(Round& r);
   /// Algorithm 1 over all channels; may flip replication modes.
   void channel_level_rebalance(Round& r);
-  /// Algorithm 2; may request cloud spawns.
-  void high_load_rebalance(Round& r);
-  void low_load_rebalance(Round& r);
 
   /// Moves all of `channel`'s estimated load to the entry's new placement
   /// and records the move (with `reason`) in the round's audit record.
@@ -138,8 +145,17 @@ class DynamothLoadBalancer final : public BalancerBase {
   /// Returns true when a spawn was actually requested.
   bool request_spawn_if_possible();
   void release_server(ServerId server);
+  /// Retires `victim` (already emptied by the policy) and schedules its
+  /// release after the drain delay.
+  void drain_server(Round& r, ServerId victim);
+
+  /// Adapter giving the placement policy a mutable view of one Round.
+  class RoundOpsImpl;
 
   Config config_;
+  placement::Limits limits_;
+  std::unique_ptr<placement::PlacementPolicy> policy_;
+  std::string policy_desc_;  // "greedy" / "bounded-load(eps=0.25,...)"
   Stats lb_stats_;
   bool spawn_pending_ = false;
   bool force_decide_ = false;  // bypass t_wait once (fresh server arrived)

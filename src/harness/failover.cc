@@ -41,7 +41,10 @@ FailoverResult run_failover(const FailoverConfig& config) {
   // the failover figures study crash recovery, not replication.
   lb_config.enable_replication = false;
   lb_config.max_servers = config.servers;
+  lb_config.placement = config.placement;
   auto& lb = cluster.use_dynamoth(lb_config);
+
+  FailoverResult result;  // declared before clients: handlers record into it
 
   // ---- clients ----
   std::vector<Channel> channels;
@@ -77,9 +80,10 @@ FailoverResult run_failover(const FailoverConfig& config) {
     }
     SubscriberState* raw = sub.get();
     for (const Channel& c : channels) {
-      auto handler = [raw, c](const ps::EnvelopePtr& env) {
+      auto handler = [raw, c, &sim, &result](const ps::EnvelopePtr& env) {
         ++raw->handled;
         raw->seen[c].insert(env->channel_seq);
+        result.delivery_us.record(sim.now() - env->publish_time);
       };
       if (sub->reliable) {
         sub->reliable->subscribe(c, handler);
@@ -120,7 +124,6 @@ FailoverResult run_failover(const FailoverConfig& config) {
   });
 
   // ---- metrics ----
-  FailoverResult result;
   obs::MetricsRegistry& reg = result.metrics;
   auto published_c = reg.counter("published");
   auto delivered_c = reg.counter("delivered");

@@ -19,6 +19,8 @@
 #include "core/client.h"
 #include "core/load_balancer.h"
 #include "fault/injector.h"
+#include "metrics/histogram.h"
+#include "placement/policy.h"
 #include "fault/schedule.h"
 #include "harness/cluster.h"
 #include "obs/metrics_registry.h"
@@ -57,11 +59,19 @@ struct FailoverConfig {
   bool phi_accrual = false;
   SimTime t_wait = seconds(15);
 
+  /// Placement policy for the system-level rebalance slot (and the
+  /// emergency re-home path the crash schedule exercises).
+  placement::PolicyConfig placement;
+
   ClusterConfig cluster;  // seed/initial_servers overwritten
 };
 
 struct FailoverResult {
   obs::MetricsRegistry metrics;  // one row per window (delivered, faults, ...)
+
+  /// Publish-to-deliver latency (us) of every handler invocation, across all
+  /// subscribers — the tail shows how long re-homed channels stalled.
+  metrics::Histogram delivery_us;
 
   std::uint64_t published = 0;
   std::uint64_t expected = 0;           // published x subscribers

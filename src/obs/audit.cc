@@ -31,6 +31,7 @@ void write_timeline_entry(std::ostream& os, const RebalanceRecord& record) {
                   to_seconds(record.time), record.kind.c_str(), record.active_servers);
   }
   os << head;
+  if (!record.policy.empty()) os << "  policy:" << record.policy;
   if (record.forced) os << "  forced(T_wait bypassed)";
   if (record.spawn_requested) os << "  spawn-requested";
   if (record.releasing > 0) os << "  releasing:" << record.releasing;

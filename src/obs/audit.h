@@ -44,6 +44,9 @@ struct RebalanceRecord {
   SimTime time = 0;
   std::uint64_t plan_id = 0;  // 0: no plan emitted (e.g. spawn-only round)
   std::string kind;           // RebalanceKind, to_string'd
+  /// Active placement policy with its tunables, e.g. "greedy" or
+  /// "bounded-load(eps=0.25,vnodes=64)". Empty for balancers without one.
+  std::string policy;
   std::size_t active_servers = 0;
 
   // Hysteresis state at decision time.

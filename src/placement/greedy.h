@@ -1,0 +1,30 @@
+// The paper's system-level rebalancing (Algorithm 2 plus the low-load
+// scale-down), extracted verbatim from core/load_balancer so it runs behind
+// the PlacementPolicy interface. This is the default policy and MUST stay
+// bit-identical with the pre-extraction balancer on every figure/ablation
+// artifact: same iteration order (name-ordered maps), same floating-point
+// operations, same tie breaks.
+#pragma once
+
+#include "placement/policy.h"
+
+namespace dynamoth::placement {
+
+class GreedyPolicy final : public PlacementPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "greedy"; }
+
+  void system_rebalance(RoundOps& ops, bool scale_down_allowed) override;
+
+ private:
+  /// Algorithm 2: migrate the busiest channels off the most pressured server
+  /// until it drops below lr_safe; rent a server when migrations are stuck.
+  void high_load(RoundOps& ops);
+  /// Scale-down: when the fleet-average LR falls below lr_low, drain the
+  /// least-loaded non-ring server and release it.
+  void low_load(RoundOps& ops);
+
+  bool overloaded_ = false;  // some server crossed lr_high this round
+};
+
+}  // namespace dynamoth::placement

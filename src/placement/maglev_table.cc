@@ -1,0 +1,68 @@
+#include "placement/maglev_table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace dynamoth::placement {
+namespace {
+
+bool is_prime(std::uint32_t n) {
+  if (n < 2) return false;
+  for (std::uint32_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MaglevTable::MaglevTable(std::uint32_t table_size) : table_size_(table_size) {
+  // The permutation (offset + j*skip mod M) only visits every slot when M is
+  // prime (skip in [1, M-1] is then coprime with M).
+  DYN_CHECK(is_prime(table_size_));
+}
+
+void MaglevTable::build(const std::vector<ServerId>& servers) {
+  servers_.assign(servers.begin(), servers.end());
+  std::sort(servers_.begin(), servers_.end());
+  servers_.erase(std::unique(servers_.begin(), servers_.end()), servers_.end());
+  table_.clear();
+  if (servers_.empty()) return;
+
+  const std::size_t n = servers_.size();
+  // Per-backend permutation parameters (Maglev section 3.4): two independent
+  // hashes of the backend's identity.
+  std::vector<std::uint32_t> offset(n);
+  std::vector<std::uint32_t> skip(n);
+  std::vector<std::uint32_t> next(n, 0);  // how far along its permutation each backend is
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t h = mix64(servers_[i]);
+    offset[i] = static_cast<std::uint32_t>(h % table_size_);
+    skip[i] = static_cast<std::uint32_t>(mix64(h) % (table_size_ - 1)) + 1;
+  }
+
+  table_.assign(table_size_, kInvalidServer);
+  std::uint32_t filled = 0;
+  while (filled < table_size_) {
+    for (std::size_t i = 0; i < n && filled < table_size_; ++i) {
+      // Claim this backend's next unclaimed slot.
+      std::uint32_t slot;
+      do {
+        slot = static_cast<std::uint32_t>(
+            (offset[i] + static_cast<std::uint64_t>(next[i]) * skip[i]) % table_size_);
+        ++next[i];
+      } while (table_[slot] != kInvalidServer);
+      table_[slot] = servers_[i];
+      ++filled;
+    }
+  }
+}
+
+ServerId MaglevTable::lookup(const Channel& channel) const {
+  DYN_CHECK(!table_.empty());
+  return table_[mix64(fnv1a64(channel)) % table_size_];
+}
+
+}  // namespace dynamoth::placement

@@ -1,0 +1,41 @@
+// Maglev consistent hashing (Eisenbud et al., NSDI 2016, section 3.4).
+//
+// Each backend fills a fixed-size prime lookup table by walking its own
+// pseudo-random permutation of the slots; backends take turns claiming their
+// next unclaimed slot. Lookup is one hash + one array index. The permutation
+// construction makes disruption near-minimal: removing a backend reassigns
+// (almost) only the slots it owned, and the table stays evenly split.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dynamoth::placement {
+
+class MaglevTable {
+ public:
+  /// `table_size` must be prime (asserted) and should be much larger than the
+  /// maximum backend count for an even split.
+  explicit MaglevTable(std::uint32_t table_size = 2039);
+
+  /// Rebuilds the table over `servers` (deduplicated, order-insensitive).
+  /// An empty set clears the table.
+  void build(const std::vector<ServerId>& servers);
+
+  /// Owner slot for `channel`. Aborts if the table is empty.
+  [[nodiscard]] ServerId lookup(const Channel& channel) const;
+
+  [[nodiscard]] bool empty() const { return servers_.empty(); }
+  [[nodiscard]] std::uint32_t table_size() const { return table_size_; }
+  [[nodiscard]] const std::vector<ServerId>& servers() const { return servers_; }
+  [[nodiscard]] const std::vector<ServerId>& entries() const { return table_; }
+
+ private:
+  std::uint32_t table_size_;
+  std::vector<ServerId> table_;    // slot -> server; empty when no backends
+  std::vector<ServerId> servers_;  // sorted members of the current build
+};
+
+}  // namespace dynamoth::placement

@@ -1,0 +1,232 @@
+#include "placement/peak_ewma.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace dynamoth::placement {
+
+PeakEwmaPolicy::PeakEwmaPolicy(const PolicyConfig& config) : decay_s_(config.ewma_decay_s) {}
+
+std::string PeakEwmaPolicy::params() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "decay=%.0fs", decay_s_);
+  return buf;
+}
+
+double PeakEwmaPolicy::score(ServerId server) const {
+  const auto it = peaks_.find(server);
+  return it == peaks_.end() ? 0.0 : it->second.value;
+}
+
+void PeakEwmaPolicy::observe(RoundOps& ops) {
+  const SimTime now = ops.now();
+  // Drop servers no longer on the roster.
+  for (auto it = peaks_.begin(); it != peaks_.end();) {
+    it = ops.capacity().contains(it->first) ? std::next(it) : peaks_.erase(it);
+  }
+  for (const auto& [s, _] : ops.capacity()) {
+    Peak& p = peaks_[s];
+    const double dt = to_seconds(now - p.seen);
+    const double decayed = p.value * std::exp(-std::max(dt, 0.0) / decay_s_);
+    // Peak bias: jump to any new maximum, decay between spikes.
+    p.value = std::max(ops.est_lr(s), decayed);
+    p.seen = now;
+  }
+}
+
+void PeakEwmaPolicy::system_rebalance(RoundOps& ops, bool scale_down_allowed) {
+  const Limits& limits = ops.limits();
+  observe(ops);
+
+  // ---- relieve overload: busiest channels off the hottest-by-peak server ----
+  bool overloaded = false;
+  std::set<Channel> moved_this_round;
+  int outer_guard = static_cast<int>(ops.roster_size()) + 2;
+  while (outer_guard-- > 0) {
+    // Trigger on instantaneous pressure (same threshold as greedy), but rank
+    // the source by decayed peak so a flapping server is drained decisively.
+    ServerId hot = kInvalidServer;
+    double best = -1;
+    for (const auto& [s, _] : ops.capacity()) {
+      if (ops.pressure(s) < 1.0) continue;
+      const double sc = score(s);
+      if (sc > best) {
+        hot = s;
+        best = sc;
+      }
+    }
+    if (hot == kInvalidServer) break;
+    overloaded = true;
+    ops.mark_overloaded();
+    ops.set_kind(core::RebalanceKind::kHighLoad);
+    ops.add_trigger("LR >= lr_high (peak-ranked)", hot, ops.est_lr(hot), limits.lr_high);
+
+    bool stuck = false;
+    while (ops.est_lr(hot) >= limits.lr_safe) {
+      // Busiest single-owner channel on the hot server.
+      Channel busiest;
+      double busiest_rate = 0;
+      for (const auto& [channel, rate] : ops.rates(hot)) {
+        if (moved_this_round.contains(channel)) continue;
+        const core::PlanEntry entry = ops.plan().resolve(channel, ops.base_ring());
+        if (entry.mode != core::ReplicationMode::kNone) continue;
+        if (rate > busiest_rate) {
+          busiest = channel;
+          busiest_rate = rate;
+        }
+      }
+      if (busiest.empty()) {
+        stuck = true;
+        break;
+      }
+
+      // Coldest eligible target by decayed-peak score (id breaks ties).
+      const std::vector<ServerId> order = ops.servers_by_load({hot});
+      ServerId target = kInvalidServer;
+      double coldest = 0;
+      for (ServerId s : order) {
+        const double sc = score(s);
+        if (target == kInvalidServer || sc < coldest) {
+          target = s;
+          coldest = sc;
+        }
+      }
+      if (target == kInvalidServer) {
+        stuck = true;
+        break;
+      }
+      const double after = (ops.est_out().at(target) + busiest_rate) /
+                           std::max(ops.capacity().at(target), 1.0);
+      if (after >= limits.lr_safe &&
+          ops.est_out().at(target) + busiest_rate >= ops.est_out().at(hot)) {
+        stuck = true;  // would just shift the hot spot
+        break;
+      }
+
+      core::PlanEntry entry;
+      entry.servers = {target};
+      entry.mode = core::ReplicationMode::kNone;
+      entry.version = ops.plan().resolve(busiest, ops.base_ring()).version + 1;
+      char why[96];
+      std::snprintf(why, sizeof why,
+                    "peak-ewma: busiest channel on hot server %u -> coldest peak %.2f", hot,
+                    coldest);
+      ops.apply(busiest, entry, why);
+      moved_this_round.insert(busiest);
+      ops.note_migration();
+      // Keep the target's peak honest: it just absorbed load.
+      peaks_[target].value = std::max(peaks_[target].value, ops.est_lr(target));
+    }
+    if (stuck) {
+      ops.request_spawn();
+      return;
+    }
+  }
+
+  // ---- scale-down: paper gate, victim = coldest-by-peak non-ring server ----
+  if (!scale_down_allowed || overloaded) return;
+  const std::vector<ServerId> order = ops.servers_by_load({});
+  if (order.size() <= limits.min_servers) return;
+  double avg = 0;
+  for (ServerId s : order) avg += ops.est_lr(s);
+  avg /= static_cast<double>(order.size());
+  if (avg >= limits.lr_low) return;
+
+  ServerId victim = kInvalidServer;
+  double victim_score = 0;
+  for (ServerId s : order) {
+    if (ops.base_ring().contains(s)) continue;
+    const double sc = score(s);
+    if (victim == kInvalidServer || sc < victim_score) {
+      victim = s;
+      victim_score = sc;
+    }
+  }
+  if (victim == kInvalidServer) return;
+  ops.add_trigger("avg LR < lr_low", victim, avg, limits.lr_low);
+
+  // Drain exactly like greedy, but targets are coldest-by-peak.
+  std::vector<std::pair<Channel, double>> load;
+  for (const auto& [channel, rate] : ops.rates(victim)) load.emplace_back(channel, rate);
+  std::sort(load.begin(), load.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [channel, entry] : ops.plan().entries()) {
+    if (entry.owns(victim) && !ops.rates(victim).contains(channel)) {
+      load.emplace_back(channel, 0.0);
+    }
+  }
+
+  bool all_moved = true;
+  for (const auto& [channel, rate] : load) {
+    const core::PlanEntry current = ops.plan().resolve(channel, ops.base_ring());
+    if (!current.owns(victim)) continue;
+
+    if (current.mode != core::ReplicationMode::kNone && current.servers.size() > 2) {
+      core::PlanEntry entry = current;
+      std::erase(entry.servers, victim);
+      entry.version = current.version + 1;
+      char why[64];
+      std::snprintf(why, sizeof why, "shrink replicas off draining server %u", victim);
+      ops.apply(channel, entry, why);
+      ops.set_kind(core::RebalanceKind::kLowLoad);
+      continue;
+    }
+
+    const std::vector<ServerId> targets = ops.servers_by_load({victim});
+    ServerId target = kInvalidServer;
+    double coldest = 0;
+    for (ServerId s : targets) {
+      const double sc = score(s);
+      if (target == kInvalidServer || sc < coldest) {
+        target = s;
+        coldest = sc;
+      }
+    }
+    if (target == kInvalidServer) {
+      all_moved = false;
+      break;
+    }
+    const double after =
+        (ops.est_out().at(target) + rate) / std::max(ops.capacity().at(target), 1.0);
+    if (after >= limits.lr_safe) {
+      all_moved = false;
+      break;
+    }
+    core::PlanEntry entry = current;
+    entry.servers = {target};
+    entry.mode = core::ReplicationMode::kNone;
+    entry.version = current.version + 1;
+    char why[64];
+    std::snprintf(why, sizeof why, "drain underloaded server %u", victim);
+    ops.apply(channel, entry, why);
+    ops.set_kind(core::RebalanceKind::kLowLoad);
+    ops.note_migration();
+  }
+
+  if (all_moved) {
+    ops.set_kind(core::RebalanceKind::kLowLoad);
+    ops.begin_drain(victim);
+  }
+}
+
+ServerId PeakEwmaPolicy::emergency_home(RoundOps& ops, const Channel& channel) {
+  (void)channel;
+  // Coldest live server by decayed peak; falls back to least pressured.
+  const std::vector<ServerId> order = ops.servers_by_load({});
+  ServerId best = kInvalidServer;
+  double coldest = 0;
+  for (ServerId s : order) {
+    const double sc = score(s);
+    if (best == kInvalidServer || sc < coldest) {
+      best = s;
+      coldest = sc;
+    }
+  }
+  return best;
+}
+
+}  // namespace dynamoth::placement

@@ -1,0 +1,46 @@
+// Peak-EWMA least-loaded channel homing.
+//
+// Borrowed from Finagle/Envoy load balancing: each server carries a *decayed
+// peak* of its observed load ratio — the signal jumps to any new maximum
+// instantly and decays exponentially (time constant tau) afterwards. Homing
+// decisions use this signal instead of the instantaneous LLA sample, so a
+// server that just ran hot keeps repelling channels for a few windows even if
+// it looks momentarily idle; targets are chosen coldest-first by peak score.
+// Migration structure otherwise mirrors the paper's Algorithm 2 (busiest
+// channel off the hottest server, spawn when stuck).
+#pragma once
+
+#include <map>
+
+#include "placement/policy.h"
+
+namespace dynamoth::placement {
+
+class PeakEwmaPolicy final : public PlacementPolicy {
+ public:
+  explicit PeakEwmaPolicy(const PolicyConfig& config);
+
+  [[nodiscard]] const char* name() const override { return "peak-ewma"; }
+  [[nodiscard]] std::string params() const override;
+
+  void system_rebalance(RoundOps& ops, bool scale_down_allowed) override;
+  [[nodiscard]] ServerId emergency_home(RoundOps& ops, const Channel& channel) override;
+
+  /// Current decayed-peak score for `server` (0 when never observed).
+  [[nodiscard]] double score(ServerId server) const;
+
+ private:
+  struct Peak {
+    double value = 0;  // decayed peak of est_lr
+    SimTime seen = 0;  // when the peak was last updated
+  };
+
+  /// Decay all tracked peaks to `now`, fold in this round's samples, and
+  /// drop servers that left the roster.
+  void observe(RoundOps& ops);
+
+  double decay_s_;
+  std::map<ServerId, Peak> peaks_;
+};
+
+}  // namespace dynamoth::placement

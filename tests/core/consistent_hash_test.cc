@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 namespace dynamoth::core {
 namespace {
@@ -110,6 +112,61 @@ TEST(ConsistentHashRing, RemoveUnknownIsNoop) {
   ring.add_server(1);
   ring.remove_server(99);
   EXPECT_EQ(ring.server_count(), 1u);
+}
+
+TEST(ConsistentHashRingDeathTest, LookupOnEmptyRingAborts) {
+  ConsistentHashRing ring;
+  EXPECT_DEATH((void)ring.lookup("c"), "");
+  ring.add_server(1);
+  ring.remove_server(1);  // back to empty via removal, not just construction
+  EXPECT_DEATH((void)ring.successors("c"), "");
+}
+
+TEST(ConsistentHashRing, SingleServerSurvivesChurnAroundIt) {
+  ConsistentHashRing ring(32);
+  ring.add_server(5);
+  ring.add_server(9);
+  ring.remove_server(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ring.lookup("c" + std::to_string(i)), 5u);
+    EXPECT_EQ(ring.successors("c" + std::to_string(i)),
+              std::vector<ServerId>{5u});
+  }
+}
+
+TEST(ConsistentHashRing, RemovalRemapFractionIsAboutOneOverN) {
+  // With N=5 equal servers, removing one should remap ~1/N of the keys —
+  // the defining economy of consistent hashing. Allow generous slack for
+  // virtual-node variance.
+  ConsistentHashRing ring(128);
+  for (ServerId s = 0; s < 5; ++s) ring.add_server(s);
+  const int keys = 10'000;
+  std::map<Channel, ServerId> before;
+  for (int i = 0; i < keys; ++i) {
+    const Channel c = "k" + std::to_string(i);
+    before[c] = ring.lookup(c);
+  }
+  ring.remove_server(3);
+  int moved = 0;
+  for (const auto& [c, old] : before) {
+    if (ring.lookup(c) != old) ++moved;
+  }
+  const double fraction = static_cast<double>(moved) / keys;
+  EXPECT_GT(fraction, 0.5 / 5);  // at least half the fair share moved
+  EXPECT_LT(fraction, 2.0 / 5);  // nowhere near a full reshuffle
+}
+
+TEST(ConsistentHashRing, SuccessorsStartWithOwnerAndCoverAllServers) {
+  ConsistentHashRing ring(64);
+  for (ServerId s = 0; s < 4; ++s) ring.add_server(s);
+  for (int i = 0; i < 200; ++i) {
+    const Channel c = "c" + std::to_string(i);
+    const std::vector<ServerId> chain = ring.successors(c);
+    ASSERT_EQ(chain.size(), 4u) << c;
+    EXPECT_EQ(chain.front(), ring.lookup(c)) << c;
+    std::set<ServerId> distinct(chain.begin(), chain.end());
+    EXPECT_EQ(distinct.size(), 4u) << c;  // every server, no repeats
+  }
 }
 
 }  // namespace

@@ -27,6 +27,7 @@
 #include "net/network.h"
 #include "pubsub/envelope.h"
 #include "pubsub/remote_connection.h"
+#include "placement/policy.h"
 #include "pubsub/server.h"
 #include "sim/simulator.h"
 
@@ -329,6 +330,74 @@ TEST(AllocGuard, EndToEndClientPublishDeliverIsAllocationFree) {
   EXPECT_EQ(allocs, 0u) << "end-to-end steady-state path allocated " << allocs
                         << " times over " << 2 * kBatch << " messages";
   EXPECT_EQ(got - delivered_before, 2u * kBatch * 8);
+}
+
+// Same steady-state contract as EndToEndClientPublishDeliver, but with the
+// full Dynamoth balancer attached and a non-default placement policy driving
+// it. Policies run at LLA-report/decide time (which may allocate: rounds,
+// plans, audit records) — the per-message path in between must not. The
+// measured batches sit 200ms past the window boundary so the periodic
+// report -> decide -> plan-push machinery never fires on the clock.
+void expect_policy_steady_state_alloc_free(placement::PolicyKind kind) {
+  harness::ClusterConfig cluster_config;
+  cluster_config.seed = 13;
+  cluster_config.initial_servers = 2;
+  cluster_config.fixed_latency = true;
+  cluster_config.fixed_latency_value = millis(5);
+  cluster_config.server_capacity = 1e12;
+  cluster_config.server_nic_headroom = 1.0;
+  cluster_config.client_egress = 1e12;
+  cluster_config.pubsub.conn_drain_bytes_per_sec = 1e12;
+  cluster_config.pubsub.infra_drain_bytes_per_sec = 1e12;
+  cluster_config.pubsub.conn_output_buffer_limit = std::size_t{1} << 40;
+  cluster_config.pubsub.max_egress_backlog = seconds(1e6);
+  cluster_config.pubsub.cpu_publish_cost_us = 0;
+  cluster_config.pubsub.cpu_delivery_cost_us = 0;
+  cluster_config.pubsub.cpu_command_cost_us = 0;
+  harness::Cluster cluster(cluster_config);
+  sim::Simulator& sim = cluster.sim();
+
+  core::DynamothLoadBalancer::Config lb_config;
+  lb_config.placement.kind = kind;
+  cluster.use_dynamoth(lb_config);
+
+  std::uint64_t got = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    cluster.add_client().subscribe("arena", [&got](const ps::EnvelopePtr&) { ++got; });
+  }
+  core::DynamothClient& pub = cluster.add_client();
+  sim.run_for(seconds(2));  // settle subscriptions, first LLA windows + rounds
+
+  constexpr int kBatch = 64;
+  auto publish_batch = [&] {
+    for (int i = 0; i < kBatch; ++i) pub.publish("arena", 128);
+    sim.run_for(millis(50));
+  };
+
+  for (int i = 0; i < 3; ++i) publish_batch();
+  sim.run_for(seconds(1));      // realign to a window boundary
+  sim.run_for(millis(200));     // skip the report->decide->plan-push burst
+  const std::uint64_t delivered_before = got;
+
+  const std::uint64_t allocs_before = g_new_calls;
+  for (int i = 0; i < 2; ++i) publish_batch();
+  const std::uint64_t allocs = g_new_calls - allocs_before;
+
+  EXPECT_EQ(allocs, 0u) << placement::to_string(kind) << ": steady-state path allocated "
+                        << allocs << " times over " << 2 * kBatch << " messages";
+  EXPECT_EQ(got - delivered_before, 2u * kBatch * 8);
+}
+
+TEST(AllocGuard, SteadyStateWithBoundedLoadPolicyIsAllocationFree) {
+  expect_policy_steady_state_alloc_free(placement::PolicyKind::kBoundedLoad);
+}
+
+TEST(AllocGuard, SteadyStateWithPeakEwmaPolicyIsAllocationFree) {
+  expect_policy_steady_state_alloc_free(placement::PolicyKind::kPeakEwma);
+}
+
+TEST(AllocGuard, SteadyStateWithMaglevPolicyIsAllocationFree) {
+  expect_policy_steady_state_alloc_free(placement::PolicyKind::kMaglev);
 }
 
 TEST(AllocGuard, LruSetDedupInsertsAreAllocationFreeAfterConstruction) {

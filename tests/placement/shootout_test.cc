@@ -1,0 +1,58 @@
+// The ISSUE-7 acceptance shoot-out: on the Figure-7 elasticity workload,
+// consistent hashing with bounded loads must deliver strictly lower plan
+// churn (channel moves across published plans) than the paper's greedy
+// Algorithm 2, at equal-or-better p99 latency. Sticky hash-derived
+// placements are the whole point of the bounded-load policy; this pins the
+// claim to a reproducible experiment instead of the bench's eyeball table.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "mammoth/experiments.h"
+#include "placement/policy.h"
+
+namespace dynamoth::mammoth::exp {
+namespace {
+
+std::uint64_t count_moves(const obs::RebalanceAuditLog& audit) {
+  std::uint64_t n = 0;
+  for (const auto& rec : audit.records()) n += rec.moves.size();
+  return n;
+}
+
+// The fig_placement --smoke Figure-7 cycle: ramp to 400, drop to 100, climb
+// back — elasticity stresses both spill (ramp) and scale-down (drop).
+GameExperimentConfig fig7_smoke() {
+  GameExperimentConfig config = default_game_experiment();
+  config.seed = 99;
+  config.schedule = {{seconds(0), 50},  {seconds(40), 400},  {seconds(60), 400},
+                     {seconds(70), 100}, {seconds(100), 100}, {seconds(130), 300}};
+  config.duration = seconds(140);
+  config.sample_interval = seconds(10);
+  return config;
+}
+
+TEST(PlacementShootout, BoundedLoadChurnsLessThanGreedyAtEqualOrBetterP99) {
+  GameExperimentConfig greedy_config = fig7_smoke();
+  greedy_config.dynamoth.placement.kind = placement::PolicyKind::kGreedy;
+  const GameExperimentResult greedy = run_game_experiment(greedy_config);
+
+  GameExperimentConfig bounded_config = fig7_smoke();
+  bounded_config.dynamoth.placement.kind = placement::PolicyKind::kBoundedLoad;
+  const GameExperimentResult bounded = run_game_experiment(bounded_config);
+
+  const std::uint64_t greedy_moves = count_moves(greedy.audit);
+  const std::uint64_t bounded_moves = count_moves(bounded.audit);
+  ASSERT_GT(greedy_moves, 0u);  // the workload must actually force rebalances
+
+  EXPECT_LT(bounded_moves, greedy_moves)
+      << "bounded-load churned " << bounded_moves << " moves vs greedy " << greedy_moves;
+  ASSERT_GT(greedy.rtt_us.count(), 0u);
+  ASSERT_GT(bounded.rtt_us.count(), 0u);
+  EXPECT_LE(bounded.rtt_us.percentile(99), greedy.rtt_us.percentile(99))
+      << "bounded-load p99 " << bounded.rtt_us.percentile(99) << "us vs greedy "
+      << greedy.rtt_us.percentile(99) << "us";
+}
+
+}  // namespace
+}  // namespace dynamoth::mammoth::exp
