@@ -12,6 +12,8 @@
 // spikes at rebalances; consistent hashing overloads early because servers
 // shed 1/N of their channels regardless of load.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "mammoth/experiments.h"
@@ -49,11 +51,26 @@ void print_run(const char* name, const GameExperimentResult& result) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --users N: replay the same experiment with N attempted players instead
+  // of the paper's 1200 — cohort mode + resource rescaling keep the figure's
+  // shape (see mammoth::exp::scale_population). Default is the paper setup,
+  // bit-identical to runs before the knob existed.
+  std::size_t users = 1200;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--users") == 0 && i + 1 < argc) {
+      users = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    }
+  }
+  const double scale = static_cast<double>(users) / 1200.0;
+
   std::printf("== Figure 5: client scalability — Dynamoth vs consistent hashing ==\n");
-  std::printf("   player ramp 120 -> 1200 @ 3 updates/s, up to 8 pub/sub servers\n");
+  std::printf("   player ramp %zu -> %zu @ 3 updates/s, up to 8 pub/sub servers%s\n",
+              static_cast<std::size_t>(120 * scale + 0.5), users,
+              scale != 1.0 ? " [cohort mode]" : "");
 
   GameExperimentConfig dynamoth_config = base_config();
+  scale_population(dynamoth_config, scale);
   dynamoth_config.balancer = BalancerKind::kDynamoth;
   const GameExperimentResult dyn = run_game_experiment(dynamoth_config);
   print_run("Dynamoth (Fig 5a/5b/5c series)", dyn);
@@ -64,6 +81,7 @@ int main() {
   dyn.audit.write_timeline(std::cout);
 
   GameExperimentConfig hash_config = base_config();
+  scale_population(hash_config, scale);
   hash_config.balancer = BalancerKind::kConsistentHashing;
   const GameExperimentResult hash = run_game_experiment(hash_config);
   print_run("Consistent hashing (Fig 5a/5b/5c series)", hash);

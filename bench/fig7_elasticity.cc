@@ -10,6 +10,8 @@
 // because scale-down has lower priority; scale-down itself causes no
 // latency spikes.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 
@@ -17,12 +19,26 @@
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dynamoth;
   namespace exp = mammoth::exp;
 
+  // --users N: replay at N peak players instead of the paper's 800 — cohort
+  // mode + resource rescaling keep the elasticity shape (see
+  // mammoth::exp::scale_population). Default is bit-identical to before.
+  std::size_t users = 800;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--users") == 0 && i + 1 < argc) {
+      users = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    }
+  }
+  const double scale = static_cast<double>(users) / 800.0;
+
   std::printf("== Figure 7: handling a varying number of players ==\n");
-  std::printf("   ramp to 800, drop to 200, climb back to ~600\n\n");
+  std::printf("   ramp to %zu, drop to %zu, climb back to ~%zu%s\n\n", users,
+              static_cast<std::size_t>(200 * scale + 0.5),
+              static_cast<std::size_t>(580 * scale + 0.5),
+              scale != 1.0 ? " [cohort mode]" : "");
 
   // Flight recorder on for the whole run: control-plane events (plans,
   // switches, LLA reports, spawns) land in fig7_trace.json; with
@@ -38,6 +54,7 @@ int main() {
   config.duration = seconds(630);
   config.sample_interval = seconds(10);
   config.record_metrics_windows = true;
+  exp::scale_population(config, scale);
 
   const exp::GameExperimentResult result = run_game_experiment(config);
 

@@ -1,0 +1,124 @@
+// fig_scale — cohort-mode population sweep: 10^3 .. 10^6 modeled users on
+// one machine.
+//
+// This is the scalability figure for the COHORT SUBSYSTEM itself, not a
+// paper figure: it replays the Fig-5-style ramp (10% of the target at t=0,
+// linear climb to 100%) at increasing modeled populations and reports what
+// it costs to simulate them — wall-clock per simulated second, peak RSS,
+// and the exact per-member delivery-latency p99 the cohorts reconstruct.
+// Individual clients cap out around 10^4 users; cohorts hold one client per
+// occupied tile regardless of population, so the event count grows with
+// aggregate channel traffic (O(tiles + publications)), not with members.
+//
+// scale_population() rescales the resource model with the population (see
+// DESIGN.md section 13), so every sweep point drives the same load-ratio
+// trajectory and the balancer behaves comparably at every size.
+//
+// Usage: fig_scale [--smoke] [--full] [--users N]
+//   --smoke   10^3 and 10^4 only, shortened ramp (CI)
+//   --full    run the 10^6 point at the full 480 s ramp too
+//   --users N single sweep point at N modeled users
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "mammoth/experiments.h"
+#include "metrics/series.h"
+
+namespace {
+
+using namespace dynamoth;
+namespace exp = mammoth::exp;
+
+/// Peak resident set size in MiB (ru_maxrss is KiB on Linux).
+double peak_rss_mib() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+struct SweepPoint {
+  std::size_t users = 0;
+  SimTime duration = seconds(480);
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool full = false;
+  std::size_t single_users = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+    if (std::strcmp(argv[i], "--users") == 0 && i + 1 < argc) {
+      single_users = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    }
+  }
+
+  // Longer ramps at small N keep the balancer exercised; 10^5 and 10^6 get
+  // shorter ramps so the sweep stays a one-machine run (--full restores the
+  // full ramp at 10^6).
+  std::vector<SweepPoint> sweep;
+  if (single_users > 0) {
+    sweep.push_back({single_users, seconds(single_users >= 100'000 ? 120 : 480)});
+  } else if (smoke) {
+    sweep = {{1'000, seconds(120)}, {10'000, seconds(120)}};
+  } else {
+    sweep = {{1'000, seconds(480)},
+             {10'000, seconds(480)},
+             {100'000, seconds(240)},
+             {1'000'000, full ? seconds(480) : seconds(120)}};
+  }
+
+  std::printf("== fig_scale: cohort-mode population sweep ==\n");
+  std::printf("   Fig-5-style ramp (10%% -> 100%% of target) at each size\n\n");
+
+  metrics::Series series{std::vector<std::string>{
+      "users", "sim_s", "wall_s", "wall_ms_per_sim_s", "rss_mib", "events", "publications",
+      "member_deliveries", "rt_p99_ms", "delivery_p99_ms", "peak_servers"}};
+
+  for (const SweepPoint& point : sweep) {
+    exp::GameExperimentConfig config = exp::default_game_experiment();
+    config.seed = 77;
+    config.balancer = exp::BalancerKind::kDynamoth;
+    const SimTime ramp_start = point.duration / 8;
+    config.schedule = {{seconds(0), 120},
+                       {ramp_start, 120},
+                       {point.duration - point.duration / 8, 1200}};
+    config.duration = point.duration;
+    config.sample_interval = seconds(10);
+    exp::scale_population(config, static_cast<double>(point.users) / 1200.0);
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    const exp::GameExperimentResult result = run_game_experiment(config);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+    const double sim_s = to_seconds(config.duration);
+    const double rt_p99_ms = static_cast<double>(result.rtt_us.percentile(99)) / 1000.0;
+    const double dl_p99_ms =
+        static_cast<double>(result.delivery_latency_us.percentile(99)) / 1000.0;
+    const double rss = peak_rss_mib();
+    series.add_row({static_cast<double>(point.users), sim_s, wall_s,
+                    1000.0 * wall_s / sim_s, rss, static_cast<double>(result.executed_events),
+                    static_cast<double>(result.total_updates),
+                    static_cast<double>(result.delivery_latency_us.count()), rt_p99_ms,
+                    dl_p99_ms, result.peak_servers});
+
+    std::printf(
+        "users %8zu | sim %4.0f s in %7.2f s wall (%7.1f ms/sim-s) | rss %7.1f MiB | "
+        "%llu events | rt p99 %6.1f ms | delivery p99 %6.1f ms | peak servers %.0f\n",
+        point.users, sim_s, wall_s, 1000.0 * wall_s / sim_s, rss,
+        static_cast<unsigned long long>(result.executed_events), rt_p99_ms, dl_p99_ms,
+        result.peak_servers);
+  }
+
+  series.save_csv("fig_scale.csv");
+  std::printf("\n(series saved to fig_scale.csv)\n");
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "core/consistent_hash.h"
 #include "core/plan.h"
 #include "latency/latency_model.h"
+#include "mammoth/experiments.h"
 #include "metrics/histogram.h"
 #include "net/network.h"
 #include "pubsub/server.h"
@@ -490,6 +491,90 @@ void BM_MessagePathE2E(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kBatch);
 }
 BENCHMARK(BM_MessagePathE2E)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_ScaleWeightedFanout(benchmark::State& state) {
+  // A cohort subscriber of weight N: one weighted wire delivery stands in
+  // for N member deliveries. Per-publish work is O(1) in N, so modeled
+  // deliveries/s (items) should grow ~linearly with the arg.
+  const auto weight = static_cast<std::uint32_t>(state.range(0));
+  harness::ClusterConfig cluster_config;
+  cluster_config.seed = 13;
+  cluster_config.initial_servers = 1;
+  cluster_config.fixed_latency = true;
+  cluster_config.fixed_latency_value = millis(5);
+  cluster_config.server_capacity = 1e15;
+  cluster_config.server_nic_headroom = 1.0;
+  cluster_config.client_egress = 1e15;
+  cluster_config.pubsub.conn_drain_bytes_per_sec = 1e15;
+  cluster_config.pubsub.infra_drain_bytes_per_sec = 1e15;
+  cluster_config.pubsub.conn_output_buffer_limit = std::size_t{1} << 40;
+  cluster_config.pubsub.max_egress_backlog = seconds(1e6);
+  harness::Cluster cluster(cluster_config);
+
+  core::DynamothClient::Config sub_config;
+  sub_config.multiplicity = weight;
+  std::uint64_t got = 0;
+  cluster.add_client(sub_config).subscribe("arena",
+                                           [&got](const ps::EnvelopePtr&) { ++got; });
+  core::DynamothClient& pub = cluster.add_client();
+  cluster.sim().run_for(seconds(2));  // settle subscriptions + LLA windows
+
+  constexpr int kBatch = 64;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) pub.publish("arena", 128);
+    cluster.sim().run_for(millis(200));
+  }
+  benchmark::DoNotOptimize(got);
+  state.SetItemsProcessed(state.iterations() * kBatch * weight);
+}
+BENCHMARK(BM_ScaleWeightedFanout)->Arg(1)->Arg(100)->Arg(10'000);
+
+void BM_ScaleBucketedDelivery(benchmark::State& state) {
+  // Same-(destination, arrival) deliveries coalesce into one shared bucket
+  // event (net::Network bucket slab) instead of one heap event each; arg =
+  // fan-out per arrival tick. Egress is fast enough that transmit time
+  // rounds to zero, so every push in a batch lands on the same tick.
+  const int fan = static_cast<int>(state.range(0));
+  sim::Simulator sim;
+  net::Network network(sim, std::make_unique<net::FixedLatencyModel>(millis(5), millis(1)),
+                       Rng(3));
+  const NodeId src = network.add_node({net::NodeKind::kInfrastructure, 1e15});
+  const NodeId dst = network.add_node({net::NodeKind::kClient, 1e15});
+  std::uint64_t got = 0;
+  for (auto _ : state) {
+    {
+      net::Network::FanoutBatch batch(network, src);
+      for (int i = 0; i < fan; ++i) {
+        batch.send(dst, 128, [&got] { ++got; });
+      }
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(got);
+  state.SetItemsProcessed(state.iterations() * fan);
+}
+BENCHMARK(BM_ScaleBucketedDelivery)->Arg(16)->Arg(256);
+
+void BM_ScaleCohortGame(benchmark::State& state) {
+  // End-to-end cohort-mode game run (tile cohorts + migration + balancer)
+  // at a fixed population: 10 simulated seconds per iteration. Wall cost
+  // tracks aggregate channel traffic, not the modeled member count — items
+  // are modeled user-seconds.
+  const auto users = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    mammoth::exp::GameExperimentConfig config = mammoth::exp::default_game_experiment();
+    config.seed = 77;
+    config.balancer = mammoth::exp::BalancerKind::kDynamoth;
+    config.schedule = {{seconds(0), 1200}};
+    config.duration = seconds(10);
+    config.sample_interval = seconds(5);
+    mammoth::exp::scale_population(config, static_cast<double>(users) / 1200.0);
+    const mammoth::exp::GameExperimentResult result = run_game_experiment(config);
+    benchmark::DoNotOptimize(result.executed_events);
+  }
+  state.SetItemsProcessed(state.iterations() * users * 10);
+}
+BENCHMARK(BM_ScaleCohortGame)->Arg(1'000)->Arg(10'000)->Unit(benchmark::kMillisecond);
 
 void BM_SimulatorSelfScheduling(benchmark::State& state) {
   // The common pattern: events that schedule follow-up events.

@@ -76,9 +76,21 @@ ps::RemoteConnection* DynamothClient::connection(ServerId server) {
       [this, server](ps::CloseReason reason) { on_closed(server, reason); });
   ps::RemoteConnection* raw = conn.get();
   conns_.emplace(server, std::move(conn));
+  // Cohort weight is declared before anything else rides the stream, so the
+  // server (and its LLA) never sees a subscription at the wrong multiplicity.
+  if (config_.multiplicity > 1) raw->update_weight(config_.multiplicity);
   // Announce our identity so the local dispatcher can address replies to us.
   raw->subscribe(ctl_channel_);
   return raw;
+}
+
+void DynamothClient::set_multiplicity(std::uint32_t multiplicity) {
+  DYN_CHECK(multiplicity >= 1);
+  if (config_.multiplicity == multiplicity) return;
+  config_.multiplicity = multiplicity;
+  for (auto& [server, conn] : conns_) {
+    if (conn->open()) conn->update_weight(multiplicity);
+  }
 }
 
 void DynamothClient::subscribe(const Channel& channel, MessageHandler handler) {

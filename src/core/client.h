@@ -56,6 +56,14 @@ class DynamothClient {
     /// path as before).
     SimTime republish_window = 0;
 
+    /// Cohort multiplicity: this client stands in for `multiplicity`
+    /// statistically identical clients. Every connection it opens declares
+    /// the weight (before any SUBSCRIBE rides the stream), so its
+    /// subscriptions count as N subscribers, deliveries to it cost N x
+    /// egress, and its publications carry publisher-weight N. 1 = an
+    /// ordinary individual client (default; no weight command is sent).
+    std::uint32_t multiplicity = 1;
+
     /// Re-issue SUBSCRIBE on every sweep for channels we believe are placed.
     /// Subscribing twice is free at the server, but a *zombie* subscription
     /// (the server dropped us and the close notification was lost, e.g. to a
@@ -117,6 +125,12 @@ class DynamothClient {
 
   /// Closes every connection and stops timers.
   void shutdown();
+
+  /// Changes the cohort multiplicity at runtime (member migration between
+  /// cohorts). Every open connection is informed; future connections open at
+  /// the new weight.
+  void set_multiplicity(std::uint32_t multiplicity);
+  [[nodiscard]] std::uint32_t multiplicity() const { return config_.multiplicity; }
 
   /// Adopts a plan entry pushed from outside the lazy protocol (used by the
   /// eager-propagation ablation, which broadcasts plan changes to every

@@ -203,7 +203,8 @@ void Dispatcher::on_ctl_deliver(const ps::EnvelopePtr& env) {
   }
 }
 
-void Dispatcher::on_publish(const ps::EnvelopePtr& env, std::size_t subscriber_count) {
+void Dispatcher::on_publish(const ps::EnvelopePtr& env, std::size_t subscriber_count,
+                            std::uint32_t /*publisher_weight*/) {
   // Application-level kControl publications (e.g. replay requests) ride
   // plan-routed channels and need the same repair/forwarding as data.
   if (env->kind != ps::MsgKind::kData && env->kind != ps::MsgKind::kControl) return;

@@ -89,7 +89,8 @@ class Dispatcher final : public ps::LocalObserver {
   [[nodiscard]] std::size_t draining_channels() const { return drain_.size(); }
 
   // ---- LocalObserver ----
-  void on_publish(const ps::EnvelopePtr& env, std::size_t subscriber_count) override;
+  void on_publish(const ps::EnvelopePtr& env, std::size_t subscriber_count,
+                  std::uint32_t publisher_weight) override;
   void on_subscribe(ps::ConnId conn, const Channel& channel, NodeId client_node) override;
   void on_unsubscribe(ps::ConnId conn, const Channel& channel, NodeId client_node) override;
   void on_disconnect(ps::ConnId conn, const std::vector<Channel>& channels,

@@ -59,12 +59,16 @@ void LocalLoadAnalyzer::stop() {
   conn_.reset();
 }
 
-void LocalLoadAnalyzer::on_publish(const ps::EnvelopePtr& env, std::size_t subscriber_count) {
+void LocalLoadAnalyzer::on_publish(const ps::EnvelopePtr& env, std::size_t subscriber_count,
+                                   std::uint32_t publisher_weight) {
   const ChannelId cid = env->channel_id();
   if (ChannelTable::instance().is_control(cid)) return;
   if (window_.size() <= cid) window_.resize(cid + 1);
   Accum& a = window_[cid];
   const std::size_t bytes = ps::wire_size(*env, server_.config().msg_overhead_bytes);
+  // subscriber_count arrives already weighted (modeled subscribers), so the
+  // delivery/byte/CPU series are exactly what the expanded population would
+  // have produced.
   a.stats.publications += 1;
   a.stats.deliveries += subscriber_count;
   a.stats.bytes_in += bytes;
@@ -75,7 +79,11 @@ void LocalLoadAnalyzer::on_publish(const ps::EnvelopePtr& env, std::size_t subsc
       server_.config().cpu_publish_cost_us +
       server_.config().cpu_delivery_cost_us * static_cast<double>(subscriber_count));
   const auto pit = std::lower_bound(a.publishers.begin(), a.publishers.end(), env->publisher);
-  if (pit == a.publishers.end() || *pit != env->publisher) a.publishers.insert(pit, env->publisher);
+  if (pit == a.publishers.end() || *pit != env->publisher) {
+    a.publishers.insert(pit, env->publisher);
+    // A cohort connection is N distinct modeled publishers behind one id.
+    a.publisher_weight += publisher_weight;
+  }
 }
 
 void LocalLoadAnalyzer::on_subscribe(ps::ConnId conn, const Channel& channel,
@@ -89,7 +97,7 @@ void LocalLoadAnalyzer::on_subscribe(ps::ConnId conn, const Channel& channel,
   if (is_client) {
     const ChannelId cid = intern_channel(channel);
     if (subscriber_counts_.size() <= cid) subscriber_counts_.resize(cid + 1, 0);
-    subscriber_counts_[cid] += 1;
+    subscriber_counts_[cid] += weight_of(conn);
   }
 }
 
@@ -100,8 +108,8 @@ void LocalLoadAnalyzer::on_unsubscribe(ps::ConnId conn, const Channel& channel,
   if (!is_client) return;
   const ChannelId cid = ChannelTable::instance().find(channel);
   if (cid == kInvalidChannelId || cid >= subscriber_counts_.size()) return;
-  if (subscriber_counts_[cid] > 0) subscriber_counts_[cid] -= 1;
-  (void)conn;
+  const std::uint32_t w = weight_of(conn);
+  subscriber_counts_[cid] -= std::min(subscriber_counts_[cid], w);
 }
 
 void LocalLoadAnalyzer::on_disconnect(ps::ConnId conn, const std::vector<Channel>& channels,
@@ -109,14 +117,37 @@ void LocalLoadAnalyzer::on_disconnect(ps::ConnId conn, const std::vector<Channel
                                       ps::CloseReason /*reason*/) {
   const bool is_client = conn < conn_kind_.size() && conn_kind_[conn] == 2;
   if (conn < conn_kind_.size()) conn_kind_[conn] = 0;
+  // The server resets the connection's weight before this fires; the cached
+  // value is what each of its subscriptions was counted at.
+  const std::uint32_t w = weight_of(conn);
+  if (conn < conn_weight_.size()) conn_weight_[conn] = 0;
   if (!is_client) return;
   const ChannelTable& table = ChannelTable::instance();
   for (const Channel& ch : channels) {
     const ChannelId cid = table.find(ch);
     if (cid == kInvalidChannelId || table.is_control(cid)) continue;
-    if (cid < subscriber_counts_.size() && subscriber_counts_[cid] > 0) {
-      subscriber_counts_[cid] -= 1;
+    if (cid < subscriber_counts_.size()) {
+      subscriber_counts_[cid] -= std::min(subscriber_counts_[cid], w);
     }
+  }
+}
+
+void LocalLoadAnalyzer::on_weight_update(ps::ConnId conn, const std::vector<Channel>& channels,
+                                         NodeId client_node, std::uint32_t old_weight,
+                                         std::uint32_t new_weight) {
+  if (conn_weight_.size() <= conn) conn_weight_.resize(conn + 1, 0);
+  conn_weight_[conn] = new_weight;
+  // Subscriptions already held were counted at the old weight; re-count them
+  // at the new one. Only client connections feed balancing counts.
+  if (network_.kind(client_node) != net::NodeKind::kClient) return;
+  const ChannelTable& table = ChannelTable::instance();
+  for (const Channel& ch : channels) {
+    const ChannelId cid = table.find(ch);
+    if (cid == kInvalidChannelId || table.is_control(cid)) continue;
+    if (cid >= subscriber_counts_.size()) continue;
+    const std::uint64_t cur = subscriber_counts_[cid];
+    const std::uint64_t next = cur + new_weight - std::min<std::uint64_t>(cur, old_weight);
+    subscriber_counts_[cid] = static_cast<std::uint32_t>(next);
   }
 }
 
@@ -146,7 +177,8 @@ void LocalLoadAnalyzer::emit_report() {
     Accum& accum = window_[cid];
     if (!accum.active()) continue;  // carried-over entry, quiet this window
     ChannelStats stats = accum.stats;
-    stats.publishers = static_cast<std::uint32_t>(accum.publishers.size());
+    // Weighted: equals publishers.size() unless cohort connections published.
+    stats.publishers = static_cast<std::uint32_t>(accum.publisher_weight);
     stats.subscribers = cid < subscriber_counts_.size() ? subscriber_counts_[cid] : 0;
     report.channels.emplace(table.name(cid), stats);
   }

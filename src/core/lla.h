@@ -58,11 +58,15 @@ class LocalLoadAnalyzer final : public ps::LocalObserver {
   [[nodiscard]] double last_load_ratio() const { return last_load_ratio_; }
 
   // ---- LocalObserver ----
-  void on_publish(const ps::EnvelopePtr& env, std::size_t subscriber_count) override;
+  void on_publish(const ps::EnvelopePtr& env, std::size_t subscriber_count,
+                  std::uint32_t publisher_weight) override;
   void on_subscribe(ps::ConnId conn, const Channel& channel, NodeId client_node) override;
   void on_unsubscribe(ps::ConnId conn, const Channel& channel, NodeId client_node) override;
   void on_disconnect(ps::ConnId conn, const std::vector<Channel>& channels,
                      const std::vector<std::string>& patterns, ps::CloseReason reason) override;
+  void on_weight_update(ps::ConnId conn, const std::vector<Channel>& channels,
+                        NodeId client_node, std::uint32_t old_weight,
+                        std::uint32_t new_weight) override;
 
  private:
   struct Accum {
@@ -72,6 +76,10 @@ class LocalLoadAnalyzer final : public ps::LocalObserver {
     /// clear it while keeping its capacity — entries persist across windows
     /// and on_publish stays allocation-free in steady state.
     std::vector<ClientId> publishers;
+    /// Sum of publisher weights over the distinct ids above: the number of
+    /// *modeled* publishers (a weight-N cohort connection is N of them).
+    /// Equals publishers.size() when nothing is weighted.
+    std::uint64_t publisher_weight = 0;
 
     /// An entry only exists after at least one publication, so a zeroed
     /// stats block marks a carried-over entry with no traffic this window.
@@ -79,6 +87,7 @@ class LocalLoadAnalyzer final : public ps::LocalObserver {
     void reset_window() {
       stats = ChannelStats{};
       publishers.clear();  // keeps capacity
+      publisher_weight = 0;
     }
   };
 
@@ -98,6 +107,16 @@ class LocalLoadAnalyzer final : public ps::LocalObserver {
   /// Per-connection client-kind cache, indexed by dense ConnId:
   /// 0 = untracked, 1 = infrastructure, 2 = client.
   std::vector<std::uint8_t> conn_kind_;
+  /// Per-connection multiplicity cache, indexed by dense ConnId; entries
+  /// past the end (or never updated) are weight 1. Kept by the LLA itself —
+  /// the server resets a connection's weight before on_disconnect fires, so
+  /// the analyzer must remember what each subscription was worth.
+  std::vector<std::uint32_t> conn_weight_;
+
+  /// Cached weight for `conn` (1 when never updated).
+  [[nodiscard]] std::uint32_t weight_of(ps::ConnId conn) const {
+    return conn < conn_weight_.size() && conn_weight_[conn] != 0 ? conn_weight_[conn] : 1;
+  }
   std::uint64_t window_start_bytes_ = 0;
   SimTime window_start_cpu_ = 0;
   SimTime window_start_time_ = 0;

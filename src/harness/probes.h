@@ -29,6 +29,11 @@ class ResponseProbe {
 
   void record(SimTime rtt) { hist_->record(rtt); }  // microseconds
 
+  /// Weighted insertion: `count` statistically identical samples at `rtt`
+  /// (a cohort delivery expanded into its per-member observations). The
+  /// window mean/count and all-run percentiles see exactly `count` entries.
+  void record_n(SimTime rtt, std::uint64_t count) { hist_->record_n(rtt, count); }
+
   /// Mean response time (ms) since the last window_reset(); 0 when no
   /// samples arrived (callers usually carry the previous value forward).
   [[nodiscard]] double window_mean_ms() const {

@@ -54,6 +54,23 @@ GameExperimentConfig default_game_experiment() {
   return config;
 }
 
+void scale_population(GameExperimentConfig& config, double scale) {
+  DYN_CHECK(scale > 0);
+  if (scale == 1.0) return;
+  for (PopulationPoint& point : config.schedule) {
+    point.players = static_cast<std::size_t>(static_cast<double>(point.players) * scale + 0.5);
+  }
+  config.game.cohort.enabled = true;
+  config.cluster.server_capacity *= scale * scale;
+  config.cluster.pubsub.cpu_publish_cost_us /= scale;
+  config.cluster.pubsub.cpu_delivery_cost_us /= scale * scale;
+  config.cluster.client_egress *= scale;
+  config.cluster.pubsub.conn_drain_bytes_per_sec *= scale;
+  config.cluster.pubsub.infra_drain_bytes_per_sec *= scale;
+  config.cluster.pubsub.conn_output_buffer_limit = static_cast<std::size_t>(
+      static_cast<double>(config.cluster.pubsub.conn_output_buffer_limit) * scale);
+}
+
 namespace {
 
 /// Piecewise-linear interpolation of the population schedule at time t.
@@ -170,6 +187,7 @@ GameExperimentResult run_game_experiment(const GameExperimentConfig& config) {
     result.audit = balancer->audit();
   }
   result.rtt_us = probe.histogram();
+  result.delivery_latency_us = game.delivery_latency();
   result.server_hours = cluster.cloud().server_hours(cluster.sim().now());
   const std::size_t max_fleet = config.balancer == BalancerKind::kConsistentHashing
                                     ? config.hash.max_servers
@@ -178,9 +196,7 @@ GameExperimentResult run_game_experiment(const GameExperimentConfig& config) {
   result.total_updates = game.total_updates_published();
   result.executed_events = cluster.sim().executed_events();
   result.rng_draws = Rng::total_draws() - rng_draws_start;
-  for (std::size_t i = 0; i < game.total_players_created(); ++i) {
-    result.connection_drops += game.player(i).client().stats().connection_drops;
-  }
+  result.connection_drops = game.total_connection_drops();
   registry.counter("connection_drops").set(result.connection_drops);
   registry.counter("total_updates").set(result.total_updates);
   return result;

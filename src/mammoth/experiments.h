@@ -57,6 +57,9 @@ struct GameExperimentResult {
       "t_s", "players", "msgs_per_s", "servers", "rt_ms", "avg_lr", "max_lr", "rebalances"}};
   std::vector<core::RebalanceEvent> events;
   metrics::Histogram rtt_us;          // every response-time sample of the run
+  /// Per-member one-way delivery latency (cohort mode only; empty in
+  /// individual mode). fig_scale reports p99 over this population.
+  metrics::Histogram delivery_latency_us;
   double max_players_ok = 0;          // largest sampled population with rt <= threshold
   double peak_servers = 0;
   std::uint64_t total_updates = 0;    // publications by players
@@ -80,6 +83,20 @@ struct GameExperimentResult {
 /// Builds a default config matching the paper's Experiment 2/3 setup scaled
 /// to simulator constants (see DESIGN.md section 5).
 [[nodiscard]] GameExperimentConfig default_game_experiment();
+
+/// Population-scale knob (the figure binaries' --users flag): multiplies
+/// every schedule point by `scale`, switches the game to cohort mode, and
+/// rescales the per-server resource model so the run keeps the original
+/// figure's load-ratio trajectory at scale x the population:
+///  - per-tile message rate grows as scale^2 (scale x members each hearing
+///    scale x publications), so server capacity grows scale^2 and the
+///    per-delivery CPU cost shrinks scale^2 (publish cost: scale^1);
+///  - each connection now aggregates a whole tile at scale x the traffic, so
+///    client egress, connection drain rate, output-buffer limit, and the
+///    infra drain rate all grow scale x.
+/// scale == 1.0 is the identity: the config is untouched (individual mode,
+/// bit-identical runs). See DESIGN.md section 13.
+void scale_population(GameExperimentConfig& config, double scale);
 
 [[nodiscard]] GameExperimentResult run_game_experiment(const GameExperimentConfig& config);
 

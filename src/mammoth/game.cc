@@ -1,14 +1,49 @@
 #include "mammoth/game.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
 namespace dynamoth::mammoth {
 
 Game::Game(harness::Cluster& cluster, GameConfig config, harness::ResponseProbe* probe)
     : cluster_(cluster),
       config_(config),
       world_(config.world_size, config.tiles_per_side),
-      probe_(probe) {}
+      probe_(probe),
+      migration_rng_(cluster.fork_rng("cohort-migration")),
+      migration_(cluster.sim(), config.cohort.migration_interval, [this] { migrate(); }) {
+  if (!config_.cohort.enabled) return;
+  // Stationary density profile: uniform mass blended with hotspot mass at
+  // the player AI's hotspot bias — the same skew individual random-waypoint
+  // players with POI-biased waypoints converge to, in closed form.
+  const int tiles = world_.tile_count();
+  const double bias = std::clamp(config_.player.hotspot_bias, 0.0, 1.0);
+  tile_weights_.assign(static_cast<std::size_t>(tiles), (1.0 - bias) / tiles);
+  if (bias > 0) {
+    const auto hotspots = world_.hotspots();
+    for (const Position& poi : hotspots) {
+      const TileCoord tc = world_.tile_of(poi);
+      const std::size_t idx =
+          static_cast<std::size_t>(tc.y) * static_cast<std::size_t>(world_.tiles_per_side()) +
+          static_cast<std::size_t>(tc.x);
+      tile_weights_[idx] += bias / static_cast<double>(hotspots.size());
+    }
+  }
+  cohorts_.resize(static_cast<std::size_t>(tiles));
+  migration_credit_.assign(static_cast<std::size_t>(tiles), 0.0);
+}
 
 void Game::set_population(std::size_t n) {
+  if (config_.cohort.enabled) {
+    set_population_cohort(n);
+  } else {
+    set_population_individual(n);
+  }
+}
+
+void Game::set_population_individual(std::size_t n) {
   while (active_ < n) {
     if (active_ == players_.size()) {
       core::DynamothClient& client = cluster_.add_client(config_.client);
@@ -28,21 +63,140 @@ void Game::set_population(std::size_t n) {
   }
 }
 
+std::vector<std::uint32_t> Game::apportion(std::size_t n) const {
+  const std::size_t tiles = tile_weights_.size();
+  std::vector<std::uint32_t> out(tiles, 0);
+  // Largest-remainder (Hamilton) apportionment: exact total, deterministic
+  // tie-break by tile index.
+  std::vector<std::pair<double, std::size_t>> remainders;
+  remainders.reserve(tiles);
+  std::size_t assigned = 0;
+  for (std::size_t t = 0; t < tiles; ++t) {
+    const double quota = static_cast<double>(n) * tile_weights_[t];
+    const auto base = static_cast<std::uint32_t>(quota);
+    out[t] = base;
+    assigned += base;
+    remainders.emplace_back(quota - static_cast<double>(base), t);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first : a.second < b.second;
+            });
+  DYN_CHECK(assigned <= n);
+  for (std::size_t i = 0; i < n - assigned; ++i) {
+    ++out[remainders[i % remainders.size()].second];
+  }
+  return out;
+}
+
+cohort::Cohort& Game::cohort_for(std::size_t idx) {
+  if (cohorts_[idx] == nullptr) {
+    const int side = world_.tiles_per_side();
+    const TileCoord tc{static_cast<int>(idx) % side, static_cast<int>(idx) / side};
+    cohort::CohortConfig cc;
+    cc.channel = World::tile_channel(tc);
+    cc.members = 0;
+    cc.publish_rate_per_member = config_.player.updates_per_sec;
+    cc.payload_bytes = config_.player.payload_bytes;
+    core::DynamothClient& client = cluster_.add_client(config_.client);
+    auto sink = [this](SimTime rtt) {
+      if (probe_ != nullptr) probe_->record(rtt);
+    };
+    cohorts_[idx] = std::make_unique<cohort::Cohort>(
+        cluster_.sim(), client, cc, cluster_.fork_rng("cohort").fork(idx), sink,
+        &delivery_latency_);
+    cohorts_[idx]->start();  // parked at 0 members until apportioned
+  }
+  return *cohorts_[idx];
+}
+
+void Game::set_population_cohort(std::size_t n) {
+  const std::vector<std::uint32_t> target = apportion(n);
+  for (std::size_t t = 0; t < target.size(); ++t) {
+    const std::uint32_t cur = cohorts_[t] ? cohorts_[t]->members() : 0;
+    if (cur == target[t]) continue;
+    cohort_for(t).set_members(target[t]);
+  }
+  if (active_ == 0 && n > 0) migration_.start();
+  if (n == 0) migration_.stop();
+  active_ = n;
+}
+
+void Game::migrate() {
+  if (active_ == 0) return;
+  const int side = world_.tiles_per_side();
+  const double dt = to_seconds(config_.cohort.migration_interval);
+  const double rate = config_.cohort.crossings_per_member_per_sec;
+  // Pass 1: compute every tile's outflow from its pre-step population (with
+  // per-tile fractional credit, so low-population tiles still churn at the
+  // exact long-run rate), then apply all deltas. O(tiles) per step no matter
+  // how many members are modeled.
+  std::vector<std::int64_t> delta(cohorts_.size(), 0);
+  for (std::size_t t = 0; t < cohorts_.size(); ++t) {
+    const std::uint32_t m = cohorts_[t] ? cohorts_[t]->members() : 0;
+    if (m == 0) continue;
+    migration_credit_[t] += static_cast<double>(m) * rate * dt;
+    auto out = static_cast<std::uint32_t>(migration_credit_[t]);
+    if (out == 0) continue;
+    out = std::min(out, m);
+    migration_credit_[t] -= static_cast<double>(out);
+    // Departures split across the 4-neighbourhood starting at a seeded
+    // offset; walks off the edge stay home (the member bounced off the
+    // world boundary).
+    const int x = static_cast<int>(t) % side;
+    const int y = static_cast<int>(t) / side;
+    static constexpr int kDx[4] = {1, -1, 0, 0};
+    static constexpr int kDy[4] = {0, 0, 1, -1};
+    const auto start = static_cast<std::uint32_t>(migration_rng_.uniform_int(0, 3));
+    for (std::uint32_t i = 0; i < out; ++i) {
+      const std::uint32_t d = (start + i) % 4;
+      const int nx = x + kDx[d];
+      const int ny = y + kDy[d];
+      if (nx < 0 || nx >= side || ny < 0 || ny >= side) continue;
+      delta[t] -= 1;
+      delta[static_cast<std::size_t>(ny) * static_cast<std::size_t>(side) +
+            static_cast<std::size_t>(nx)] += 1;
+      ++cohort_crossings_;
+    }
+  }
+  for (std::size_t t = 0; t < cohorts_.size(); ++t) {
+    if (delta[t] == 0) continue;
+    const std::uint32_t cur = cohorts_[t] ? cohorts_[t]->members() : 0;
+    cohort_for(t).set_members(static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(cur) + delta[t]));
+  }
+}
+
 std::uint64_t Game::total_updates_published() const {
   std::uint64_t total = 0;
   for (const auto& p : players_) total += p->updates_published();
+  for (const auto& c : cohorts_) {
+    if (c) total += c->stats().publications;
+  }
   return total;
 }
 
 std::uint64_t Game::total_updates_received() const {
   std::uint64_t total = 0;
   for (const auto& p : players_) total += p->updates_received();
+  for (const auto& c : cohorts_) {
+    if (c) total += c->stats().member_deliveries;
+  }
   return total;
 }
 
 std::uint64_t Game::total_tile_crossings() const {
-  std::uint64_t total = 0;
+  std::uint64_t total = cohort_crossings_;
   for (const auto& p : players_) total += p->tile_crossings();
+  return total;
+}
+
+std::uint64_t Game::total_connection_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& p : players_) total += p->client().stats().connection_drops;
+  for (const auto& c : cohorts_) {
+    if (c) total += c->client().stats().connection_drops;
+  }
   return total;
 }
 

@@ -1,23 +1,47 @@
 // RGame session manager: owns the world and a dynamic population of AI
 // players (each with its own Dynamoth client), exposing the join/leave
 // control the scalability (Fig 5) and elasticity (Fig 7) experiments script.
+//
+// Two population models share this interface:
+//  - Individual mode (default): one Player + DynamothClient per user — the
+//    original model, bit-identical to before cohort mode existed.
+//  - Cohort mode (config.cohort.enabled): one cohort::Cohort per tile drives
+//    all members located there through a single multiplicity-weighted
+//    client. set_population apportions members across tiles by the same
+//    density profile individual players converge to (uniform blended with
+//    hotspot mass), and a periodic migration task moves members between
+//    neighbouring tiles at the configured crossing rate — aggregate
+//    random-waypoint churn at O(tiles), not O(members), per second.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "cohort/cohort.h"
 #include "harness/cluster.h"
 #include "harness/probes.h"
 #include "mammoth/player.h"
 #include "mammoth/world.h"
+#include "metrics/histogram.h"
 
 namespace dynamoth::mammoth {
+
+/// Aggregate population model (see file comment). Off by default; when
+/// enabled the Game spawns no Player objects at all.
+struct CohortModeConfig {
+  bool enabled = false;
+  /// Per-member tile-crossing rate. Individual random-waypoint players at
+  /// the default speed/world scale cross tiles roughly this often.
+  double crossings_per_member_per_sec = 0.15;
+  SimTime migration_interval = seconds(1);
+};
 
 struct GameConfig {
   double world_size = 1200.0;
   int tiles_per_side = 12;  // 144 tile channels
   PlayerConfig player;
   core::DynamothClient::Config client;
+  CohortModeConfig cohort;
 };
 
 class Game {
@@ -28,25 +52,56 @@ class Game {
   Game& operator=(const Game&) = delete;
 
   /// Adjusts the live player count: joins new players or makes the most
-  /// recently joined ones leave.
+  /// recently joined ones leave (individual mode), or re-apportions tile
+  /// cohort sizes (cohort mode).
   void set_population(std::size_t n);
 
   [[nodiscard]] std::size_t active_players() const { return active_; }
   [[nodiscard]] std::size_t total_players_created() const { return players_.size(); }
   [[nodiscard]] const World& world() const { return world_; }
   [[nodiscard]] Player& player(std::size_t i) { return *players_.at(i); }
+  [[nodiscard]] bool cohort_mode() const { return config_.cohort.enabled; }
+  /// Cohort for tile index (y * tiles_per_side + x); null when that tile has
+  /// never held members (cohort mode only).
+  [[nodiscard]] cohort::Cohort* tile_cohort(std::size_t idx) {
+    return idx < cohorts_.size() ? cohorts_[idx].get() : nullptr;
+  }
+  /// Per-member one-way delivery latency population (cohort mode; empty in
+  /// individual mode). fig_scale reports p99 over this.
+  [[nodiscard]] const metrics::Histogram& delivery_latency() const { return delivery_latency_; }
 
   [[nodiscard]] std::uint64_t total_updates_published() const;
   [[nodiscard]] std::uint64_t total_updates_received() const;
   [[nodiscard]] std::uint64_t total_tile_crossings() const;
+  /// Connection drops across every client the game owns, mode-agnostic.
+  [[nodiscard]] std::uint64_t total_connection_drops() const;
 
  private:
+  void set_population_individual(std::size_t n);
+  void set_population_cohort(std::size_t n);
+  /// Largest-remainder apportionment of `n` members over tile_weights_.
+  [[nodiscard]] std::vector<std::uint32_t> apportion(std::size_t n) const;
+  /// Lazily creates (and starts) the cohort for tile index `idx`.
+  cohort::Cohort& cohort_for(std::size_t idx);
+  /// One aggregate migration step: expected per-tile outflows move to
+  /// neighbouring tiles, O(tiles) regardless of population.
+  void migrate();
+
   harness::Cluster& cluster_;
   GameConfig config_;
   World world_;
   harness::ResponseProbe* probe_;
   std::vector<std::unique_ptr<Player>> players_;
   std::size_t active_ = 0;
+
+  // ---- cohort mode ----
+  std::vector<double> tile_weights_;  // stationary density profile, sums to 1
+  std::vector<std::unique_ptr<cohort::Cohort>> cohorts_;  // by tile index
+  metrics::Histogram delivery_latency_;
+  std::vector<double> migration_credit_;  // fractional outflow per tile
+  std::uint64_t cohort_crossings_ = 0;
+  Rng migration_rng_;
+  sim::PeriodicTask migration_;
 };
 
 }  // namespace dynamoth::mammoth

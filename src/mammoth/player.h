@@ -57,6 +57,7 @@ class Player {
   [[nodiscard]] Position position() const { return position_; }
   [[nodiscard]] TileCoord tile() const { return tile_; }
   [[nodiscard]] core::DynamothClient& client() { return client_; }
+  [[nodiscard]] const core::DynamothClient& client() const { return client_; }
   [[nodiscard]] std::uint64_t updates_published() const { return updates_published_; }
   [[nodiscard]] std::uint64_t updates_received() const { return updates_received_; }
   [[nodiscard]] std::uint64_t tile_crossings() const { return tile_crossings_; }

@@ -36,6 +36,12 @@ struct NodeConfig {
 
 /// Cumulative egress counters for one node. Consumers (LLA, experiment
 /// harness) diff successive snapshots to get per-window rates.
+///
+/// Weighted sends (a cohort connection standing in for N identical
+/// subscribers) increment these by their full multiplicity: weight N costs
+/// N x bytes of egress occupancy and counts as N messages, so M_i, the
+/// figure-5b message series and the billing model see exactly what N
+/// individual subscribers would have cost.
 struct EgressCounters {
   std::uint64_t bytes_sent = 0;  // enqueued on the egress port (offered load)
   std::uint64_t messages_sent = 0;
@@ -84,10 +90,18 @@ class Network {
   /// simulation's arrival times, RNG draw sequence or counters; it only
   /// eliminates the per-recipient re-validation and node lookups.
   ///
-  /// The batch holds no deferred state: egress counters and the backlog are
-  /// exact after every push, so interleaved calls to send() (e.g. a close
-  /// notification fired mid-fan-out) observe and extend the same queue.
-  /// Do not add nodes while a batch is open.
+  /// Every push schedules its delivery event immediately, exactly as
+  /// Network::send would — egress counters, the backlog and the event queue
+  /// are all exact after every push, so interleaved calls to send() (e.g. a
+  /// close notification fired mid-fan-out) observe and extend the same
+  /// state. Consecutive pushes that resolve to the same (destination,
+  /// arrival-time) coalesce into a single sim event that runs their
+  /// callbacks in push order: the first delivery's already-scheduled event
+  /// is converted in place into a bucket drain (keeping its time and
+  /// tie-break order), so the receiving edge runs one event per bucket, not
+  /// one per delivery. Deliveries that do not coalesce (distinct arrival
+  /// ticks — the common case for latency-sampled WAN paths) pay no deferral
+  /// cost at all. Do not add nodes while a batch is open.
   class FanoutBatch {
    public:
     FanoutBatch(Network& net, NodeId from) : net_(net), from_(from) {
@@ -110,9 +124,43 @@ class Network {
     /// return value to Network::send(from, to, ...).
     SimTime push(std::size_t bytes, DeliverFn on_deliver, SimTime extra_delay = 0,
                  SimTime min_arrival = 0) {
+      return push_weighted(bytes, 1, std::move(on_deliver), extra_delay, min_arrival);
+    }
+
+    /// Weighted append: one wire run standing in for `weight` identical
+    /// messages of `bytes` each. Occupies the egress port for weight x bytes,
+    /// bumps the counters by the full multiplicity, samples the latency model
+    /// once and schedules ONE delivery event (the receiver expands it into
+    /// per-member accounting). weight == 1 is byte-identical to push().
+    SimTime push_weighted(std::size_t bytes, std::uint32_t weight, DeliverFn on_deliver,
+                          SimTime extra_delay = 0, SimTime min_arrival = 0) {
       DYN_CHECK(extra_delay >= 0);
-      return net_.send_impl(*src_, *dst_, from_, to_, bytes, std::move(on_deliver),
-                            extra_delay, min_arrival);
+      DYN_CHECK(weight >= 1);
+      const Routed r =
+          net_.route_impl(*src_, *dst_, from_, to_, bytes, weight, extra_delay, min_arrival);
+      if (r.dropped) return r.at;
+      if (open_ && run_to_ == to_ && run_at_ == r.at) {
+        // Same (destination, arrival-time) bucket: append instead of
+        // scheduling another event.
+        if (bucket_ == kNoBucket) {
+          // Retro-convert the head delivery's already-scheduled event into
+          // a bucket drain: its callback moves into a fresh bucket and the
+          // event slot gets the drain trampoline. Time and tie-break order
+          // are untouched.
+          DeliverFn* head = net_.sim_.pending_callback(last_event_);
+          DYN_CHECK(head != nullptr);
+          bucket_ = net_.open_bucket(std::move(*head));
+          *head = [net = &net_, slot = bucket_] { net->run_bucket(slot); };
+        }
+        net_.append_bucket(bucket_, std::move(on_deliver));
+        return r.at;
+      }
+      open_ = true;
+      run_to_ = to_;
+      run_at_ = r.at;
+      bucket_ = kNoBucket;
+      last_event_ = net_.sim_.schedule_at(r.at, std::move(on_deliver));
+      return r.at;
     }
 
     /// Per-destination run grouping: switches the run's destination only
@@ -126,6 +174,14 @@ class Network {
       return push(bytes, std::move(on_deliver), extra_delay, min_arrival);
     }
 
+    /// Weighted variant of send(); see push_weighted().
+    SimTime send_weighted(NodeId to, std::size_t bytes, std::uint32_t weight,
+                          DeliverFn on_deliver, SimTime extra_delay = 0,
+                          SimTime min_arrival = 0) {
+      if (to != to_) set_destination(to);
+      return push_weighted(bytes, weight, std::move(on_deliver), extra_delay, min_arrival);
+    }
+
     /// The sender's egress backlog, exact after every push — the same value
     /// Network::egress_backlog(from) would return.
     [[nodiscard]] SimTime backlog() const {
@@ -133,11 +189,20 @@ class Network {
     }
 
    private:
+    static constexpr std::uint32_t kNoBucket = 0xFFFF'FFFF;
+
     Network& net_;
     Node* src_ = nullptr;
     Node* dst_ = nullptr;
     NodeId from_;
     NodeId to_ = kInvalidNode;
+
+    // Open (destination, arrival-time) bucket state.
+    bool open_ = false;
+    NodeId run_to_ = kInvalidNode;
+    SimTime run_at_ = 0;
+    std::uint32_t bucket_ = kNoBucket;   // Network bucket slot once coalesced
+    sim::EventId last_event_;            // the head delivery's scheduled event
   };
 
   [[nodiscard]] NodeKind kind(NodeId node) const;
@@ -193,28 +258,49 @@ class Network {
   /// to both its outgoing and incoming messages). 0 clears.
   void set_fault_extra_latency(NodeId node, SimTime extra);
 
+  /// Counts deliveries that rode an already-scheduled bucket event instead
+  /// of inserting their own (satellite: batch the receiving edge). A run
+  /// with zero coalescing schedules exactly the events the pre-bucket code
+  /// did.
+  [[nodiscard]] std::uint64_t coalesced_deliveries() const { return coalesced_deliveries_; }
+
  private:
-  /// The one send implementation: send() and FanoutBatch::push() both land
+  /// Result of routing one (possibly weighted) message: where it lands on
+  /// the sim timeline, and whether a fault ate it (dropped messages consume
+  /// egress but must not schedule a delivery event).
+  struct Routed {
+    SimTime at;
+    bool dropped;
+  };
+
+  /// The accounting half of every send: send() and FanoutBatch both land
   /// here, so batched and unbatched deliveries are identical by construction
   /// — same egress arithmetic, same RNG draw sequence, same counters and
-  /// traces. Inline so the per-recipient batch path compiles to straight-line
-  /// code with the src/dst node pointers already pinned by the caller.
-  SimTime send_impl(Node& src, Node& dst, NodeId from, NodeId to, std::size_t bytes,
-                    DeliverFn on_deliver, SimTime extra_delay, SimTime min_arrival) {
+  /// traces. The caller schedules (or buckets) the delivery event at the
+  /// returned time. Inline so the per-recipient batch path compiles to
+  /// straight-line code with the src/dst node pointers already pinned.
+  ///
+  /// `weight` scales one wire run to stand in for N identical messages:
+  /// egress occupancy, bytes and message counters all multiply by N, while
+  /// the latency model is sampled exactly once (the N members share the
+  /// connection, hence the path). weight == 1 is bit-identical to the
+  /// pre-weight arithmetic: the tx-time expression multiplies by 1.0, an
+  /// IEEE-exact identity.
+  Routed route_impl(Node& src, Node& dst, NodeId from, NodeId to, std::size_t bytes,
+                    std::uint32_t weight, SimTime extra_delay, SimTime min_arrival) {
     if (from == to) {
       // Loopback: no NIC, no propagation; still asynchronous for causality.
-      const SimTime at = std::max(sim_.now() + extra_delay, min_arrival);
-      sim_.schedule_at(at, std::move(on_deliver));
-      return at;
+      return {std::max(sim_.now() + extra_delay, min_arrival), false};
     }
 
     const SimTime now = sim_.now();
-    const auto tx_time = static_cast<SimTime>(static_cast<double>(bytes) /
+    const std::uint64_t wire_bytes = static_cast<std::uint64_t>(bytes) * weight;
+    const auto tx_time = static_cast<SimTime>(static_cast<double>(bytes) * weight /
                                               src.config.egress_bytes_per_sec * kSecond);
     const SimTime start = std::max(now, src.egress_free);
     src.egress_free = start + tx_time;
-    src.counters.bytes_sent += bytes;
-    src.counters.messages_sent += 1;
+    src.counters.bytes_sent += wire_bytes;
+    src.counters.messages_sent += weight;
 
     // The latency model is sampled on every send, fast path or not, so the
     // RNG draw sequence — and with it every downstream arrival time — is
@@ -236,30 +322,47 @@ class Network {
         drop = p > 0 && rng_.chance(p);
       }
       if (drop) {
-        src.counters.messages_dropped += 1;
-        src.counters.bytes_dropped += bytes;
+        src.counters.messages_dropped += weight;
+        src.counters.bytes_dropped += wire_bytes;
         DYN_TRACE_HOT(instant(start, from, "net", "drop", "to", static_cast<double>(to),
-                              "bytes", static_cast<double>(bytes)));
+                              "bytes", static_cast<double>(wire_bytes)));
         // The sender spent the egress time; the receiver just never hears it.
-        return src.egress_free + prop;
+        return {src.egress_free + prop, true};
       }
       prop += src.fault_extra_latency + dst.fault_extra_latency;
     }
 
     const SimTime arrival = src.egress_free + prop;
     DYN_TRACE_HOT(complete(start, arrival - start, from, "net", "send", "to",
-                           static_cast<double>(to), "bytes", static_cast<double>(bytes)));
+                           static_cast<double>(to), "bytes", static_cast<double>(wire_bytes)));
     if (extra_delay == 0 && min_arrival <= arrival) {
       // Fast path: no receive-drain delay and per-connection FIFO already
       // satisfied by the egress queue — the common case for control traffic
       // and uncongested data paths.
-      sim_.schedule_at(arrival, std::move(on_deliver));
-      return arrival;
+      return {arrival, false};
     }
-    const SimTime at = std::max(arrival + extra_delay, min_arrival);
-    sim_.schedule_at(at, std::move(on_deliver));
-    return at;
+    return {std::max(arrival + extra_delay, min_arrival), false};
   }
+
+  /// Unbatched send: route, then schedule the single delivery event.
+  SimTime send_impl(Node& src, Node& dst, NodeId from, NodeId to, std::size_t bytes,
+                    DeliverFn on_deliver, SimTime extra_delay, SimTime min_arrival) {
+    const Routed r = route_impl(src, dst, from, to, bytes, 1, extra_delay, min_arrival);
+    if (!r.dropped) sim_.schedule_at(r.at, std::move(on_deliver));
+    return r.at;
+  }
+
+  // ---- coalesced-delivery buckets (FanoutBatch receiving edge) ---------
+  //
+  // When consecutive deliveries in a batch resolve to the same
+  // (destination, arrival-time), the batch opens a bucket here and appends
+  // callbacks; ONE sim event drains the bucket in push order. Slots and
+  // their callback vectors are recycled, so steady-state coalescing
+  // allocates nothing once the slab has warmed up.
+
+  std::uint32_t open_bucket(DeliverFn first);
+  void append_bucket(std::uint32_t slot, DeliverFn cb);
+  void run_bucket(std::uint32_t slot);
 
   struct Node {
     NodeConfig config;
@@ -286,10 +389,17 @@ class Network {
   /// Binary search in the sorted-by-key flat vector (fault path only).
   [[nodiscard]] std::vector<LinkLoss>::const_iterator find_link_loss(std::uint64_t key) const;
 
+  struct Bucket {
+    std::vector<DeliverFn> cbs;
+  };
+
   sim::Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
   Rng rng_;
   std::vector<Node> nodes_;
+  std::vector<Bucket> buckets_;
+  std::vector<std::uint32_t> free_buckets_;
+  std::uint64_t coalesced_deliveries_ = 0;
   bool faults_active_ = false;
   /// Sorted by key: cache-dense binary-search lookup on the fault path and
   /// deterministic order, without std::map's per-link node allocations.

@@ -113,6 +113,18 @@ void RemoteConnection::punsubscribe(const std::string& pattern) {
   });
 }
 
+void RemoteConnection::update_weight(std::uint32_t weight) {
+  const std::size_t bytes = server_.config().msg_overhead_bytes + sizeof(weight);
+  send_command(bytes, [ctx = ctx_, srv = &server_, conn = conn_, weight] {
+    if (!srv->running()) return;
+    if (srv->connection_alive(conn)) {
+      srv->handle_update_weight(conn, weight);
+      return;
+    }
+    bounce_reset(ctx, srv);
+  });
+}
+
 void RemoteConnection::publish(EnvelopePtr env) {
   DYN_CHECK(env != nullptr);
   const std::size_t bytes = wire_size(*env, server_.config().msg_overhead_bytes);

@@ -39,6 +39,11 @@ class RemoteConnection {
   void psubscribe(const std::string& pattern);
   void punsubscribe(const std::string& pattern);
   void publish(EnvelopePtr env);
+  /// Declares this connection's multiplicity (cohort mode): it stands in
+  /// for `weight` identical clients. Rides the command stream like any
+  /// other command, so a weight update ordered before a SUBSCRIBE is
+  /// processed before it.
+  void update_weight(std::uint32_t weight);
 
   /// Client-initiated close. Idempotent.
   void close();

@@ -35,6 +35,8 @@ void PubSubServer::release_connection(Connection& conn) {
   conn.drain_free = 0;
   conn.last_arrival = 0;
   conn.drain_rate = 0;
+  if (conn.weight > 1) --weighted_conns_;
+  conn.weight = 1;
   conn.local = false;
   free_conns_.push_back(&conn);
   --live_conns_;
@@ -154,10 +156,37 @@ void PubSubServer::handle_punsubscribe(ConnId conn, const std::string& pattern) 
   if (c->patterns.empty() && c->pattern_pos != kNoPatternPos) remove_pattern_conn(*c);
 }
 
+void PubSubServer::handle_update_weight(ConnId conn, std::uint32_t weight) {
+  DYN_CHECK(weight >= 1);
+  Connection* c = find(conn);
+  if (!c || !running_) return;
+  consume_cpu(config_.cpu_command_cost_us);
+  if (c->weight == weight) return;
+  const std::uint32_t old = c->weight;
+  if (old == 1) ++weighted_conns_;
+  if (weight == 1) --weighted_conns_;
+  c->weight = weight;
+  if (observers_.empty()) return;
+  // Resolve the connection's current subscriptions so observers tracking
+  // weighted subscriber counts can apply the delta (same shape as
+  // on_disconnect: sorted channel names).
+  std::vector<Channel> channels;
+  channels.reserve(c->channels.size());
+  const ChannelTable& table = ChannelTable::instance();
+  for (ChannelId cid : c->channels) channels.push_back(table.name(cid));
+  std::sort(channels.begin(), channels.end());
+  for (LocalObserver* obs : observers_) {
+    obs->on_weight_update(conn, channels, c->client_node, old, weight);
+  }
+}
+
 void PubSubServer::handle_publish(ConnId conn, EnvelopePtr env) {
   Connection* from = find(conn);
   if (!from || !running_) return;
   DYN_CHECK(env != nullptr);
+  // Captured at entry: a publisher can be overflow-closed mid-fan-out (it
+  // may itself subscribe to the channel), after which `from` dangles.
+  const std::uint32_t pub_weight = from->weight;
 
   // Collect the recipient set: channel subscribers plus pattern matches, at
   // most once per connection (mirrors a client holding one subscription).
@@ -190,9 +219,20 @@ void PubSubServer::handle_publish(ConnId conn, EnvelopePtr env) {
     if (recipients.size() > plain) std::sort(recipients.begin(), recipients.end());
   }
 
-  // Single-threaded processing: the whole fan-out occupies the CPU.
-  const double cost = config_.cpu_publish_cost_us +
-                      config_.cpu_delivery_cost_us * static_cast<double>(recipients.size());
+  // Single-threaded processing: the whole fan-out occupies the CPU. The
+  // delivery cost scales with the number of *modeled* subscribers — a cohort
+  // connection of weight N stands in for N client writes, so cohort-mode
+  // servers CPU-saturate exactly where N individual subscribers would
+  // (Fig 4a). Without weighted connections the weighted count IS
+  // recipients.size(); the pre-pass runs only when a cohort exists.
+  double modeled_fanout = static_cast<double>(recipients.size());
+  if (weighted_conns_ != 0) {
+    std::uint64_t sum = 0;
+    for (ConnId rc : recipients) sum += conn_index_[rc]->weight;
+    modeled_fanout = static_cast<double>(sum);
+  }
+  const double cost =
+      config_.cpu_publish_cost_us + config_.cpu_delivery_cost_us * modeled_fanout;
   const SimTime done = consume_cpu(cost);
 
   // The wire size is a per-publication fact; compute it once, not per
@@ -205,12 +245,13 @@ void PubSubServer::handle_publish(ConnId conn, EnvelopePtr env) {
   // latency sample and delivery event), so arrival times, counters and RNG
   // draws are identical to per-recipient Network::send calls.
   net::Network::FanoutBatch batch(network_, node_);
-  std::size_t delivered = 0;
+  std::size_t delivered = 0;  // weighted: modeled subscribers actually served
   for (ConnId rc : recipients) {
     Connection* c = find(rc);
     if (!c) continue;  // closed by an earlier overflow in this same fan-out
+    const std::uint32_t w = c->weight;
     deliver_to(*c, env, done, bytes, batch);
-    ++delivered;
+    delivered += w;
   }
 
   // Observers are notified at command-acceptance time, not at CPU
@@ -218,7 +259,7 @@ void PubSubServer::handle_publish(ConnId conn, EnvelopePtr env) {
   // arrives, so monitoring and forwarding keep flowing even when the CPU
   // queue is deep — on a saturated server the control plane must not starve
   // behind the data plane.
-  for (LocalObserver* obs : observers_) obs->on_publish(env, delivered);
+  for (LocalObserver* obs : observers_) obs->on_publish(env, delivered, pub_weight);
 }
 
 void PubSubServer::deliver_to(Connection& conn, const EnvelopePtr& env, SimTime ready,
@@ -263,9 +304,15 @@ void PubSubServer::deliver_to(Connection& conn, const EnvelopePtr& env, SimTime 
     return;
   }
 
+  // Weighted egress: a cohort connection's N members each receive their own
+  // copy, so the wire run occupies the server's NIC for N x bytes and bumps
+  // the counters by N (weight 1 is the ordinary path, bit-identical). The
+  // drain model above stays per-member: N identical members drain identical
+  // copies down N identical downlinks in parallel, so one member's
+  // trajectory is every member's trajectory.
   const SimTime extra = conn.drain_free - sim_.now();
-  conn.last_arrival = batch.send(
-      conn.client_node, bytes,
+  conn.last_arrival = batch.send_weighted(
+      conn.client_node, bytes, conn.weight,
       [d = conn.deliver, env] {
         if (d && *d) (*d)(env);
       },
@@ -313,6 +360,19 @@ std::size_t PubSubServer::subscriber_count(const Channel& channel) const {
   const ChannelId cid = ChannelTable::instance().find(channel);
   if (cid == kInvalidChannelId || cid >= channel_hot_.size()) return 0;
   return channel_hot_[cid].count;
+}
+
+std::uint64_t PubSubServer::subscriber_weight(const Channel& channel) const {
+  const ChannelId cid = ChannelTable::instance().find(channel);
+  if (cid == kInvalidChannelId || cid >= channel_hot_.size()) return 0;
+  const ChannelHot hot = channel_hot_[cid];
+  if (hot.set == kNoSet || hot.count == 0) return 0;
+  if (weighted_conns_ == 0) return hot.count;
+  std::vector<ConnId> members;
+  sets_[hot.set].append_to(members);
+  std::uint64_t sum = 0;
+  for (ConnId m : members) sum += conn_index_[m]->weight;
+  return sum;
 }
 
 bool PubSubServer::subscriber_set_dense(const Channel& channel) const {

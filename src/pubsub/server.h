@@ -64,10 +64,22 @@ class LocalObserver {
  public:
   virtual ~LocalObserver() = default;
   /// A publication was processed and fanned out to `subscriber_count`
-  /// connections (not counting observers).
-  virtual void on_publish(const EnvelopePtr& env, std::size_t subscriber_count) = 0;
+  /// *modeled* subscribers (weighted: a cohort connection of weight N counts
+  /// as N; not counting observers). `publisher_weight` is the publishing
+  /// connection's weight — 1 for individual clients, N for a cohort
+  /// connection standing in for N distinct publishers.
+  virtual void on_publish(const EnvelopePtr& env, std::size_t subscriber_count,
+                          std::uint32_t publisher_weight) = 0;
   virtual void on_subscribe(ConnId conn, const Channel& channel, NodeId client_node) = 0;
   virtual void on_unsubscribe(ConnId conn, const Channel& channel, NodeId client_node) = 0;
+  /// The connection's multiplicity changed (cohort resize/migration).
+  /// `channels` lists its current plain subscriptions (sorted by name) so
+  /// observers tracking weighted subscriber counts can apply the delta.
+  virtual void on_weight_update(ConnId conn, const std::vector<Channel>& channels,
+                                NodeId client_node, std::uint32_t old_weight,
+                                std::uint32_t new_weight) {
+    (void)conn, (void)channels, (void)client_node, (void)old_weight, (void)new_weight;
+  }
   /// Connection closed; `channels` lists the plain subscriptions it held
   /// (sorted by name) and `patterns` its glob subscriptions, so observers
   /// tracking either kind can release their state.
@@ -131,6 +143,13 @@ class PubSubServer {
   void handle_psubscribe(ConnId conn, const std::string& pattern);
   void handle_punsubscribe(ConnId conn, const std::string& pattern);
   void handle_publish(ConnId conn, EnvelopePtr env);
+  /// Sets the connection's multiplicity: it now stands in for `weight`
+  /// statistically identical clients (cohort mode). Fan-out to it costs
+  /// weight x egress bytes / messages / CPU, its subscriptions count as
+  /// weight subscribers, and its publications carry publisher-weight
+  /// `weight`. The default weight is 1 and this command is the ONLY way to
+  /// change it, so observers always see every transition. Idempotent.
+  void handle_update_weight(ConnId conn, std::uint32_t weight);
 
   // ---- observers & introspection ----
 
@@ -139,6 +158,15 @@ class PubSubServer {
 
   /// Number of connections subscribed to `channel` (Redis PUBSUB NUMSUB).
   [[nodiscard]] std::size_t subscriber_count(const Channel& channel) const;
+  /// Weighted subscriber count: sum of member connection weights — the
+  /// number of *modeled* subscribers. Equals subscriber_count() when no
+  /// weighted connections exist.
+  [[nodiscard]] std::uint64_t subscriber_weight(const Channel& channel) const;
+  /// The connection's multiplicity (0 for closed/unknown connections).
+  [[nodiscard]] std::uint32_t connection_weight(ConnId conn) const {
+    const Connection* c = conn < conn_index_.size() ? conn_index_[conn] : nullptr;
+    return c ? c->weight : 0;
+  }
   /// Number of connections holding at least one pattern subscription.
   [[nodiscard]] std::size_t pattern_connection_count() const { return pattern_conns_.size(); }
   [[nodiscard]] std::size_t connection_count() const { return live_conns_; }
@@ -200,6 +228,9 @@ class PubSubServer {
     SimTime drain_free = 0;      // receive-path busy-until time
     SimTime last_arrival = 0;    // per-connection FIFO delivery ordering
     double drain_rate = 0;       // receive rate, fixed by the client's kind
+    /// Multiplicity: this connection stands in for `weight` identical
+    /// clients (cohort mode); 1 for ordinary connections.
+    std::uint32_t weight = 1;
     bool local = false;
   };
 
@@ -258,6 +289,11 @@ class PubSubServer {
   std::vector<ConnId> pattern_conns_;  // connections holding >= 1 pattern
   std::vector<LocalObserver*> observers_;
   std::vector<ConnId> fanout_scratch_;  // recipient buffer reused per publish
+
+  /// Connections with weight > 1. The publish path consults weights only
+  /// when this is non-zero, so runs without cohorts execute the exact
+  /// pre-weight instruction sequence.
+  std::size_t weighted_conns_ = 0;
 
   ConnId next_conn_ = 1;
   SimTime cpu_free_ = 0;

@@ -95,6 +95,19 @@ class Simulator {
     return true;
   }
 
+  /// Mutable access to a pending event's callback, or nullptr if the handle
+  /// is dead (fired, cancelled, or slot reused). The event's time and
+  /// tie-break order are untouched — callers may move the callback out and
+  /// install a replacement in place (the fan-out batch uses this to convert
+  /// an already-scheduled delivery into a coalesced-bucket drain without
+  /// re-scheduling).
+  [[nodiscard]] Callback* pending_callback(const EventId& id) {
+    if (id.slot >= slot_count_) return nullptr;
+    Slot& s = slot(id.slot);
+    if (s.generation != id.generation) return nullptr;
+    return &s.cb;
+  }
+
   /// Runs a single event. Returns false if the queue is empty.
   bool step();
 
@@ -240,6 +253,14 @@ class PeriodicTask {
 
   /// Stops future ticks. Safe to call repeatedly or from within the tick.
   void stop();
+
+  /// Re-paces the task (cohort resize: the aggregate publish rate follows
+  /// the member count). A pending tick keeps its already-scheduled deadline;
+  /// ticks after it use the new period. Deterministic: no events move.
+  void set_period(SimTime period) {
+    DYN_CHECK(period > 0);
+    period_ = period;
+  }
 
   [[nodiscard]] bool running() const { return running_; }
   [[nodiscard]] SimTime period() const { return period_; }

@@ -1,0 +1,165 @@
+#include "cohort/cohort.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "metrics/histogram.h"
+
+namespace dynamoth::cohort {
+namespace {
+
+/// One server, fixed WAN latency, one cohort on "arena" plus a spare client
+/// for driving external publications.
+struct CohortFixture {
+  explicit CohortFixture(std::uint32_t members, double rate = 2.0, double duty = 1.0,
+                         std::uint64_t seed = 7) {
+    harness::ClusterConfig config;
+    config.seed = 5;
+    config.initial_servers = 1;
+    config.fixed_latency = true;
+    config.fixed_latency_value = millis(20);
+    cluster = std::make_unique<harness::Cluster>(config);
+
+    CohortConfig cc;
+    cc.channel = "arena";
+    cc.members = members;
+    cc.publish_rate_per_member = rate;
+    cc.duty_cycle = duty;
+    cc.payload_bytes = 200;
+    cohort = std::make_unique<Cohort>(
+        cluster->sim(), cluster->add_client(), cc, Rng(seed),
+        [this](SimTime rtt) { rtts.push_back(rtt); }, &latency);
+  }
+
+  [[nodiscard]] ps::PubSubServer& server() {
+    return cluster->server(cluster->server_ids().front());
+  }
+
+  std::unique_ptr<harness::Cluster> cluster;
+  metrics::Histogram latency;
+  std::vector<SimTime> rtts;
+  std::unique_ptr<Cohort> cohort;
+};
+
+TEST(Cohort, AggregatePublishRateMatchesPopulation) {
+  // 10 members at 2 publications/s each => ~200 wire publications in 10 s,
+  // regardless of the seeded phase.
+  CohortFixture f(10, 2.0);
+  f.cohort->start();
+  f.cluster->sim().run_until(seconds(10));
+  EXPECT_GE(f.cohort->stats().publications, 199u);
+  EXPECT_LE(f.cohort->stats().publications, 201u);
+  EXPECT_EQ(f.cohort->stats().ticks_thinned, 0u);  // duty 1.0 never thins
+}
+
+TEST(Cohort, SubscriptionCarriesMemberWeight) {
+  CohortFixture f(7, 0.5);
+  f.cohort->start();
+  f.cluster->sim().run_for(seconds(1));
+  // One wire subscription standing in for 7 modeled subscribers.
+  EXPECT_EQ(f.server().subscriber_count("arena"), 1u);
+  EXPECT_EQ(f.server().subscriber_weight("arena"), 7u);
+}
+
+TEST(Cohort, DeliveryExpandsIntoExactPerMemberCounts) {
+  // Publish once from an external client while the cohort's own ticker is
+  // still far from its first (slow-rate) tick: one wire delivery must become
+  // exactly `members` member deliveries, bytes and histogram entries.
+  CohortFixture f(5, 0.001, 1.0, /*seed=*/3);
+  f.cohort->start();
+  ASSERT_EQ(f.cohort->stats().publications, 0u);
+  core::DynamothClient& external = f.cluster->add_client();
+  f.cluster->sim().run_for(seconds(1));  // settle subscriptions
+
+  external.publish("arena", 200);
+  f.cluster->sim().run_for(seconds(1));
+
+  EXPECT_EQ(f.cohort->stats().delivery_events, 1u);
+  EXPECT_EQ(f.cohort->stats().member_deliveries, 5u);
+  EXPECT_EQ(f.cohort->stats().member_bytes, 5u * 200u);
+  EXPECT_EQ(f.latency.count(), 5u);
+  // Not the cohort's own publication: no RTT sample.
+  EXPECT_EQ(f.cohort->stats().echoes, 0u);
+  EXPECT_TRUE(f.rtts.empty());
+}
+
+TEST(Cohort, RecordsOneRttSamplePerEcho) {
+  // In individual mode only the publishing member records its round trip, so
+  // the exact-match rate is one RTT sample per own publication heard back.
+  CohortFixture f(4, 2.0);
+  f.cohort->start();
+  f.cluster->sim().run_until(seconds(5));
+  const CohortStats& stats = f.cohort->stats();
+  EXPECT_GT(stats.publications, 30u);
+  EXPECT_EQ(stats.delivery_events, stats.echoes);  // sole subscriber is itself
+  EXPECT_EQ(f.rtts.size(), stats.echoes);
+  EXPECT_LE(stats.echoes, stats.publications);
+  EXPECT_GE(stats.echoes + 2, stats.publications);  // tail still in flight
+  EXPECT_EQ(f.latency.count(), stats.member_deliveries);
+}
+
+TEST(Cohort, ParksAtZeroMembersAndRevives) {
+  CohortFixture f(4, 0.001, 1.0, /*seed=*/3);
+  f.cohort->start();
+  core::DynamothClient& external = f.cluster->add_client();
+  f.cluster->sim().run_for(seconds(1));
+  ASSERT_EQ(f.server().subscriber_weight("arena"), 4u);
+
+  // Everyone migrates away: unsubscribed and silent.
+  f.cohort->set_members(0);
+  f.cluster->sim().run_for(seconds(1));
+  EXPECT_EQ(f.server().subscriber_weight("arena"), 0u);
+  external.publish("arena", 100);
+  f.cluster->sim().run_for(seconds(1));
+  EXPECT_EQ(f.cohort->stats().delivery_events, 0u);
+
+  // Members migrate back in at a different count.
+  f.cohort->set_members(3);
+  f.cluster->sim().run_for(seconds(1));
+  EXPECT_EQ(f.server().subscriber_weight("arena"), 3u);
+  external.publish("arena", 100);
+  f.cluster->sim().run_for(seconds(1));
+  EXPECT_EQ(f.cohort->stats().delivery_events, 1u);
+  EXPECT_EQ(f.cohort->stats().member_deliveries, 3u);
+}
+
+TEST(Cohort, ResizeReweightsSubscriptionInPlace) {
+  // Migration resize must not churn the wire subscription: same connection,
+  // new weight.
+  CohortFixture f(6, 0.001, 1.0, /*seed=*/3);
+  f.cohort->start();
+  f.cluster->sim().run_for(seconds(1));
+  ASSERT_EQ(f.server().subscriber_weight("arena"), 6u);
+  ASSERT_EQ(f.server().subscriber_count("arena"), 1u);
+
+  f.cohort->set_members(9);
+  f.cluster->sim().run_for(seconds(1));
+  EXPECT_EQ(f.server().subscriber_weight("arena"), 9u);
+  EXPECT_EQ(f.server().subscriber_count("arena"), 1u);
+}
+
+TEST(Cohort, DutyCycleThinsDeterministically) {
+  // duty 0.5: every aggregate slot publishes with probability 1/2 via a
+  // seeded draw; slots + thinned always add up, and the same seed reproduces
+  // the exact trajectory.
+  CohortFixture a(10, 2.0, 0.5, /*seed=*/11);
+  a.cohort->start();
+  a.cluster->sim().run_until(seconds(10));
+  const std::uint64_t slots = a.cohort->stats().publications + a.cohort->stats().ticks_thinned;
+  EXPECT_GE(slots, 199u);
+  EXPECT_LE(slots, 201u);
+  EXPECT_GT(a.cohort->stats().publications, 60u);
+  EXPECT_LT(a.cohort->stats().publications, 140u);
+
+  CohortFixture b(10, 2.0, 0.5, /*seed=*/11);
+  b.cohort->start();
+  b.cluster->sim().run_until(seconds(10));
+  EXPECT_EQ(a.cohort->stats().publications, b.cohort->stats().publications);
+  EXPECT_EQ(a.cohort->stats().ticks_thinned, b.cohort->stats().ticks_thinned);
+}
+
+}  // namespace
+}  // namespace dynamoth::cohort

@@ -20,9 +20,11 @@
 
 #include <gtest/gtest.h>
 
+#include "cohort/cohort.h"
 #include "common/lru_set.h"
 #include "common/types.h"
 #include "harness/cluster.h"
+#include "metrics/histogram.h"
 #include "latency/latency_model.h"
 #include "net/network.h"
 #include "pubsub/envelope.h"
@@ -398,6 +400,97 @@ TEST(AllocGuard, SteadyStateWithPeakEwmaPolicyIsAllocationFree) {
 
 TEST(AllocGuard, SteadyStateWithMaglevPolicyIsAllocationFree) {
   expect_policy_steady_state_alloc_free(placement::PolicyKind::kMaglev);
+}
+
+TEST(AllocGuard, CohortPublishAndExpandedDeliveryIsAllocationFree) {
+  // The cohort steady state: one aggregate ticker publishing at N x the
+  // per-member rate, one weighted wire delivery expanded into exact
+  // per-member counts and a weighted histogram insert. None of it may touch
+  // the allocator once warm — this is what makes 10^6 modeled users cheap.
+  harness::ClusterConfig cluster_config;
+  cluster_config.seed = 11;
+  cluster_config.initial_servers = 1;
+  cluster_config.fixed_latency = true;
+  cluster_config.fixed_latency_value = millis(5);
+  cluster_config.server_capacity = 1e12;
+  cluster_config.server_nic_headroom = 1.0;
+  cluster_config.client_egress = 1e12;
+  cluster_config.pubsub.conn_drain_bytes_per_sec = 1e12;
+  cluster_config.pubsub.infra_drain_bytes_per_sec = 1e12;
+  cluster_config.pubsub.conn_output_buffer_limit = std::size_t{1} << 40;
+  cluster_config.pubsub.max_egress_backlog = seconds(1e6);
+  cluster_config.pubsub.cpu_publish_cost_us = 0;
+  cluster_config.pubsub.cpu_delivery_cost_us = 0;
+  cluster_config.pubsub.cpu_command_cost_us = 0;
+  harness::Cluster cluster(cluster_config);
+  sim::Simulator& sim = cluster.sim();
+
+  metrics::Histogram latency;
+  std::uint64_t echoes = 0;
+  cohort::CohortConfig cohort_config;
+  cohort_config.channel = "arena";
+  cohort_config.members = 1000;
+  cohort_config.publish_rate_per_member = 3.0;  // 3000 wire publications/s
+  cohort_config.payload_bytes = 128;
+  cohort::Cohort cohort(sim, cluster.add_client(), cohort_config, Rng(7),
+                        [&echoes](SimTime) { ++echoes; }, &latency);
+  cohort.start();
+  sim.run_for(seconds(2));  // settle subscription, prime pools and slabs
+
+  auto run_batch = [&] { sim.run_for(millis(50)); };  // ~150 publications
+
+  for (int i = 0; i < 3; ++i) run_batch();
+  sim.run_for(seconds(1));  // realign: next batches start window-fresh
+  const cohort::CohortStats before = cohort.stats();
+
+  const std::uint64_t allocs_before = g_new_calls;
+  for (int i = 0; i < 2; ++i) run_batch();
+  const std::uint64_t allocs = g_new_calls - allocs_before;
+
+  const cohort::CohortStats after = cohort.stats();
+  EXPECT_EQ(allocs, 0u) << "cohort steady-state path allocated " << allocs
+                        << " times over " << after.publications - before.publications
+                        << " aggregate publications";
+  EXPECT_GT(after.publications, before.publications + 200);
+  // Each wire delivery expanded into exactly `members` modeled deliveries.
+  EXPECT_EQ(after.member_deliveries - before.member_deliveries,
+            (after.delivery_events - before.delivery_events) * 1000);
+  EXPECT_EQ(latency.count(), after.member_deliveries);
+  EXPECT_EQ(echoes, after.echoes);
+}
+
+TEST(AllocGuard, BucketedSameArrivalDeliveryIsAllocationFree) {
+  // The batch receiving edge: pushes in a FanoutBatch that share a
+  // (destination, arrival-time) pair coalesce into one recycled bucket event
+  // instead of one heap event each. After the bucket slab and callback
+  // vectors are warm, a full fan-out -> bucket -> run cycle is allocation
+  // free.
+  sim::Simulator sim;
+  net::Network network(sim, std::make_unique<net::FixedLatencyModel>(millis(5), millis(1)),
+                       Rng(3));
+  const NodeId src = network.add_node({net::NodeKind::kInfrastructure, 1e15});
+  const NodeId dst = network.add_node({net::NodeKind::kClient, 1e15});
+
+  std::uint64_t got = 0;
+  constexpr int kFan = 64;
+  auto fanout_cycle = [&] {
+    {
+      net::Network::FanoutBatch batch(network, src);
+      for (int i = 0; i < kFan; ++i) batch.send(dst, 128, [&got] { ++got; });
+    }
+    sim.run();
+  };
+
+  for (int i = 0; i < 3; ++i) fanout_cycle();  // warm slab + bucket vectors
+  const std::uint64_t delivered_before = got;
+
+  const std::uint64_t allocs_before = g_new_calls;
+  for (int i = 0; i < 2; ++i) fanout_cycle();
+  const std::uint64_t allocs = g_new_calls - allocs_before;
+
+  EXPECT_EQ(allocs, 0u) << "bucketed delivery allocated " << allocs << " times over "
+                        << 2 * kFan << " same-arrival sends";
+  EXPECT_EQ(got - delivered_before, 2u * kFan);
 }
 
 TEST(AllocGuard, LruSetDedupInsertsAreAllocationFreeAfterConstruction) {

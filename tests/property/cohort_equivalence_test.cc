@@ -1,0 +1,280 @@
+// Cohort equivalence property (the cohort subsystem's correctness anchor):
+// a Cohort of N members and N expanded individual clients with matched seeds
+// must drive EXACTLY the same aggregate load.
+//
+// Seed matching: the cohort draws a phase u ~ U[0,1) from Rng(kPhaseSeed)
+// and publishes at phase + m*P where P = 1s / (N * rate). The individual run
+// recomputes the same phase from a copy of that Rng and gives member j a
+// periodic publisher with period N*P starting at phase + j*P — the union of
+// the members' publication instants is exactly the cohort's tick train, so
+// every wire publication happens at the same simulated microsecond in both
+// runs.
+//
+// What is compared exactly:
+//   * every server-side publish event: processing time and weighted
+//     subscriber count (the fan-out the LLA and billing see),
+//   * the per-window "arena" ChannelStats in the LLA's LoadReports
+//     (publications, deliveries, bytes, weighted subscribers/publishers,
+//     attributed CPU),
+//   * total modeled member deliveries and the standing subscriber weight,
+//   * the rebalance audit trail when the load crosses lr_high.
+//
+// What cannot be bit-equal — and why it is fine: the LoadReport wire size
+// grows with the number of channels that have subscribers, and N individual
+// clients carry N "@ctl:client-*" channels where the cohort carries one. The
+// report-to-balancer bytes therefore differ by a few hundred B/s, shifting
+// the NIC-measured M_i (and thus the decision-time load ratio) by a few
+// percent. The audit comparison uses a decisive margin (LR ~ 0.93 against a
+// 0.85 threshold) so both representations trigger identically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cohort/cohort.h"
+#include "core/client.h"
+#include "core/control.h"
+#include "core/lla.h"
+#include "core/load_balancer.h"
+#include "harness/cluster.h"
+#include "obs/audit.h"
+#include "pubsub/server.h"
+
+namespace dynamoth {
+namespace {
+
+constexpr double kRate = 1.0;        // publications per member per second
+constexpr std::size_t kPayload = 140;
+constexpr std::uint64_t kPhaseSeed = 4242;
+
+[[nodiscard]] SimTime aggregate_period(std::uint32_t members) {
+  return std::max<SimTime>(
+      1, static_cast<SimTime>(static_cast<double>(kSecond) /
+                              (static_cast<double>(members) * kRate)));
+}
+
+[[nodiscard]] SimTime matched_phase(std::uint32_t members) {
+  Rng rng(kPhaseSeed);  // same first draw as the cohort's ticker phase
+  return static_cast<SimTime>(rng.uniform() *
+                              static_cast<double>(aggregate_period(members)));
+}
+
+struct PublishRecord {
+  SimTime at = 0;            // server processing time
+  std::size_t delivered = 0; // weighted modeled subscribers served
+  bool operator==(const PublishRecord&) const = default;
+};
+
+/// Declared before the Cluster in every scenario so it outlives the server
+/// that holds a pointer to it.
+class RecordingObserver final : public ps::LocalObserver {
+ public:
+  void on_publish(const ps::EnvelopePtr& env, std::size_t subscriber_count,
+                  std::uint32_t /*publisher_weight*/) override {
+    if (env->channel == "arena") records.push_back({sim->now(), subscriber_count});
+  }
+  void on_subscribe(ps::ConnId, const Channel&, NodeId) override {}
+  void on_unsubscribe(ps::ConnId, const Channel&, NodeId) override {}
+  void on_disconnect(ps::ConnId, const std::vector<Channel>&,
+                     const std::vector<std::string>&, ps::CloseReason) override {}
+
+  sim::Simulator* sim = nullptr;
+  std::vector<PublishRecord> records;
+};
+
+/// The population under test, in either representation. Owns the cohort /
+/// the expanded members' tickers; both publish kRate per member per second
+/// on "arena" with the matched phase.
+struct Population {
+  void install(harness::Cluster& cluster, bool cohort_mode, std::uint32_t members) {
+    if (cohort_mode) {
+      cohort::CohortConfig cc;
+      cc.channel = "arena";
+      cc.members = members;
+      cc.publish_rate_per_member = kRate;
+      cc.payload_bytes = kPayload;
+      cohort = std::make_unique<cohort::Cohort>(cluster.sim(), cluster.add_client(), cc,
+                                                Rng(kPhaseSeed), [](SimTime) {}, nullptr);
+      cohort->start();
+      return;
+    }
+    const SimTime period = aggregate_period(members);
+    const SimTime phase = matched_phase(members);
+    for (std::uint32_t j = 0; j < members; ++j) {
+      core::DynamothClient& member = cluster.add_client();
+      member.subscribe("arena",
+                       [this](const ps::EnvelopePtr&) { ++individual_deliveries; });
+      tickers.push_back(std::make_unique<sim::PeriodicTask>(
+          cluster.sim(), period * members,
+          [&member] { member.publish("arena", kPayload); }));
+      tickers.back()->start_after(phase + static_cast<SimTime>(j) * period);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t member_deliveries() const {
+    return cohort ? cohort->stats().member_deliveries : individual_deliveries;
+  }
+
+  std::unique_ptr<cohort::Cohort> cohort;
+  std::vector<std::unique_ptr<sim::PeriodicTask>> tickers;
+  std::uint64_t individual_deliveries = 0;
+};
+
+struct RunOutcome {
+  std::vector<PublishRecord> publishes;
+  std::vector<core::ChannelStats> windows;  // "arena" entry of each LoadReport
+  std::uint64_t member_deliveries = 0;
+  std::uint64_t subscriber_weight = 0;
+};
+
+RunOutcome run_scenario(bool cohort_mode, std::uint32_t members) {
+  harness::ClusterConfig config;
+  config.seed = 5;
+  config.initial_servers = 1;
+  config.fixed_latency = true;
+  config.fixed_latency_value = millis(20);
+
+  RecordingObserver obs;
+  auto cluster = std::make_unique<harness::Cluster>(config);
+  obs.sim = &cluster->sim();
+  const ServerId sid = cluster->server_ids().front();
+  cluster->server(sid).add_observer(&obs);
+
+  // Intercept the LLA's reports at a probe node instead of a balancer.
+  RunOutcome out;
+  const NodeId probe =
+      cluster->network().add_node({net::NodeKind::kInfrastructure, 12.5e6});
+  cluster->lla(sid).set_report_target(probe, [&out](const core::LoadReport& report) {
+    auto it = report.channels.find("arena");
+    out.windows.push_back(it == report.channels.end() ? core::ChannelStats{}
+                                                      : it->second);
+  });
+
+  Population population;
+  population.install(*cluster, cohort_mode, members);
+  cluster->sim().run_until(seconds(12));
+
+  out.publishes = std::move(obs.records);
+  out.member_deliveries = population.member_deliveries();
+  out.subscriber_weight = cluster->server(sid).subscriber_weight("arena");
+  return out;
+}
+
+TEST(CohortEquivalence, AggregatesMatchExpandedClientsExactly) {
+  for (std::uint32_t members : {1u, 2u, 5u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "members=" << members);
+    // The first publication must land after the subscriptions settle (one
+    // WAN hop plus command serialization), otherwise the two representations
+    // could legitimately diverge on early deliveries.
+    ASSERT_GT(matched_phase(members), millis(25));
+
+    const RunOutcome cohort = run_scenario(/*cohort_mode=*/true, members);
+    const RunOutcome expanded = run_scenario(/*cohort_mode=*/false, members);
+
+    // Every wire publication: same instant, same weighted fan-out.
+    ASSERT_EQ(cohort.publishes.size(), expanded.publishes.size());
+    ASSERT_GT(cohort.publishes.size(), 8u);  // ~12 at 1/member/s over 12 s
+    for (std::size_t k = 0; k < cohort.publishes.size(); ++k) {
+      SCOPED_TRACE(testing::Message() << "publish #" << k);
+      EXPECT_EQ(cohort.publishes[k].at, expanded.publishes[k].at);
+      EXPECT_EQ(cohort.publishes[k].delivered, expanded.publishes[k].delivered);
+      EXPECT_EQ(cohort.publishes[k].delivered, members);
+    }
+
+    // Aggregate accounting the balancer would act on.
+    EXPECT_EQ(cohort.subscriber_weight, members);
+    EXPECT_EQ(expanded.subscriber_weight, members);
+    EXPECT_EQ(cohort.member_deliveries, expanded.member_deliveries);
+    EXPECT_EQ(cohort.member_deliveries,
+              static_cast<std::uint64_t>(members) * cohort.publishes.size());
+
+    // Per-window LLA channel stats, field by field.
+    ASSERT_EQ(cohort.windows.size(), expanded.windows.size());
+    ASSERT_GE(cohort.windows.size(), 10u);
+    for (std::size_t w = 0; w < cohort.windows.size(); ++w) {
+      SCOPED_TRACE(testing::Message() << "window #" << w);
+      const core::ChannelStats& a = cohort.windows[w];
+      const core::ChannelStats& b = expanded.windows[w];
+      EXPECT_EQ(a.publications, b.publications);
+      EXPECT_EQ(a.deliveries, b.deliveries);
+      EXPECT_EQ(a.bytes_in, b.bytes_in);
+      EXPECT_EQ(a.bytes_out, b.bytes_out);
+      EXPECT_EQ(a.subscribers, b.subscribers);
+      EXPECT_EQ(a.publishers, b.publishers);
+      EXPECT_EQ(a.cpu_us, b.cpu_us);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+std::vector<obs::RebalanceRecord> run_audit_scenario(bool cohort_mode) {
+  constexpr std::uint32_t kMembers = 6;
+
+  harness::ClusterConfig config;
+  config.seed = 5;
+  config.initial_servers = 1;
+  config.fixed_latency = true;
+  config.fixed_latency_value = millis(20);
+  // 6 members x 1 msg/s, each delivered to 6 modeled subscribers at
+  // (140 + 64) B => ~7.3 kB/s against 8 kB/s advertised: LR ~ 0.92, far
+  // enough above lr_high that the report-size delta between modes (a few
+  // percent of M_i) cannot flip the decision.
+  config.server_capacity = 8000;
+  // A spawn longer than the run: the high-load round requests a server and
+  // leaves an audit-only record, but the plan never changes — keeping both
+  // runs on one server for the whole comparison.
+  config.cloud.spawn_delay = seconds(1000);
+
+  auto cluster = std::make_unique<harness::Cluster>(config);
+  core::DynamothLoadBalancer::Config lb;
+  lb.t_wait = seconds(5);
+  lb.enable_replication = false;
+  lb.max_servers = 2;
+  core::DynamothLoadBalancer& balancer = cluster->use_dynamoth(lb);
+
+  Population population;
+  population.install(*cluster, cohort_mode, kMembers);
+  cluster->sim().run_until(seconds(25));
+
+  const auto& records = balancer.audit().records();
+  return {records.begin(), records.end()};
+}
+
+TEST(CohortEquivalence, RebalanceAuditTriggersMatch) {
+  ASSERT_GT(matched_phase(6), millis(25));
+  const std::vector<obs::RebalanceRecord> cohort = run_audit_scenario(true);
+  const std::vector<obs::RebalanceRecord> expanded = run_audit_scenario(false);
+
+  ASSERT_GE(cohort.size(), 1u) << "overload never triggered in cohort mode";
+  ASSERT_EQ(cohort.size(), expanded.size());
+  for (std::size_t r = 0; r < cohort.size(); ++r) {
+    SCOPED_TRACE(testing::Message() << "record #" << r);
+    const obs::RebalanceRecord& a = cohort[r];
+    const obs::RebalanceRecord& b = expanded[r];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.plan_id, b.plan_id);
+    EXPECT_EQ(a.spawn_requested, b.spawn_requested);
+    EXPECT_EQ(a.forced, b.forced);
+    EXPECT_EQ(a.active_servers, b.active_servers);
+    EXPECT_EQ(a.releasing, b.releasing);
+    EXPECT_EQ(a.moves.size(), b.moves.size());
+    // Decision ticks are 1 s apart; the report-size delta shifts M_i by a
+    // few percent, never enough to move the crossing to a different tick.
+    EXPECT_NEAR(to_seconds(a.time), to_seconds(b.time), 1.5);
+    ASSERT_EQ(a.triggers.size(), b.triggers.size());
+    for (std::size_t t = 0; t < a.triggers.size(); ++t) {
+      EXPECT_EQ(a.triggers[t].reason, b.triggers[t].reason);
+      EXPECT_EQ(a.triggers[t].server, b.triggers[t].server);
+      EXPECT_EQ(a.triggers[t].threshold, b.triggers[t].threshold);
+      EXPECT_NEAR(a.triggers[t].value, b.triggers[t].value, 0.1);
+    }
+  }
+  // The overload round asked the cloud for capacity in both representations.
+  EXPECT_TRUE(cohort.front().spawn_requested);
+  EXPECT_TRUE(expanded.front().spawn_requested);
+}
+
+}  // namespace
+}  // namespace dynamoth

@@ -265,8 +265,9 @@ TEST(PubSubServer, GlobMatchingEdgeCases) {
 }
 
 struct RecordingObserver : LocalObserver {
-  void on_publish(const EnvelopePtr& env, std::size_t subs) override {
+  void on_publish(const EnvelopePtr& env, std::size_t subs, std::uint32_t pub_weight) override {
     publishes.emplace_back(env->channel, subs);
+    publisher_weights.push_back(pub_weight);
   }
   void on_subscribe(ConnId, const Channel& channel, NodeId) override {
     subscribes.push_back(channel);
@@ -281,6 +282,7 @@ struct RecordingObserver : LocalObserver {
     ++disconnects;
   }
   std::vector<std::pair<Channel, std::size_t>> publishes;
+  std::vector<std::uint32_t> publisher_weights;
   std::vector<Channel> subscribes;
   std::vector<Channel> unsubscribes;
   std::vector<Channel> disconnect_channels;
