@@ -1,5 +1,7 @@
 #include "common/channel_table.h"
 
+#include <algorithm>
+
 namespace dynamoth {
 
 ChannelTable& ChannelTable::instance() {
@@ -7,12 +9,27 @@ ChannelTable& ChannelTable::instance() {
   return table;
 }
 
+void ChannelTable::add_listener(Listener* listener) {
+  DYN_CHECK(listener != nullptr);
+  if (std::find(listeners_.begin(), listeners_.end(), listener) == listeners_.end()) {
+    listeners_.push_back(listener);
+  }
+}
+
+void ChannelTable::remove_listener(Listener* listener) { std::erase(listeners_, listener); }
+
 ChannelId ChannelTable::intern_new(std::string_view name) {
   DYN_CHECK(names_.size() < kInvalidChannelId);
   const auto id = static_cast<ChannelId>(names_.size());
   const std::string& stored = names_.emplace_back(name);
   control_.push_back(stored.rfind("@ctl:", 0) == 0 ? 1 : 0);
   ids_.emplace(std::string_view(stored), id);
+  // Index-based: a listener may add/remove listeners from its callback.
+  // Listeners registered during notification do not see this channel (they
+  // scan the table when they register).
+  for (std::size_t i = 0; i < listeners_.size(); ++i) {
+    listeners_[i]->on_new_channel(id, stored);
+  }
   return id;
 }
 

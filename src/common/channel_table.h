@@ -33,9 +33,24 @@ inline constexpr ChannelId kInvalidChannelId = 0xFFFF'FFFF;
 
 class ChannelTable {
  public:
+  /// Notified when a name is interned for the first time. This is the
+  /// directory hook behind incremental pattern expansion (DESIGN.md section
+  /// 14): a pattern subscriber learns about newly created channels the
+  /// instant any component interns the name, without polling. Listeners must
+  /// not intern from inside the callback (re-entrancy); deferring work via
+  /// the simulator is the expected shape.
+  class Listener {
+   public:
+    virtual ~Listener() = default;
+    virtual void on_new_channel(ChannelId id, const std::string& name) = 0;
+  };
+
   /// The process-wide table. All components intern through this instance so
   /// ids are comparable across servers, dispatchers and the load balancer.
   static ChannelTable& instance();
+
+  void add_listener(Listener* listener);
+  void remove_listener(Listener* listener);
 
   /// Returns the id for `name`, interning it on first sight. O(1) amortized;
   /// idempotent.
@@ -84,6 +99,10 @@ class ChannelTable {
   std::unordered_map<std::string_view, ChannelId, StringHash, std::equal_to<>> ids_;
   std::deque<std::string> names_;
   std::vector<std::uint8_t> control_;
+  /// Index-iterated during notification: a callback may register another
+  /// listener (vector growth would invalidate iterators). Empty in every
+  /// pattern-free run, so the fast path pays one empty() branch.
+  std::vector<Listener*> listeners_;
 };
 
 /// Shorthand for ChannelTable::instance().intern(name).

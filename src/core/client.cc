@@ -37,9 +37,15 @@ void DynamothClient::shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
   sweeper_.stop();
+  if (listening_) {
+    ChannelTable::instance().remove_listener(this);
+    listening_ = false;
+  }
   for (auto& [_, conn] : conns_) conn->close();
   conns_.clear();
   channels_.clear();
+  patterns_.clear();
+  pending_expansions_.clear();
   pending_.clear();
 }
 
@@ -110,10 +116,108 @@ void DynamothClient::unsubscribe(const Channel& channel) {
   st.subscribed = false;
   st.handler = nullptr;
   st.last_activity = sim_.now();
+  // Patterns expanded onto this channel still need the stream: the server-
+  // side subscription stays until the last interest goes away.
+  if (!st.patterns.empty()) return;
+  teardown_placement(channel, st);
+}
+
+void DynamothClient::teardown_placement(const Channel& channel, ChannelState& st) {
   for (ServerId s : st.sub_servers) {
     if (ps::RemoteConnection* conn = connection(s)) conn->unsubscribe(channel);
   }
   st.sub_servers.clear();
+}
+
+void DynamothClient::psubscribe(const std::string& pattern, MessageHandler handler) {
+  DYN_CHECK(!shut_down_);
+  auto [it, inserted] = patterns_.try_emplace(pattern);
+  PatternState& ps = it->second;
+  ps.handler = std::move(handler);
+  if (!inserted) return;  // handler replaced; expansion state already live
+  ps.compiled = ps::CompiledPattern::compile(pattern);
+
+  if (!listening_) {
+    ChannelTable::instance().add_listener(this);
+    listening_ = true;
+  }
+
+  // Expand against every name the process has ever interned (the directory
+  // semantics: any channel anyone has mentioned). The table can grow during
+  // the scan (placement interns control-channel names); new ids are covered
+  // because the loop re-reads size() and attach_pattern is idempotent.
+  const ChannelTable& table = ChannelTable::instance();
+  for (ChannelId id = 0; id < table.size(); ++id) {
+    if (table.is_control(id)) continue;
+    const std::string& name = table.name(id);
+    if (ps.compiled.match(name)) attach_pattern(name, ps);
+  }
+}
+
+void DynamothClient::punsubscribe(const std::string& pattern) {
+  auto it = patterns_.find(pattern);
+  if (it == patterns_.end()) return;
+  PatternState& ps = it->second;
+  for (const Channel& channel : ps.channels) {
+    auto cit = channels_.find(channel);
+    if (cit == channels_.end()) continue;
+    ChannelState& st = cit->second;
+    std::erase(st.patterns, &ps);
+    st.last_activity = sim_.now();
+    if (!wants_subscription(st)) teardown_placement(channel, st);
+  }
+  patterns_.erase(it);
+  if (patterns_.empty() && listening_) {
+    ChannelTable::instance().remove_listener(this);
+    listening_ = false;
+  }
+}
+
+void DynamothClient::attach_pattern(const Channel& channel, PatternState& pattern) {
+  ChannelState& st = state_for(channel);
+  if (std::find(st.patterns.begin(), st.patterns.end(), &pattern) != st.patterns.end()) return;
+  st.patterns.push_back(&pattern);
+  pattern.channels.insert(channel);
+  st.last_activity = sim_.now();
+  ++stats_.patterns_expanded;
+  place_subscription(channel, st);
+}
+
+void DynamothClient::on_new_channel(ChannelId id, const std::string& name) {
+  if (shut_down_ || ChannelTable::instance().is_control(id)) return;
+  // Cheap prefilter: only names some registered pattern matches are queued.
+  bool matches = false;
+  for (const auto& [_, ps] : patterns_) {
+    if (ps.compiled.match(name)) {
+      matches = true;
+      break;
+    }
+  }
+  if (!matches) return;
+  pending_expansions_.push_back(name);
+  if (expansion_scheduled_) return;
+  expansion_scheduled_ = true;
+  // Deferred: interning happens inside arbitrary components' call stacks
+  // (often our own placement path); expanding re-entrantly from the listener
+  // callback would mutate subscription state mid-operation.
+  std::weak_ptr<bool> alive = alive_;
+  sim_.schedule_after(0, [this, alive] {
+    auto a = alive.lock();
+    if (!a || !*a) return;
+    expansion_scheduled_ = false;
+    drain_expansions();
+  });
+}
+
+void DynamothClient::drain_expansions() {
+  // Swap out first: attach_pattern can intern new names, which re-enqueue.
+  std::vector<std::string> names;
+  names.swap(pending_expansions_);
+  for (const std::string& name : names) {
+    for (auto& [_, ps] : patterns_) {
+      if (ps.compiled.match(name)) attach_pattern(name, ps);
+    }
+  }
 }
 
 void DynamothClient::place_subscription(const Channel& channel, ChannelState& st) {
@@ -198,7 +302,7 @@ void DynamothClient::ensure_live_entry(const Channel& channel, ChannelState& st)
   st.entry.mode = ReplicationMode::kNone;
   st.entry.version = 0;
   st.all_pubs_pick = kInvalidServer;
-  if (st.subscribed) place_subscription(channel, st);
+  if (wants_subscription(st)) place_subscription(channel, st);
   if (st.entry.servers != old_servers) republish_recent(st);
 }
 
@@ -350,7 +454,7 @@ void DynamothClient::apply_entry(const Channel& channel, const PlanEntry& entry)
   const bool rehomed = entry.servers != st.entry.servers;
   st.entry = entry;
   st.last_activity = sim_.now();
-  if (st.subscribed) place_subscription(channel, st);
+  if (wants_subscription(st)) place_subscription(channel, st);
   // The previous owner may have died with the tail of our stream; push the
   // recent publishes through the new placement (receivers dedup by id).
   if (rehomed) republish_recent(st);
@@ -385,13 +489,33 @@ void DynamothClient::on_deliver(ServerId /*from*/, const ps::EnvelopePtr& env) {
         return;
       }
       auto it = channels_.find(env->channel);
-      if (it == channels_.end() || !it->second.subscribed || !it->second.handler) {
+      if (it == channels_.end()) {
         ++stats_.stale_drops;  // e.g. unsubscribed while the message was in flight
         return;
       }
-      it->second.last_activity = sim_.now();
+      ChannelState& st = it->second;
+      const bool explicit_sub = st.subscribed && st.handler;
+      // Snapshot the matching pattern handlers before invoking anything: a
+      // handler may mutate channel state (the member scratch keeps the
+      // steady-state delivery path allocation-free).
+      pattern_scratch_.clear();
+      for (PatternState* p : st.patterns) {
+        if (p->handler) pattern_scratch_.push_back(p);
+      }
+      if (!explicit_sub && pattern_scratch_.empty()) {
+        ++stats_.stale_drops;
+        return;
+      }
+      st.last_activity = sim_.now();
       ++stats_.received;
-      it->second.handler(env);
+      // One invocation per held subscription (Redis semantics): the explicit
+      // handler plus each pattern expanded onto the channel, exactly once
+      // per message id (the dedup above covers replicated placements).
+      if (explicit_sub) st.handler(env);
+      for (PatternState* p : pattern_scratch_) {
+        ++stats_.pattern_deliveries;
+        p->handler(env);
+      }
       return;
     }
     default:
@@ -419,13 +543,13 @@ void DynamothClient::on_closed(ServerId from, ps::CloseReason /*reason*/) {
     if (st.entry.mode == ReplicationMode::kAllPublishers && st.all_pubs_pick == from) {
       st.all_pubs_pick = kInvalidServer;
     }
-    if (!st.subscribed) continue;
+    if (!wants_subscription(st)) continue;
     Channel ch = channel;
     sim_.schedule_after(config_.reconnect_delay, [this, alive, ch] {
       auto a = alive.lock();
       if (!a || !*a) return;
       auto it = channels_.find(ch);
-      if (it == channels_.end() || !it->second.subscribed) return;
+      if (it == channels_.end() || !wants_subscription(it->second)) return;
       ChannelState& st2 = it->second;
       // If the server vanished entirely, fall back to consistent hashing.
       bool any_alive = false;
@@ -450,12 +574,14 @@ void DynamothClient::sweep() {
   const SimTime now = sim_.now();
   for (auto it = channels_.begin(); it != channels_.end();) {
     ChannelState& st = it->second;
-    if (!st.subscribed && now - st.last_activity > config_.entry_timeout) {
+    // Pattern-held channels never expire: the pattern's interest is
+    // standing, independent of traffic.
+    if (!wants_subscription(st) && now - st.last_activity > config_.entry_timeout) {
       ++stats_.entries_expired;
       it = channels_.erase(it);
       continue;
     }
-    if (st.subscribed) {
+    if (wants_subscription(st)) {
       // Reconciliation: a subscription whose placement is empty (placement
       // failed) or references a dead server is not actually receiving
       // anything — re-place it, falling back to the ring if needed.
@@ -487,6 +613,15 @@ void DynamothClient::sweep() {
 bool DynamothClient::subscribed(const Channel& channel) const {
   auto it = channels_.find(channel);
   return it != channels_.end() && it->second.subscribed;
+}
+
+bool DynamothClient::pattern_subscribed(const std::string& pattern) const {
+  return patterns_.contains(pattern);
+}
+
+std::set<Channel> DynamothClient::pattern_channels(const std::string& pattern) const {
+  auto it = patterns_.find(pattern);
+  return it == patterns_.end() ? std::set<Channel>{} : it->second.channels;
 }
 
 const PlanEntry* DynamothClient::plan_entry(const Channel& channel) const {

@@ -16,6 +16,10 @@
 #include <memory>
 #include <set>
 
+#include <string>
+#include <vector>
+
+#include "common/channel_table.h"
 #include "common/lru_set.h"
 #include "common/rng.h"
 #include "common/small_function.h"
@@ -25,12 +29,13 @@
 #include "core/plan.h"
 #include "core/registry.h"
 #include "net/network.h"
+#include "pubsub/pattern.h"
 #include "pubsub/remote_connection.h"
 #include "sim/simulator.h"
 
 namespace dynamoth::core {
 
-class DynamothClient {
+class DynamothClient : private ChannelTable::Listener {
  public:
   struct Config {
     SimTime entry_timeout = seconds(60);     // local-plan entry expiry
@@ -91,6 +96,10 @@ class DynamothClient {
     std::uint64_t pending_flushed = 0;        // stashed publishes later sent
     std::uint64_t publishes_dropped = 0;      // stash overflowed; permanently lost
     std::uint64_t republishes = 0;            // re-home retransmissions queued
+
+    // Pattern subscriptions (DESIGN.md section 14).
+    std::uint64_t pattern_deliveries = 0;  // handler invocations through patterns
+    std::uint64_t patterns_expanded = 0;   // pattern -> channel expansions
   };
 
   /// Move-only, inline up to 48 capture bytes: installing a handler does not
@@ -110,6 +119,24 @@ class DynamothClient {
   /// Subscribes to `channel`; `handler` runs for every publication received.
   void subscribe(const Channel& channel, MessageHandler handler);
   void unsubscribe(const Channel& channel);
+
+  /// Plan-aware PSUBSCRIBE (DESIGN.md section 14): subscribes to every
+  /// channel matching the '*' glob `pattern` via pattern-to-channel
+  /// expansion. The pattern registers against the global ChannelTable
+  /// directory, expands to per-channel subscriptions through the normal plan
+  /// path (so each matched channel follows rebalances, replication and
+  /// emergency re-homes exactly like a plain subscription), and re-expands
+  /// incrementally the moment any component interns a new matching name.
+  /// Control channels ("@ctl:" prefix) never match. `handler` runs once per
+  /// publication on any matched channel (dedup by message id across
+  /// replicas); a channel held both explicitly and via patterns invokes each
+  /// handler once, Redis-style. Re-psubscribing an existing pattern replaces
+  /// its handler. Handlers must not call punsubscribe() from inside a
+  /// delivery.
+  void psubscribe(const std::string& pattern, MessageHandler handler);
+  /// Detaches the pattern from every matched channel; channels with no other
+  /// interest (explicit or pattern) are unsubscribed immediately.
+  void punsubscribe(const std::string& pattern);
 
   /// Publishes `payload_bytes` of application data on `channel`. Returns the
   /// envelope (callers use its id/publish_time for RTT measurements).
@@ -145,6 +172,9 @@ class DynamothClient {
   [[nodiscard]] NodeId node() const { return node_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] bool subscribed(const Channel& channel) const;
+  [[nodiscard]] bool pattern_subscribed(const std::string& pattern) const;
+  /// Channels the pattern is currently expanded onto (empty when unknown).
+  [[nodiscard]] std::set<Channel> pattern_channels(const std::string& pattern) const;
   /// Current local-plan entry for `channel`, or nullptr if unknown.
   [[nodiscard]] const PlanEntry* plan_entry(const Channel& channel) const;
   [[nodiscard]] std::size_t plan_size() const { return channels_.size(); }
@@ -153,11 +183,23 @@ class DynamothClient {
   [[nodiscard]] bool connected_to(ServerId server) const { return conns_.contains(server); }
 
  private:
+  /// One registered pattern. Lives in the node-stable patterns_ map, so
+  /// ChannelStates hold raw pointers to it.
+  struct PatternState {
+    ps::CompiledPattern compiled;
+    MessageHandler handler;
+    std::set<Channel> channels;  // channels this pattern is expanded onto
+  };
+
   struct ChannelState {
     PlanEntry entry;                // current known mapping
     SimTime last_activity = 0;
     bool subscribed = false;
     MessageHandler handler;
+    /// Patterns expanded onto this channel. A channel is *wanted* while
+    /// subscribed || !patterns.empty(); pattern-held channels never expire
+    /// and follow every plan change like explicit subscriptions.
+    std::vector<PatternState*> patterns;
     std::set<ServerId> sub_servers;  // where the subscription is placed
     ServerId all_pubs_pick = kInvalidServer;  // sticky pick (all-publishers)
     std::uint64_t next_channel_seq = 0;       // per-channel publish sequence
@@ -165,6 +207,10 @@ class DynamothClient {
     /// republish_window; empty when the feature is off.
     std::deque<std::pair<SimTime, ps::EnvelopePtr>> recent;
   };
+
+  [[nodiscard]] static bool wants_subscription(const ChannelState& st) {
+    return st.subscribed || !st.patterns.empty();
+  }
 
   ChannelState& state_for(const Channel& channel);
   ps::RemoteConnection* connection(ServerId server);
@@ -187,6 +233,20 @@ class DynamothClient {
   void on_closed(ServerId from, ps::CloseReason reason);
   void sweep();
 
+  // ---- pattern expansion (DESIGN.md section 14) ----
+
+  /// ChannelTable::Listener: a new name was interned somewhere in the
+  /// process. Must not mutate subscription state re-entrantly, so matching
+  /// names queue for a deferred (schedule_after 0) expansion drain.
+  void on_new_channel(ChannelId id, const std::string& name) override;
+  void drain_expansions();
+  /// Expands `pattern` onto `channel`: records the link and places the
+  /// subscription through the normal plan path. Idempotent.
+  void attach_pattern(const Channel& channel, PatternState& pattern);
+  /// Drops the channel's server-side subscriptions (used when the last
+  /// interest — explicit or pattern — goes away).
+  void teardown_placement(const Channel& channel, ChannelState& st);
+
   sim::Simulator& sim_;
   net::Network& network_;
   ServerRegistry& registry_;
@@ -197,6 +257,16 @@ class DynamothClient {
   Rng rng_;
 
   std::map<Channel, ChannelState> channels_;
+  /// Registered patterns by text. std::map: node addresses are stable, so
+  /// ChannelState::patterns can hold raw pointers.
+  std::map<std::string, PatternState> patterns_;
+  std::vector<std::string> pending_expansions_;  // names awaiting deferred expansion
+  /// Matching-pattern snapshot reused per delivery (handlers may mutate
+  /// channel state mid-fan-out); member so steady-state delivery is
+  /// allocation-free.
+  std::vector<PatternState*> pattern_scratch_;
+  bool expansion_scheduled_ = false;
+  bool listening_ = false;  // registered as a ChannelTable listener
   std::map<ServerId, std::unique_ptr<ps::RemoteConnection>> conns_;
   /// Refused publishes awaiting retry. Mutable envelopes: a stashed message
   /// was never handed to a receiver, so restamping its entry version on

@@ -68,6 +68,11 @@ struct ChannelStats {
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
   std::uint32_t subscribers = 0;   // current client subscriptions
+  /// Client connections receiving this channel through a pattern (weighted,
+  /// like subscribers). Kept separate so the balancer can fold pattern
+  /// listeners into replication/migration decisions without double counting
+  /// them as plain subscriptions (DESIGN.md section 14).
+  std::uint32_t pattern_subscribers = 0;
   std::uint32_t publishers = 0;    // distinct publishers seen in the window
   std::uint64_t cpu_us = 0;        // server CPU attributed to this channel
 };

@@ -133,7 +133,7 @@ void Dispatcher::apply_plan(PlanPtr plan) {
       drain_.erase(cid);
       pending_switch_.erase(cid);
       clear_flag(cid, kFlagDrain | kFlagPending);
-      if (server.subscriber_count(c) == 0) maybe_send_drain_notice(cid, c);
+      if (no_local_listeners(server, c)) maybe_send_drain_notice(cid, c);
     } else if (is_owner) {
       moved_away_.erase(cid);
       clear_flag(cid, kFlagMoved);
@@ -422,11 +422,39 @@ void Dispatcher::on_unsubscribe(ps::ConnId /*conn*/, const Channel& channel,
   if (is_control_channel(channel)) return;
   const ChannelId cid = ChannelTable::instance().find(channel);
   if (cid == kInvalidChannelId || !(flags(cid) & kFlagMoved)) return;
-  if (registry_.get(self_).subscriber_count(channel) == 0) maybe_send_drain_notice(cid, channel);
+  if (no_local_listeners(registry_.get(self_), channel)) maybe_send_drain_notice(cid, channel);
+}
+
+void Dispatcher::on_punsubscribe(ps::ConnId /*conn*/, const std::string& pattern,
+                                 NodeId /*client_node*/) {
+  if (moved_away_.empty()) return;
+  release_pattern_holds({pattern});
+}
+
+void Dispatcher::release_pattern_holds(const std::vector<std::string>& patterns) {
+  // Which moved-away channels did the released patterns cover? Each needs
+  // the same no-listeners re-check an explicit unsubscribe gets, or the old
+  // owner keeps forwarding until the timeout even though nobody local is
+  // left. maybe_send_drain_notice only flips a flag, so iterating the map
+  // while calling it is safe.
+  ps::PubSubServer& server = registry_.get(self_);
+  const ChannelTable& table = ChannelTable::instance();
+  for (auto& [cid, state] : moved_away_) {
+    if (state.drain_notice_sent) continue;
+    const Channel& name = table.name(cid);
+    bool covered = false;
+    for (const std::string& p : patterns) {
+      if (ps::PubSubServer::glob_match(p, name)) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered && no_local_listeners(server, name)) maybe_send_drain_notice(cid, name);
+  }
 }
 
 void Dispatcher::on_disconnect(ps::ConnId conn, const std::vector<Channel>& channels,
-                               const std::vector<std::string>& /*patterns*/,
+                               const std::vector<std::string>& patterns,
                                ps::CloseReason /*reason*/) {
   conn_clients_.erase(conn);
   ps::PubSubServer& server = registry_.get(self_);
@@ -434,10 +462,15 @@ void Dispatcher::on_disconnect(ps::ConnId conn, const std::vector<Channel>& chan
     if (is_control_channel(ch)) continue;
     const ChannelId cid = ChannelTable::instance().find(ch);
     if (cid == kInvalidChannelId) continue;
-    if ((flags(cid) & kFlagMoved) && server.subscriber_count(ch) == 0) {
+    if ((flags(cid) & kFlagMoved) && no_local_listeners(server, ch)) {
       maybe_send_drain_notice(cid, ch);
     }
   }
+  // The connection's pattern subscriptions may have been the last listeners
+  // holding forwarded (moved-away) channels open; a pattern subscriber
+  // disconnecting mid-reconfiguration must not strand that bookkeeping
+  // until the forward timeout.
+  if (!patterns.empty() && !moved_away_.empty()) release_pattern_holds(patterns);
 }
 
 void Dispatcher::cleanup() {

@@ -93,6 +93,7 @@ class Dispatcher final : public ps::LocalObserver {
                   std::uint32_t publisher_weight) override;
   void on_subscribe(ps::ConnId conn, const Channel& channel, NodeId client_node) override;
   void on_unsubscribe(ps::ConnId conn, const Channel& channel, NodeId client_node) override;
+  void on_punsubscribe(ps::ConnId conn, const std::string& pattern, NodeId client_node) override;
   void on_disconnect(ps::ConnId conn, const std::vector<Channel>& channels,
                      const std::vector<std::string>& patterns, ps::CloseReason reason) override;
 
@@ -149,6 +150,19 @@ class Dispatcher final : public ps::LocalObserver {
   void forward(const ps::EnvelopePtr& env, ServerId target, std::uint64_t entry_version);
   void maybe_send_drain_notice(ChannelId cid, const Channel& channel);
   void send_drain_notice(const Channel& channel, const PlanEntry& target);
+  /// True when no local connection listens to `channel` — neither a plain
+  /// subscription nor a matching pattern. Pattern listeners must hold
+  /// forwarding open exactly like subscribers: a drain notice sent while a
+  /// local PSUBSCRIBE still covers the channel would cut its stream off
+  /// mid-reconfiguration. The pattern scan runs only when the plain count is
+  /// already zero (cold path).
+  [[nodiscard]] bool no_local_listeners(ps::PubSubServer& server, const Channel& channel) const {
+    return server.subscriber_count(channel) == 0 && server.pattern_listener_count(channel) == 0;
+  }
+  /// Re-checks every moved-away channel covered by the released `patterns`
+  /// and sends drain notices where no listeners remain (pattern teardown
+  /// counterpart of the on_unsubscribe drain check).
+  void release_pattern_holds(const std::vector<std::string>& patterns);
   ps::RemoteConnection* connection(ServerId server);
   ps::EnvelopePtr make_ctl(ps::MsgKind kind, Channel channel,
                            std::shared_ptr<const ps::ControlBody> body);

@@ -112,8 +112,24 @@ void LocalLoadAnalyzer::on_unsubscribe(ps::ConnId conn, const Channel& channel,
   subscriber_counts_[cid] -= std::min(subscriber_counts_[cid], w);
 }
 
+void LocalLoadAnalyzer::on_psubscribe(ps::ConnId conn, const std::string& pattern,
+                                      NodeId client_node) {
+  const bool is_client = network_.kind(client_node) == net::NodeKind::kClient;
+  if (conn_kind_.size() <= conn) conn_kind_.resize(conn + 1, 0);
+  conn_kind_[conn] = is_client ? 2 : 1;
+  if (!is_client) return;
+  pattern_subs_.push_back({conn, ps::CompiledPattern::compile(pattern)});
+}
+
+void LocalLoadAnalyzer::on_punsubscribe(ps::ConnId conn, const std::string& pattern,
+                                        NodeId /*client_node*/) {
+  std::erase_if(pattern_subs_, [&](const PatternSub& ps) {
+    return ps.conn == conn && ps.compiled.text() == pattern;
+  });
+}
+
 void LocalLoadAnalyzer::on_disconnect(ps::ConnId conn, const std::vector<Channel>& channels,
-                                      const std::vector<std::string>& /*patterns*/,
+                                      const std::vector<std::string>& patterns,
                                       ps::CloseReason /*reason*/) {
   const bool is_client = conn < conn_kind_.size() && conn_kind_[conn] == 2;
   if (conn < conn_kind_.size()) conn_kind_[conn] = 0;
@@ -121,6 +137,11 @@ void LocalLoadAnalyzer::on_disconnect(ps::ConnId conn, const std::vector<Channel
   // value is what each of its subscriptions was counted at.
   const std::uint32_t w = weight_of(conn);
   if (conn < conn_weight_.size()) conn_weight_[conn] = 0;
+  // Release the connection's pattern subscriptions (tracked per conn, so the
+  // erase covers exactly the `patterns` the server reports torn down).
+  if (!patterns.empty()) {
+    std::erase_if(pattern_subs_, [&](const PatternSub& ps) { return ps.conn == conn; });
+  }
   if (!is_client) return;
   const ChannelTable& table = ChannelTable::instance();
   for (const Channel& ch : channels) {
@@ -173,6 +194,17 @@ void LocalLoadAnalyzer::emit_report() {
   // name-ordered, so scanning the id-indexed accumulator slab in id order
   // stays deterministic.
   const ChannelTable& table = ChannelTable::instance();
+  // Weighted pattern-listener count for one channel: every (conn, pattern)
+  // subscription matching the name counts at the connection's weight. Zero
+  // cost in pattern-free runs (the vector is empty).
+  const auto pattern_weight = [&](const Channel& name) -> std::uint32_t {
+    if (pattern_subs_.empty()) return 0;
+    std::uint64_t sum = 0;
+    for (const PatternSub& ps : pattern_subs_) {
+      if (ps.compiled.match(name)) sum += weight_of(ps.conn);
+    }
+    return static_cast<std::uint32_t>(sum);
+  };
   for (ChannelId cid = 0; cid < window_.size(); ++cid) {
     Accum& accum = window_[cid];
     if (!accum.active()) continue;  // carried-over entry, quiet this window
@@ -180,6 +212,7 @@ void LocalLoadAnalyzer::emit_report() {
     // Weighted: equals publishers.size() unless cohort connections published.
     stats.publishers = static_cast<std::uint32_t>(accum.publisher_weight);
     stats.subscribers = cid < subscriber_counts_.size() ? subscriber_counts_[cid] : 0;
+    stats.pattern_subscribers = pattern_weight(table.name(cid));
     report.channels.emplace(table.name(cid), stats);
   }
   // Quiet channels that still have subscribers (they hold server state and
@@ -190,6 +223,7 @@ void LocalLoadAnalyzer::emit_report() {
     if (cid < window_.size() && window_[cid].active()) continue;
     ChannelStats stats;
     stats.subscribers = count;
+    stats.pattern_subscribers = pattern_weight(table.name(cid));
     report.channels.emplace(table.name(cid), stats);
   }
 

@@ -20,6 +20,7 @@
 #include "core/control.h"
 #include "core/registry.h"
 #include "net/network.h"
+#include "pubsub/pattern.h"
 #include "pubsub/remote_connection.h"
 #include "pubsub/server.h"
 #include "sim/simulator.h"
@@ -62,6 +63,9 @@ class LocalLoadAnalyzer final : public ps::LocalObserver {
                   std::uint32_t publisher_weight) override;
   void on_subscribe(ps::ConnId conn, const Channel& channel, NodeId client_node) override;
   void on_unsubscribe(ps::ConnId conn, const Channel& channel, NodeId client_node) override;
+  void on_psubscribe(ps::ConnId conn, const std::string& pattern, NodeId client_node) override;
+  void on_punsubscribe(ps::ConnId conn, const std::string& pattern,
+                       NodeId client_node) override;
   void on_disconnect(ps::ConnId conn, const std::vector<Channel>& channels,
                      const std::vector<std::string>& patterns, ps::CloseReason reason) override;
   void on_weight_update(ps::ConnId conn, const std::vector<Channel>& channels,
@@ -117,6 +121,17 @@ class LocalLoadAnalyzer final : public ps::LocalObserver {
   [[nodiscard]] std::uint32_t weight_of(ps::ConnId conn) const {
     return conn < conn_weight_.size() && conn_weight_[conn] != 0 ? conn_weight_[conn] : 1;
   }
+  /// Live client pattern subscriptions on the local server, one entry per
+  /// (connection, pattern). Compiled once at PSUBSCRIBE; emit_report matches
+  /// each reported channel against these so pattern listeners are attributed
+  /// to the channels they receive (ChannelStats::pattern_subscribers). Empty
+  /// in pattern-free runs — the report path then pays one empty() branch.
+  struct PatternSub {
+    ps::ConnId conn = ps::kInvalidConn;
+    ps::CompiledPattern compiled;
+  };
+  std::vector<PatternSub> pattern_subs_;
+
   std::uint64_t window_start_bytes_ = 0;
   SimTime window_start_cpu_ = 0;
   SimTime window_start_time_ = 0;

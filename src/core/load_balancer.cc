@@ -136,7 +136,11 @@ DynamothLoadBalancer::Round DynamothLoadBalancer::build_round() const {
         agg.publications_per_sec += static_cast<double>(stats.publications);
         agg.out_bytes_per_sec += static_cast<double>(stats.bytes_out);
         // Subscribers/publishers are level quantities: keep the latest.
-        agg.subscribers = stats.subscribers;
+        // Pattern listeners fold into the subscriber count — a wildcard
+        // connection receiving this channel is load-bearing for Algorithm 1's
+        // replication and Algorithm 2's migration decisions exactly like a
+        // plain subscription (its fan-out bytes are already in bytes_out).
+        agg.subscribers = stats.subscribers + stats.pattern_subscribers;
         agg.publishers = stats.publishers;
       }
     }

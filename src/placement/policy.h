@@ -79,7 +79,11 @@ struct Limits {
 struct ChannelLoad {
   ChannelId id = kInvalidChannelId;
   const Channel* name = nullptr;  // stable: interner-owned
-  double bytes_per_sec = 0;       // summed across servers
+  /// Summed across servers. Includes pattern-driven fan-out: the LLA
+  /// attributes deliveries to wildcard (PSUBSCRIBE) listeners to the matched
+  /// channel's bytes_out, so placement policies see that load without any
+  /// pattern awareness of their own (DESIGN.md section 14).
+  double bytes_per_sec = 0;
 };
 
 /// The balancer-side view of one decision round: id-indexed load state,

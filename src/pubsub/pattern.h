@@ -88,6 +88,10 @@ class CompiledPattern {
   [[nodiscard]] const std::string& text() const { return text_; }
   [[nodiscard]] std::size_t min_len() const { return min_len_; }
   [[nodiscard]] bool literal() const { return literal_; }
+  /// True when the pattern starts with '*' (no usable first-byte prefilter).
+  [[nodiscard]] bool leading_star() const { return leading_star_; }
+  /// First literal byte; only meaningful when !leading_star() && min_len() != 0.
+  [[nodiscard]] char first_byte() const { return first_byte_; }
 
  private:
   std::string text_;                   // the original pattern

@@ -135,6 +135,8 @@ void PubSubServer::handle_psubscribe(ConnId conn, const std::string& pattern) {
     c->pattern_pos = static_cast<std::uint32_t>(pattern_conns_.size());
     pattern_conns_.push_back(conn);
   }
+  pattern_index_dirty_ = true;
+  for (LocalObserver* obs : observers_) obs->on_psubscribe(conn, pattern, c->client_node);
 }
 
 void PubSubServer::remove_pattern_conn(Connection& conn) {
@@ -142,18 +144,43 @@ void PubSubServer::remove_pattern_conn(Connection& conn) {
   const ConnId moved = pattern_conns_.back();
   pattern_conns_[conn.pattern_pos] = moved;
   pattern_conns_.pop_back();
-  // Fix the moved entry's back-pointer (a no-op write when conn was last).
-  conn_index_[moved]->pattern_pos = conn.pattern_pos;
+  // Fix the moved entry's back-pointer — but only when an entry actually
+  // moved: when conn itself was the last element, `moved == conn.id` and the
+  // unconditional write would resurrect the position we are about to clear if
+  // the two statements were ever reordered. Keep the self-move case explicit.
+  if (moved != conn.id) conn_index_[moved]->pattern_pos = conn.pattern_pos;
   conn.pattern_pos = kNoPatternPos;
+  pattern_index_dirty_ = true;
 }
 
 void PubSubServer::handle_punsubscribe(ConnId conn, const std::string& pattern) {
   Connection* c = find(conn);
   if (!c || !running_) return;
   consume_cpu(config_.cpu_command_cost_us);
-  std::erase_if(c->patterns,
-                [&](const CompiledPattern& p) { return p.text() == pattern; });
+  const std::size_t erased = std::erase_if(
+      c->patterns, [&](const CompiledPattern& p) { return p.text() == pattern; });
+  if (erased == 0) return;
   if (c->patterns.empty() && c->pattern_pos != kNoPatternPos) remove_pattern_conn(*c);
+  pattern_index_dirty_ = true;
+  for (LocalObserver* obs : observers_) obs->on_punsubscribe(conn, pattern, c->client_node);
+}
+
+void PubSubServer::rebuild_pattern_index() {
+  for (std::vector<PatternRef>& bucket : pattern_buckets_) bucket.clear();
+  pattern_catch_all_.clear();
+  for (ConnId pc : pattern_conns_) {
+    const Connection* c = conn_index_[pc];
+    for (std::uint32_t i = 0; i < c->patterns.size(); ++i) {
+      const CompiledPattern& p = c->patterns[i];
+      const PatternRef ref{pc, i, static_cast<std::uint32_t>(p.min_len())};
+      if (p.leading_star() || p.min_len() == 0) {
+        pattern_catch_all_.push_back(ref);
+      } else {
+        pattern_buckets_[static_cast<unsigned char>(p.first_byte())].push_back(ref);
+      }
+    }
+  }
+  pattern_index_dirty_ = false;
 }
 
 void PubSubServer::handle_update_weight(ConnId conn, std::uint32_t weight) {
@@ -202,21 +229,34 @@ void PubSubServer::handle_publish(ConnId conn, EnvelopePtr env) {
     if (hot.count != 0) sets_[hot.set].append_to(recipients);
   }
   if (!pattern_conns_.empty()) {
+    if (pattern_index_dirty_) rebuild_pattern_index();
     const std::size_t plain = recipients.size();
-    for (ConnId pc : pattern_conns_) {
-      Connection* c = find(pc);
-      if (!c || channel_member(*c, cid)) continue;
-      for (const CompiledPattern& p : c->patterns) {
-        if (p.match(env->channel)) {
-          recipients.push_back(pc);
-          break;
-        }
+    // Probe exactly two lists: the channel's first-byte bucket and the
+    // catch-all. The min_len prefilter runs on the index entry itself, so a
+    // pattern that cannot match costs one compare — no Connection deref, no
+    // pattern-string memory touched.
+    const auto scan = [&](const std::vector<PatternRef>& refs) {
+      for (const PatternRef& ref : refs) {
+        if (env->channel.size() < ref.min_len) continue;
+        Connection* c = conn_index_[ref.conn];
+        if (!c || channel_member(*c, cid)) continue;
+        if (c->patterns[ref.idx].match(env->channel)) recipients.push_back(ref.conn);
       }
+    };
+    scan(pattern_catch_all_);
+    if (!env->channel.empty()) {
+      scan(pattern_buckets_[static_cast<unsigned char>(env->channel.front())]);
     }
-    // Deterministic fan-out order. Plain subscriber sets iterate in
-    // ascending ConnId order, so sorting is only needed when pattern matches
-    // were appended.
-    if (recipients.size() > plain) std::sort(recipients.begin(), recipients.end());
+    // Deterministic fan-out order, at most one delivery per connection: a
+    // connection can appear once per matching pattern (multiple patterns may
+    // land in the same probe set), so sort + unique. Plain subscriber sets
+    // iterate in ascending ConnId order already and are disjoint from the
+    // pattern appends (channel_member guard), so the no-append case skips
+    // both passes.
+    if (recipients.size() > plain) {
+      std::sort(recipients.begin(), recipients.end());
+      recipients.erase(std::unique(recipients.begin(), recipients.end()), recipients.end());
+    }
   }
 
   // Single-threaded processing: the whole fan-out occupies the CPU. The
@@ -373,6 +413,21 @@ std::uint64_t PubSubServer::subscriber_weight(const Channel& channel) const {
   std::uint64_t sum = 0;
   for (ConnId m : members) sum += conn_index_[m]->weight;
   return sum;
+}
+
+std::size_t PubSubServer::pattern_listener_count(const Channel& channel) const {
+  std::size_t n = 0;
+  for (ConnId pc : pattern_conns_) {
+    const Connection* c = conn_index_[pc];
+    if (!c) continue;
+    for (const CompiledPattern& p : c->patterns) {
+      if (p.match(channel)) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
 }
 
 bool PubSubServer::subscriber_set_dense(const Channel& channel) const {

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -79,6 +80,16 @@ class LocalObserver {
                                 NodeId client_node, std::uint32_t old_weight,
                                 std::uint32_t new_weight) {
     (void)conn, (void)channels, (void)client_node, (void)old_weight, (void)new_weight;
+  }
+  /// A pattern subscription was added / removed. Fired only on actual state
+  /// changes (duplicate PSUBSCRIBE / unknown PUNSUBSCRIBE are silent), so
+  /// observers can keep exact per-connection pattern sets. Default no-op:
+  /// plain-subscription observers are unaffected.
+  virtual void on_psubscribe(ConnId conn, const std::string& pattern, NodeId client_node) {
+    (void)conn, (void)pattern, (void)client_node;
+  }
+  virtual void on_punsubscribe(ConnId conn, const std::string& pattern, NodeId client_node) {
+    (void)conn, (void)pattern, (void)client_node;
   }
   /// Connection closed; `channels` lists the plain subscriptions it held
   /// (sorted by name) and `patterns` its glob subscriptions, so observers
@@ -169,6 +180,12 @@ class PubSubServer {
   }
   /// Number of connections holding at least one pattern subscription.
   [[nodiscard]] std::size_t pattern_connection_count() const { return pattern_conns_.size(); }
+  /// Number of connections holding >= 1 pattern matching `channel` (each
+  /// connection counted once, independent of plain membership). Cold-path
+  /// introspection for reconfiguration decisions: a channel with local
+  /// pattern listeners must be treated as listened-to even when its plain
+  /// subscriber count is zero.
+  [[nodiscard]] std::size_t pattern_listener_count(const Channel& channel) const;
   [[nodiscard]] std::size_t connection_count() const { return live_conns_; }
   [[nodiscard]] bool connection_alive(ConnId conn) const {
     return conn < conn_index_.size() && conn_index_[conn] != nullptr;
@@ -262,6 +279,9 @@ class PubSubServer {
   /// Swap-remove `conn` from pattern_conns_, fixing the moved entry's
   /// position index — O(1) where the old std::erase scanned the vector.
   void remove_pattern_conn(Connection& conn);
+  /// Rebuilds the first-byte pattern index from pattern_conns_ (lazy: runs at
+  /// the next pattern-scanning publish after a pattern mutation).
+  void rebuild_pattern_index();
 
   [[nodiscard]] static bool channel_member(const Connection& conn, ChannelId cid) {
     const auto pos = std::lower_bound(conn.channels.begin(), conn.channels.end(), cid);
@@ -287,6 +307,27 @@ class PubSubServer {
   std::vector<SubscriberSet> sets_;      // slab; slot = ChannelHot::set
 
   std::vector<ConnId> pattern_conns_;  // connections holding >= 1 pattern
+
+  /// Server-level pattern prefilter index (DESIGN.md section 14): every
+  /// (connection, pattern) pair is bucketed by the pattern's first literal
+  /// byte, with leading-star / empty-min-len patterns in a catch-all list.
+  /// A publication probes exactly two lists — bucket[name[0]] and the
+  /// catch-all — applying the hoisted min_len prefilter before touching any
+  /// Connection or pattern memory, so P pattern connections whose patterns
+  /// cannot match by first byte cost zero per publish (the old scan walked
+  /// every connection's full pattern list). Rebuilt lazily: mutations set
+  /// pattern_index_dirty_, the next pattern-scanning publish rebuilds, so
+  /// refs are always fresh (a closed connection marks the index dirty before
+  /// its slot can be reused).
+  struct PatternRef {
+    ConnId conn = kInvalidConn;
+    std::uint32_t idx = 0;      // index into Connection::patterns
+    std::uint32_t min_len = 0;  // hoisted CompiledPattern::min_len prefilter
+  };
+  std::array<std::vector<PatternRef>, 256> pattern_buckets_;
+  std::vector<PatternRef> pattern_catch_all_;
+  bool pattern_index_dirty_ = false;
+
   std::vector<LocalObserver*> observers_;
   std::vector<ConnId> fanout_scratch_;  // recipient buffer reused per publish
 

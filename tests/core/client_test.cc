@@ -210,5 +210,170 @@ TEST(Client, UnsubscribeGraceKeepsOldSubscriptionBriefly) {
   EXPECT_EQ(cluster.server(home).subscriber_count(c), 0u);
 }
 
+TEST(ClientPattern, PsubscribeExpandsOverExistingChannels) {
+  harness::Cluster cluster(fixture_config());
+  auto& other = cluster.add_client();
+  auto& sub = cluster.add_client();
+  auto& pub = cluster.add_client();
+  // Channels already known to the directory before the pattern registers.
+  other.subscribe("cpa:1", [](const ps::EnvelopePtr&) {});
+  other.subscribe("cpa:2", [](const ps::EnvelopePtr&) {});
+  cluster.sim().run_for(seconds(1));
+
+  std::vector<Channel> got;
+  sub.psubscribe("cpa:*", [&](const ps::EnvelopePtr& e) { got.push_back(e->channel); });
+  cluster.sim().run_for(seconds(1));
+  EXPECT_TRUE(sub.pattern_subscribed("cpa:*"));
+  EXPECT_EQ(sub.pattern_channels("cpa:*"),
+            (std::set<Channel>{"cpa:1", "cpa:2"}));
+  EXPECT_EQ(sub.stats().patterns_expanded, 2u);
+
+  pub.publish("cpa:1");
+  pub.publish("cpa:2");
+  cluster.sim().run_for(seconds(1));
+  EXPECT_EQ(got, (std::vector<Channel>{"cpa:1", "cpa:2"}));
+  EXPECT_EQ(sub.stats().pattern_deliveries, 2u);
+}
+
+TEST(ClientPattern, PsubscribeExpandsIncrementallyOnNewChannels) {
+  harness::Cluster cluster(fixture_config());
+  auto& sub = cluster.add_client();
+  auto& pub = cluster.add_client();
+  int got = 0;
+  sub.psubscribe("cpb:*", [&](const ps::EnvelopePtr&) { ++got; });
+  cluster.sim().run_for(millis(100));
+  EXPECT_TRUE(sub.pattern_channels("cpb:*").empty());
+
+  // The first publish interns the name; the directory listener re-expands
+  // the pattern and the subscription lands before the next publication.
+  pub.publish("cpb:7");
+  cluster.sim().run_for(seconds(1));
+  EXPECT_EQ(sub.pattern_channels("cpb:*"), (std::set<Channel>{"cpb:7"}));
+  pub.publish("cpb:7");
+  cluster.sim().run_for(seconds(1));
+  EXPECT_EQ(got, 1);
+  // Control channels never expand, even though the clients interned several
+  // "@ctl:" names by now.
+  for (const Channel& c : sub.pattern_channels("cpb:*")) {
+    EXPECT_EQ(c.rfind("@ctl:", 0), std::string::npos) << c;
+  }
+}
+
+TEST(ClientPattern, PunsubscribeKeepsExplicitInterest) {
+  harness::Cluster cluster(fixture_config());
+  auto& sub = cluster.add_client();
+  auto& pub = cluster.add_client();
+  int explicit_got = 0;
+  int pattern_got = 0;
+  sub.subscribe("cpc:1", [&](const ps::EnvelopePtr&) { ++explicit_got; });
+  sub.psubscribe("cpc:*", [&](const ps::EnvelopePtr&) { ++pattern_got; });
+  cluster.sim().run_for(seconds(1));
+
+  // Overlap: one delivery invokes both handlers, counted once in received.
+  pub.publish("cpc:1");
+  cluster.sim().run_for(seconds(1));
+  EXPECT_EQ(explicit_got, 1);
+  EXPECT_EQ(pattern_got, 1);
+  EXPECT_EQ(sub.stats().received, 1u);
+
+  sub.punsubscribe("cpc:*");
+  EXPECT_FALSE(sub.pattern_subscribed("cpc:*"));
+  EXPECT_TRUE(sub.subscribed("cpc:1"));
+  pub.publish("cpc:1");
+  cluster.sim().run_for(seconds(1));
+  EXPECT_EQ(explicit_got, 2);
+  EXPECT_EQ(pattern_got, 1);
+}
+
+TEST(ClientPattern, UnsubscribeKeepsPatternInterest) {
+  harness::Cluster cluster(fixture_config());
+  auto& sub = cluster.add_client();
+  auto& pub = cluster.add_client();
+  int explicit_got = 0;
+  int pattern_got = 0;
+  sub.subscribe("cpd:1", [&](const ps::EnvelopePtr&) { ++explicit_got; });
+  sub.psubscribe("cpd:*", [&](const ps::EnvelopePtr&) { ++pattern_got; });
+  cluster.sim().run_for(seconds(1));
+
+  sub.unsubscribe("cpd:1");
+  EXPECT_FALSE(sub.subscribed("cpd:1"));
+  // The pattern still wants the channel: the subscription must survive.
+  pub.publish("cpd:1");
+  cluster.sim().run_for(seconds(1));
+  EXPECT_EQ(explicit_got, 0);
+  EXPECT_EQ(pattern_got, 1);
+
+  sub.punsubscribe("cpd:*");
+  pub.publish("cpd:1");
+  cluster.sim().run_for(seconds(1));
+  EXPECT_EQ(pattern_got, 1);
+}
+
+TEST(ClientPattern, PatternHeldChannelNeverExpires) {
+  harness::Cluster cluster(fixture_config());
+  core::DynamothClient::Config cc;
+  cc.entry_timeout = seconds(5);
+  cc.sweep_interval = seconds(1);
+  auto& sub = cluster.add_client(cc);
+  auto& pub = cluster.add_client();
+  pub.publish("cpe:1");  // interns the name
+  int got = 0;
+  sub.psubscribe("cpe:*", [&](const ps::EnvelopePtr&) { ++got; });
+  cluster.sim().run_for(seconds(12));  // well past entry_timeout, zero traffic
+
+  pub.publish("cpe:1");
+  cluster.sim().run_for(seconds(1));
+  EXPECT_EQ(got, 1);
+}
+
+TEST(ClientPattern, PatternFollowsInstalledPlanChange) {
+  harness::Cluster cluster(fixture_config());
+  const auto servers = cluster.server_ids();
+  const Channel c = "cpf:1";
+  const ServerId home = cluster.base_ring()->lookup(c);
+  const ServerId other = servers[0] == home ? servers[1] : servers[0];
+
+  auto& sub = cluster.add_client();
+  auto& pub = cluster.add_client();
+  int got = 0;
+  pub.publish(c);  // interns the name
+  sub.psubscribe("cpf:*", [&](const ps::EnvelopePtr&) { ++got; });
+  cluster.sim().run_for(seconds(1));
+  ASSERT_TRUE(sub.subscription_servers(c).contains(home));
+
+  // Re-home the channel; the switch rides the first publication after the
+  // plan change, and the pattern-held subscription must follow it.
+  core::Plan plan;
+  PlanEntry entry;
+  entry.servers = {other};
+  entry.version = 1;
+  plan.set_entry(c, entry);
+  cluster.install_plan(plan);
+
+  sim::PeriodicTask traffic(cluster.sim(), millis(100), [&] { pub.publish(c); });
+  traffic.start();
+  cluster.sim().run_for(seconds(5));
+  traffic.stop();
+
+  EXPECT_TRUE(sub.subscription_servers(c).contains(other));
+  EXPECT_FALSE(sub.subscription_servers(c).contains(home));
+  // Continuous delivery: everything published after the subscription was in
+  // place arrived (first publish predates the pattern, so at most one miss).
+  EXPECT_GE(got, 48);
+}
+
+TEST(ClientPattern, ShutdownClearsPatterns) {
+  harness::Cluster cluster(fixture_config());
+  auto& sub = cluster.add_client();
+  sub.psubscribe("cpg:*", [](const ps::EnvelopePtr&) {});
+  cluster.sim().run_for(millis(100));
+  sub.shutdown();
+  EXPECT_FALSE(sub.pattern_subscribed("cpg:*"));
+  // Interning a matching name after shutdown must not resurrect anything.
+  auto& pub = cluster.add_client();
+  pub.publish("cpg:1");
+  cluster.sim().run_for(seconds(1));
+}
+
 }  // namespace
 }  // namespace dynamoth::core

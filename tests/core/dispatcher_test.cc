@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "harness/cluster.h"
 
 namespace dynamoth::core {
@@ -203,6 +205,67 @@ TEST(Dispatcher, StopDetachesObserver) {
   EXPECT_EQ(cluster.dispatcher(home).stats().wrong_server_replies, 0u);
   EXPECT_EQ(cluster.dispatcher(home).stats().forwards_to_owner, 0u);
   EXPECT_EQ(pub.stats().wrong_server_replies, 0u);
+}
+
+TEST(Dispatcher, PatternListenerHoldsDrainNoticeUntilPunsubscribe) {
+  harness::Cluster cluster(config2());
+  const auto servers = cluster.server_ids();
+  const Channel c = "pmv:1";
+  const ServerId home = cluster.base_ring()->lookup(c);
+  const ServerId other = servers[0] == home ? servers[1] : servers[0];
+
+  // A wildcard listener on the old home and no plain subscribers anywhere:
+  // without the pattern hold this is the immediate-drain-notice case.
+  ps::RemoteConnection wild(cluster.sim(), cluster.network(),
+                            cluster.network().add_node({net::NodeKind::kClient, 1e6}),
+                            cluster.server(home), nullptr, nullptr);
+  wild.psubscribe("pmv:*");
+  cluster.sim().run_for(millis(100));
+
+  cluster.install_plan(plan_with(c, {other}, ReplicationMode::kNone, 1));
+  cluster.sim().run_for(seconds(1));
+  EXPECT_EQ(cluster.dispatcher(home).stats().drain_notices_sent, 0u);
+  EXPECT_EQ(cluster.dispatcher(other).draining_channels(), 1u);
+
+  // Forwarding still live: a stale publish to home reaches the wildcard
+  // listener through the redirect.
+  auto& stale_pub = cluster.add_client();
+  stale_pub.publish(c);
+  cluster.sim().run_for(seconds(1));
+
+  wild.punsubscribe("pmv:*");
+  cluster.sim().run_for(seconds(1));
+  EXPECT_GE(cluster.dispatcher(home).stats().drain_notices_sent, 1u);
+  EXPECT_EQ(cluster.dispatcher(other).draining_channels(), 0u);
+}
+
+TEST(Dispatcher, PatternConnDisconnectReleasesDrainHold) {
+  harness::Cluster cluster(config2());
+  const auto servers = cluster.server_ids();
+  const Channel c = "pmw:1";
+  const ServerId home = cluster.base_ring()->lookup(c);
+  const ServerId other = servers[0] == home ? servers[1] : servers[0];
+
+  auto wild = std::make_unique<ps::RemoteConnection>(
+      cluster.sim(), cluster.network(),
+      cluster.network().add_node({net::NodeKind::kClient, 1e6}), cluster.server(home),
+      nullptr, nullptr);
+  wild->psubscribe("pmw:*");
+  auto& pub = cluster.add_client();
+  pub.publish(c);  // interns the name on the old home
+  cluster.sim().run_for(millis(500));
+
+  cluster.install_plan(plan_with(c, {other}, ReplicationMode::kNone, 1));
+  cluster.sim().run_for(seconds(1));
+  EXPECT_EQ(cluster.dispatcher(home).stats().drain_notices_sent, 0u);
+
+  // The pattern connection was the only listener holding the redirect open;
+  // its disconnect must release the hold (this was the silently-ignored
+  // `patterns` argument at the heart of this PR).
+  wild.reset();
+  cluster.sim().run_for(seconds(1));
+  EXPECT_GE(cluster.dispatcher(home).stats().drain_notices_sent, 1u);
+  EXPECT_EQ(cluster.dispatcher(other).draining_channels(), 0u);
 }
 
 }  // namespace

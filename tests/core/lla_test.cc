@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "harness/cluster.h"
@@ -194,6 +195,85 @@ TEST(Lla, QuietChannelsWithSubscribersStillReported) {
     }
   }
   EXPECT_TRUE(found);
+}
+
+TEST(Lla, PatternListenersAttributedToMatchedChannels) {
+  harness::Cluster cluster(config1());
+  const ServerId s = cluster.server_ids()[0];
+  ReportSink sink(cluster, s);
+
+  ps::RemoteConnection wild(cluster.sim(), cluster.network(),
+                            cluster.network().add_node({net::NodeKind::kClient, 1e6}),
+                            cluster.server(s), nullptr, nullptr);
+  wild.psubscribe("lpa:*");
+  auto& pub = cluster.add_client();
+  cluster.sim().run_for(seconds(1));
+
+  sim::PeriodicTask traffic(cluster.sim(), millis(100), [&] {
+    pub.publish("lpa:1");
+    pub.publish("other");
+  });
+  traffic.start();
+  cluster.sim().run_for(seconds(3));
+  traffic.stop();
+
+  // The wildcard listener shows up as pattern weight on the channel it
+  // matches — and only there — while plain `subscribers` stays untouched.
+  bool attributed = false;
+  for (const LoadReport& r : sink.reports) {
+    auto hit = r.channels.find("lpa:1");
+    if (hit == r.channels.end()) continue;
+    if (hit->second.pattern_subscribers == 1) {
+      attributed = true;
+      EXPECT_EQ(hit->second.subscribers, 0u);
+    }
+    auto miss = r.channels.find("other");
+    if (miss != r.channels.end()) {
+      EXPECT_EQ(miss->second.pattern_subscribers, 0u);
+    }
+  }
+  EXPECT_TRUE(attributed);
+}
+
+TEST(Lla, PatternWeightDropsOnPunsubscribeAndDisconnect) {
+  harness::Cluster cluster(config1());
+  const ServerId s = cluster.server_ids()[0];
+  ReportSink sink(cluster, s);
+
+  auto wild_a = std::make_unique<ps::RemoteConnection>(
+      cluster.sim(), cluster.network(),
+      cluster.network().add_node({net::NodeKind::kClient, 1e6}), cluster.server(s),
+      nullptr, nullptr);
+  ps::RemoteConnection wild_b(cluster.sim(), cluster.network(),
+                              cluster.network().add_node({net::NodeKind::kClient, 1e6}),
+                              cluster.server(s), nullptr, nullptr);
+  wild_a->psubscribe("lpb:*");
+  wild_b.psubscribe("lpb:*");
+  auto& pub = cluster.add_client();
+  sim::PeriodicTask traffic(cluster.sim(), millis(100), [&] { pub.publish("lpb:1"); });
+  traffic.start();
+  cluster.sim().run_for(seconds(3));
+
+  sink.reports.clear();
+  wild_b.punsubscribe("lpb:*");
+  cluster.sim().run_for(seconds(3));
+  std::uint32_t after_punsub = 99;
+  for (const LoadReport& r : sink.reports) {
+    auto it = r.channels.find("lpb:1");
+    if (it != r.channels.end()) after_punsub = it->second.pattern_subscribers;
+  }
+  EXPECT_EQ(after_punsub, 1u);
+
+  sink.reports.clear();
+  wild_a.reset();  // close -> on_disconnect carries the pattern list
+  cluster.sim().run_for(seconds(3));
+  traffic.stop();
+  std::uint32_t after_close = 99;
+  for (const LoadReport& r : sink.reports) {
+    auto it = r.channels.find("lpb:1");
+    if (it != r.channels.end()) after_close = it->second.pattern_subscribers;
+  }
+  EXPECT_EQ(after_close, 0u);
 }
 
 }  // namespace

@@ -459,6 +459,67 @@ TEST(AllocGuard, CohortPublishAndExpandedDeliveryIsAllocationFree) {
   EXPECT_EQ(echoes, after.echoes);
 }
 
+TEST(AllocGuard, SteadyStatePatternDeliveryIsAllocationFree) {
+  // The plan-aware pattern path at the client level: wildcard subscribers
+  // whose pattern has already expanded over the matching channels. Expansion
+  // itself may allocate (it creates real per-channel subscriptions); the
+  // per-message path afterwards — server fan-out, client dedup, pattern
+  // handler dispatch, per-pattern delivery stats — must not.
+  harness::ClusterConfig cluster_config;
+  cluster_config.seed = 11;
+  cluster_config.initial_servers = 1;
+  cluster_config.fixed_latency = true;
+  cluster_config.fixed_latency_value = millis(5);
+  cluster_config.server_capacity = 1e12;
+  cluster_config.server_nic_headroom = 1.0;
+  cluster_config.client_egress = 1e12;
+  cluster_config.pubsub.conn_drain_bytes_per_sec = 1e12;
+  cluster_config.pubsub.infra_drain_bytes_per_sec = 1e12;
+  cluster_config.pubsub.conn_output_buffer_limit = std::size_t{1} << 40;
+  cluster_config.pubsub.max_egress_backlog = seconds(1e6);
+  cluster_config.pubsub.cpu_publish_cost_us = 0;
+  cluster_config.pubsub.cpu_delivery_cost_us = 0;
+  cluster_config.pubsub.cpu_command_cost_us = 0;
+  harness::Cluster cluster(cluster_config);
+  sim::Simulator& sim = cluster.sim();
+
+  core::DynamothClient& pub = cluster.add_client();
+  pub.publish("pat:arena", 128);  // interns the channel the pattern expands to
+  sim.run_for(millis(100));
+
+  std::uint64_t got = 0;
+  std::vector<core::DynamothClient*> subs;
+  for (std::size_t i = 0; i < 8; ++i) {
+    subs.push_back(&cluster.add_client());
+    subs.back()->psubscribe("pat:*", [&got](const ps::EnvelopePtr&) { ++got; });
+  }
+  sim.run_for(seconds(2));  // expand + settle subscriptions, first LLA windows
+  for (core::DynamothClient* sub : subs) {
+    ASSERT_EQ(sub->pattern_channels("pat:*").size(), 1u);
+  }
+
+  constexpr int kBatch = 64;
+  auto publish_batch = [&] {
+    for (int i = 0; i < kBatch; ++i) pub.publish("pat:arena", 128);
+    sim.run_for(millis(50));
+  };
+
+  for (int i = 0; i < 3; ++i) publish_batch();
+  sim.run_for(seconds(1));  // realign: next batches start window-fresh
+  const std::uint64_t delivered_before = got;
+
+  const std::uint64_t allocs_before = g_new_calls;
+  for (int i = 0; i < 2; ++i) publish_batch();
+  const std::uint64_t allocs = g_new_calls - allocs_before;
+
+  EXPECT_EQ(allocs, 0u) << "steady-state pattern delivery allocated " << allocs
+                        << " times over " << 2 * kBatch << " messages";
+  EXPECT_EQ(got - delivered_before, 2u * kBatch * 8);
+  for (core::DynamothClient* sub : subs) {
+    EXPECT_GT(sub->stats().pattern_deliveries, 0u);
+  }
+}
+
 TEST(AllocGuard, BucketedSameArrivalDeliveryIsAllocationFree) {
   // The batch receiving edge: pushes in a FanoutBatch that share a
   // (destination, arrival-time) pair coalesce into one recycled bucket event

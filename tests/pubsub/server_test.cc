@@ -612,6 +612,160 @@ TEST(PubSubServer, PatternConnSwapRemoveKeepsMatchingIntact) {
   EXPECT_EQ(got[2], 1);
 }
 
+TEST(PubSubServer, PatternIndexMatchesBruteForceGlob) {
+  ServerFixture f;
+  const NodeId cn = f.add_client_node();
+  // Patterns spanning every index placement: first-byte buckets ("a*",
+  // "ab*", "room:*"), the catch-all (leading star, bare "*"), and min_len
+  // prefilters of different lengths.
+  const std::vector<std::string> patterns = {"a*",   "ab*",  "*z", "*",
+                                             "x*yz", "room:*", "q"};
+  std::vector<std::vector<Channel>> got(patterns.size());
+  std::vector<ConnId> conns;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    conns.push_back(f.server.open_connection(
+        cn, [&got, i](const EnvelopePtr& e) { got[i].push_back(e->channel); }, nullptr));
+    f.server.handle_psubscribe(conns.back(), patterns[i]);
+  }
+  const ConnId pub = f.server.open_connection(cn, nullptr, nullptr);
+  const std::vector<Channel> publishes = {"a",    "ab",     "abc", "z",    "xz",
+                                          "xAYz", "room:7", "q",   "qq",   "x:y:z",
+                                          "",     "b",      "az",  "room:"};
+  std::uint64_t seq = 1;
+  for (const Channel& c : publishes) f.server.handle_publish(pub, make_data(c, 1, seq++));
+  f.sim.run();
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    std::vector<Channel> expected;
+    for (const Channel& c : publishes) {
+      if (PubSubServer::glob_match(patterns[i], c)) expected.push_back(c);
+    }
+    EXPECT_EQ(got[i], expected) << "pattern " << patterns[i];
+  }
+}
+
+TEST(PubSubServer, PatternIndexRebuildsAfterPatternListMutation) {
+  ServerFixture f;
+  const NodeId cn = f.add_client_node();
+  std::vector<Channel> got;
+  const ConnId sub = f.server.open_connection(
+      cn, [&](const EnvelopePtr& e) { got.push_back(e->channel); }, nullptr);
+  // Three patterns on one connection; removing the first shifts the indices
+  // of the survivors, which the lazily rebuilt index must pick up.
+  f.server.handle_psubscribe(sub, "a*");
+  f.server.handle_psubscribe(sub, "b*");
+  f.server.handle_psubscribe(sub, "c*");
+  const ConnId pub = f.server.open_connection(cn, nullptr, nullptr);
+  f.server.handle_publish(pub, make_data("a1", 1, 1));
+  f.sim.run();
+  EXPECT_EQ(got, (std::vector<Channel>{"a1"}));
+
+  got.clear();
+  f.server.handle_punsubscribe(sub, "a*");
+  f.server.handle_publish(pub, make_data("a1", 1, 2));
+  f.server.handle_publish(pub, make_data("b1", 1, 3));
+  f.server.handle_publish(pub, make_data("c1", 1, 4));
+  f.sim.run();
+  EXPECT_EQ(got, (std::vector<Channel>{"b1", "c1"}));
+
+  got.clear();
+  f.server.handle_psubscribe(sub, "d*");
+  f.server.handle_publish(pub, make_data("d1", 1, 5));
+  f.sim.run();
+  EXPECT_EQ(got, (std::vector<Channel>{"d1"}));
+}
+
+TEST(PubSubServer, RemoveLastPatternConnIsSelfMoveSafe) {
+  ServerFixture f;
+  const NodeId cn = f.add_client_node();
+  // Removing the *last* element of pattern_conns_ swap-removes with itself;
+  // the self-move must leave the connection re-usable (regression test for
+  // the pattern_pos bookkeeping under self-assignment).
+  int got = 0;
+  const ConnId sub = f.server.open_connection(cn, [&](const EnvelopePtr&) { ++got; }, nullptr);
+  f.server.handle_psubscribe(sub, "s:*");
+  EXPECT_EQ(f.server.pattern_connection_count(), 1u);
+  f.server.handle_punsubscribe(sub, "s:*");
+  EXPECT_EQ(f.server.pattern_connection_count(), 0u);
+
+  f.server.handle_psubscribe(sub, "s:*");
+  EXPECT_EQ(f.server.pattern_connection_count(), 1u);
+  const ConnId pub = f.server.open_connection(cn, nullptr, nullptr);
+  f.server.handle_publish(pub, make_data("s:1", 1, 1));
+  f.sim.run();
+  EXPECT_EQ(got, 1);
+
+  // Two connections, remove the back one: also a self-move of the victim.
+  int got2 = 0;
+  const ConnId other =
+      f.server.open_connection(cn, [&](const EnvelopePtr&) { ++got2; }, nullptr);
+  f.server.handle_psubscribe(other, "s:*");
+  f.server.handle_punsubscribe(other, "s:*");
+  EXPECT_EQ(f.server.pattern_connection_count(), 1u);
+  f.server.handle_publish(pub, make_data("s:2", 1, 2));
+  f.sim.run();
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(got2, 0);
+}
+
+TEST(PubSubServer, PatternListenerCountCountsConnectionsOnce) {
+  ServerFixture f;
+  const NodeId cn = f.add_client_node();
+  const ConnId a = f.server.open_connection(cn, nullptr, nullptr);
+  const ConnId b = f.server.open_connection(cn, nullptr, nullptr);
+  const ConnId c = f.server.open_connection(cn, nullptr, nullptr);
+  // Two of a's patterns match "tile:1": the connection still counts once.
+  f.server.handle_psubscribe(a, "tile:*");
+  f.server.handle_psubscribe(a, "t*");
+  f.server.handle_psubscribe(b, "tile:1");
+  f.server.handle_psubscribe(c, "room:*");
+  EXPECT_EQ(f.server.pattern_listener_count("tile:1"), 2u);
+  EXPECT_EQ(f.server.pattern_listener_count("room:9"), 1u);
+  EXPECT_EQ(f.server.pattern_listener_count("lobby"), 0u);
+
+  f.server.handle_punsubscribe(a, "tile:*");
+  EXPECT_EQ(f.server.pattern_listener_count("tile:1"), 2u);  // "t*" still covers
+  f.server.handle_punsubscribe(a, "t*");
+  EXPECT_EQ(f.server.pattern_listener_count("tile:1"), 1u);
+}
+
+TEST(PubSubServer, ObserverSeesPatternLifecycle) {
+  ServerFixture f;
+  struct PatternObserver : LocalObserver {
+    void on_publish(const EnvelopePtr&, std::size_t, std::uint32_t) override {}
+    void on_subscribe(ConnId, const Channel&, NodeId) override {}
+    void on_unsubscribe(ConnId, const Channel&, NodeId) override {}
+    void on_psubscribe(ConnId, const std::string& pattern, NodeId) override {
+      added.push_back(pattern);
+    }
+    void on_punsubscribe(ConnId, const std::string& pattern, NodeId) override {
+      removed.push_back(pattern);
+    }
+    void on_disconnect(ConnId, const std::vector<Channel>&,
+                       const std::vector<std::string>& patterns, CloseReason) override {
+      disconnect_patterns = patterns;
+    }
+    std::vector<std::string> added;
+    std::vector<std::string> removed;
+    std::vector<std::string> disconnect_patterns;
+  } obs;
+  f.server.add_observer(&obs);
+  const NodeId cn = f.add_client_node();
+  const ConnId sub = f.server.open_connection(cn, nullptr, nullptr);
+
+  f.server.handle_psubscribe(sub, "a*");
+  f.server.handle_psubscribe(sub, "a*");  // duplicate: no second event
+  f.server.handle_psubscribe(sub, "b*");
+  EXPECT_EQ(obs.added, (std::vector<std::string>{"a*", "b*"}));
+
+  f.server.handle_punsubscribe(sub, "a*");
+  f.server.handle_punsubscribe(sub, "never-added");  // no state change: no event
+  EXPECT_EQ(obs.removed, (std::vector<std::string>{"a*"}));
+
+  f.server.close_connection(sub);
+  EXPECT_EQ(obs.disconnect_patterns, (std::vector<std::string>{"b*"}));
+  f.server.remove_observer(&obs);
+}
+
 TEST(PubSubServer, ConnIdsAreNotRecycled) {
   ServerFixture f;
   const NodeId cn = f.add_client_node();
