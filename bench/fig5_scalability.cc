@@ -15,8 +15,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <utility>
 
 #include "mammoth/experiments.h"
+#include "mammoth/sharded_experiment.h"
 
 namespace {
 
@@ -24,6 +26,17 @@ using namespace dynamoth;
 using mammoth::exp::BalancerKind;
 using mammoth::exp::GameExperimentConfig;
 using mammoth::exp::GameExperimentResult;
+
+/// --shards K: route through the block-parallel engine (DESIGN.md section
+/// 15). K = 1 takes the classic single-threaded path, bit-identical to runs
+/// before the knob existed.
+GameExperimentResult run_with_shards(const GameExperimentConfig& config, std::size_t shards) {
+  if (shards <= 1) return run_game_experiment(config);
+  mammoth::exp::ShardOptions options;
+  options.shards = shards;
+  mammoth::exp::ShardedGameResult result = run_sharded_game_experiment(config, options);
+  return std::move(result.merged);
+}
 
 GameExperimentConfig base_config() {
   GameExperimentConfig config = mammoth::exp::default_game_experiment();
@@ -56,10 +69,16 @@ int main(int argc, char** argv) {
   // of the paper's 1200 — cohort mode + resource rescaling keep the figure's
   // shape (see mammoth::exp::scale_population). Default is the paper setup,
   // bit-identical to runs before the knob existed.
+  // --shards K: run each experiment under K block-parallel regions (cohort
+  // mode required; forced on when K > 1).
   std::size_t users = 1200;
+  std::size_t shards = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--users") == 0 && i + 1 < argc) {
       users = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    }
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     }
   }
   const double scale = static_cast<double>(users) / 1200.0;
@@ -71,8 +90,9 @@ int main(int argc, char** argv) {
 
   GameExperimentConfig dynamoth_config = base_config();
   scale_population(dynamoth_config, scale);
+  if (shards > 1) dynamoth_config.game.cohort.enabled = true;
   dynamoth_config.balancer = BalancerKind::kDynamoth;
-  const GameExperimentResult dyn = run_game_experiment(dynamoth_config);
+  const GameExperimentResult dyn = run_with_shards(dynamoth_config, shards);
   print_run("Dynamoth (Fig 5a/5b/5c series)", dyn);
   dyn.series.save_csv("fig5_dynamoth.csv");
   dyn.metrics.save_windows_csv("fig5_dynamoth_metrics.csv");
@@ -82,8 +102,9 @@ int main(int argc, char** argv) {
 
   GameExperimentConfig hash_config = base_config();
   scale_population(hash_config, scale);
+  if (shards > 1) hash_config.game.cohort.enabled = true;
   hash_config.balancer = BalancerKind::kConsistentHashing;
-  const GameExperimentResult hash = run_game_experiment(hash_config);
+  const GameExperimentResult hash = run_with_shards(hash_config, shards);
   print_run("Consistent hashing (Fig 5a/5b/5c series)", hash);
   hash.series.save_csv("fig5_hashing.csv");
 

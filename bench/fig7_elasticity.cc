@@ -14,8 +14,10 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <utility>
 
 #include "mammoth/experiments.h"
+#include "mammoth/sharded_experiment.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 
@@ -26,10 +28,16 @@ int main(int argc, char** argv) {
   // --users N: replay at N peak players instead of the paper's 800 — cohort
   // mode + resource rescaling keep the elasticity shape (see
   // mammoth::exp::scale_population). Default is bit-identical to before.
+  // --shards K: run under K block-parallel regions (DESIGN.md section 15;
+  // cohort mode forced on when K > 1). K = 1 is the classic path.
   std::size_t users = 800;
+  std::size_t shards = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--users") == 0 && i + 1 < argc) {
       users = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    }
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     }
   }
   const double scale = static_cast<double>(users) / 800.0;
@@ -55,8 +63,16 @@ int main(int argc, char** argv) {
   config.sample_interval = seconds(10);
   config.record_metrics_windows = true;
   exp::scale_population(config, scale);
+  if (shards > 1) config.game.cohort.enabled = true;
 
-  const exp::GameExperimentResult result = run_game_experiment(config);
+  exp::GameExperimentResult result;
+  if (shards > 1) {
+    exp::ShardOptions options;
+    options.shards = shards;
+    result = std::move(run_sharded_game_experiment(config, options).merged);
+  } else {
+    result = run_game_experiment(config);
+  }
 
   std::printf("-- Fig 7a/7b series --\n");
   result.series.print_table(std::cout);

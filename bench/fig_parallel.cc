@@ -1,0 +1,170 @@
+// fig_parallel — block-parallel engine scaling sweep (DESIGN.md section 15).
+//
+// Replays one fixed cohort-mode workload (a fig_scale-style ramp) under the
+// sharded simulation engine at increasing shard counts and reports the
+// wall-clock speedup over K = 1, the epoch count, and the cross-shard
+// boundary traffic. The K = 1 row runs the identical workload through the
+// same driver (which short-circuits to the classic single-threaded engine),
+// so the speedup column is apples to apples.
+//
+// Determinism recheck: the smallest multi-shard point is run twice and the
+// (executed_events, rng_draws, series) fingerprints must match exactly.
+//
+// Speedup assertion: when DYNAMOTH_REQUIRE_SPEEDUP is set in the
+// environment AND the machine exposes at least 4 hardware threads, the
+// 4-shard point must beat K = 1 by the given factor (e.g.
+// DYNAMOTH_REQUIRE_SPEEDUP=2.0). Unset, the sweep is informational — a
+// 1-core container can still validate correctness and determinism, just
+// not parallel speedup.
+//
+// Usage: fig_parallel [--smoke] [--users N] [--shards K[,K...]]
+//   --smoke    small population, short ramp, K in {1,2} (CI quick job)
+//   --users N  modeled population (default 100000)
+//   --shards   comma list of shard counts (default 1,2,4)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mammoth/sharded_experiment.h"
+#include "metrics/series.h"
+
+namespace {
+
+using namespace dynamoth;
+namespace exp = mammoth::exp;
+
+std::vector<std::size_t> parse_shard_list(const char* arg) {
+  std::vector<std::size_t> out;
+  std::string s(arg);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string tok = s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) out.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+exp::GameExperimentConfig workload(std::size_t users, SimTime duration) {
+  exp::GameExperimentConfig config = exp::default_game_experiment();
+  config.seed = 77;
+  config.balancer = exp::BalancerKind::kDynamoth;
+  const SimTime ramp_start = duration / 8;
+  config.schedule = {{seconds(0), 120}, {ramp_start, 120}, {duration - duration / 8, 1200}};
+  config.duration = duration;
+  config.sample_interval = seconds(10);
+  exp::scale_population(config, static_cast<double>(users) / 1200.0);
+  return config;
+}
+
+struct Point {
+  std::size_t shards;
+  double wall_s;
+  exp::ShardedGameResult result;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::size_t users = 100'000;
+  std::vector<std::size_t> shard_counts = {1, 2, 4};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--users") == 0 && i + 1 < argc) {
+      users = std::strtoull(argv[++i], nullptr, 10);
+    }
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shard_counts = parse_shard_list(argv[++i]);
+    }
+  }
+  if (smoke) {
+    users = std::min<std::size_t>(users, 10'000);
+    shard_counts = {1, 2};
+  }
+  const SimTime duration = smoke ? seconds(60) : seconds(120);
+
+  std::printf("== fig_parallel: block-parallel engine scaling ==\n");
+  std::printf("   %zu modeled users, %0.f sim-s ramp, %u hardware threads\n\n", users,
+              to_seconds(duration), std::thread::hardware_concurrency());
+
+  metrics::Series series{std::vector<std::string>{
+      "shards", "wall_s", "speedup", "epochs", "boundary_events", "executed_events",
+      "rng_draws", "total_updates", "peak_servers"}};
+
+  std::vector<Point> points;
+  for (const std::size_t k : shard_counts) {
+    if (k == 0) continue;
+    exp::ShardOptions options;
+    options.shards = k;
+    const auto wall_start = std::chrono::steady_clock::now();
+    exp::ShardedGameResult result = exp::run_sharded_game_experiment(workload(users, duration),
+                                                                     options);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    points.push_back({k, wall_s, std::move(result)});
+  }
+
+  const double base_wall = points.empty() ? 0.0 : points.front().wall_s;
+  double speedup_at_4 = 0.0;
+  for (const Point& p : points) {
+    const double speedup = p.wall_s > 0 ? base_wall / p.wall_s : 0.0;
+    if (p.shards == 4) speedup_at_4 = speedup;
+    series.add_row({static_cast<double>(p.shards), p.wall_s, speedup,
+                    static_cast<double>(p.result.engine.epochs),
+                    static_cast<double>(p.result.engine.boundary_events),
+                    static_cast<double>(p.result.merged.executed_events),
+                    static_cast<double>(p.result.merged.rng_draws),
+                    static_cast<double>(p.result.merged.total_updates),
+                    p.result.merged.peak_servers});
+    std::printf(
+        "shards %2zu | wall %7.2f s | speedup %5.2fx | epochs %8llu | boundary %8llu | "
+        "events %llu\n",
+        p.shards, p.wall_s, speedup,
+        static_cast<unsigned long long>(p.result.engine.epochs),
+        static_cast<unsigned long long>(p.result.engine.boundary_events),
+        static_cast<unsigned long long>(p.result.merged.executed_events));
+  }
+
+  // Determinism recheck: rerun the smallest K > 1 point and compare
+  // fingerprints — thread scheduling must not leak into results.
+  const Point* multi = nullptr;
+  for (const Point& p : points) {
+    if (p.shards > 1 && (multi == nullptr || p.shards < multi->shards)) multi = &p;
+  }
+  if (multi != nullptr) {
+    exp::ShardOptions options;
+    options.shards = multi->shards;
+    const exp::ShardedGameResult again =
+        exp::run_sharded_game_experiment(workload(users, duration), options);
+    const bool identical =
+        again.merged.executed_events == multi->result.merged.executed_events &&
+        again.merged.rng_draws == multi->result.merged.rng_draws &&
+        again.merged.total_updates == multi->result.merged.total_updates &&
+        again.engine.boundary_events == multi->result.engine.boundary_events;
+    std::printf("\ndeterminism recheck at K=%zu: %s\n", multi->shards,
+                identical ? "identical" : "MISMATCH");
+    if (!identical) return 1;
+  }
+
+  series.save_csv("fig_parallel.csv");
+  std::printf("(series saved to fig_parallel.csv)\n");
+
+  const char* require = std::getenv("DYNAMOTH_REQUIRE_SPEEDUP");
+  if (require != nullptr && std::thread::hardware_concurrency() >= 4 && speedup_at_4 > 0) {
+    const double threshold = std::strtod(require, nullptr);
+    if (speedup_at_4 < threshold) {
+      std::fprintf(stderr, "FAIL: 4-shard speedup %.2fx below required %.2fx\n", speedup_at_4,
+                   threshold);
+      return 1;
+    }
+    std::printf("4-shard speedup %.2fx meets required %.2fx\n", speedup_at_4, threshold);
+  }
+  return 0;
+}

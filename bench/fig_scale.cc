@@ -14,19 +14,23 @@
 // DESIGN.md section 13), so every sweep point drives the same load-ratio
 // trajectory and the balancer behaves comparably at every size.
 //
-// Usage: fig_scale [--smoke] [--full] [--users N]
+// Usage: fig_scale [--smoke] [--full] [--users N] [--shards K]
 //   --smoke   10^3 and 10^4 only, shortened ramp (CI)
 //   --full    run the 10^6 point at the full 480 s ramp too
 //   --users N single sweep point at N modeled users
+//   --shards K  run each point under K block-parallel regions (DESIGN.md
+//               section 15); K = 1 is the classic path, bit-identical
 #include <sys/resource.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "mammoth/experiments.h"
+#include "mammoth/sharded_experiment.h"
 #include "metrics/series.h"
 
 namespace {
@@ -52,11 +56,15 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool full = false;
   std::size_t single_users = 0;
+  std::size_t shards = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--full") == 0) full = true;
     if (std::strcmp(argv[i], "--users") == 0 && i + 1 < argc) {
       single_users = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    }
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     }
   }
 
@@ -76,7 +84,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("== fig_scale: cohort-mode population sweep ==\n");
-  std::printf("   Fig-5-style ramp (10%% -> 100%% of target) at each size\n\n");
+  std::printf("   Fig-5-style ramp (10%% -> 100%% of target) at each size\n");
+  if (shards > 1) std::printf("   block-parallel: %zu regions\n", shards);
+  std::printf("\n");
 
   metrics::Series series{std::vector<std::string>{
       "users", "sim_s", "wall_s", "wall_ms_per_sim_s", "rss_mib", "events", "publications",
@@ -95,7 +105,15 @@ int main(int argc, char** argv) {
     exp::scale_population(config, static_cast<double>(point.users) / 1200.0);
 
     const auto wall_start = std::chrono::steady_clock::now();
-    const exp::GameExperimentResult result = run_game_experiment(config);
+    exp::GameExperimentResult result;
+    if (shards > 1) {
+      config.game.cohort.enabled = true;
+      exp::ShardOptions options;
+      options.shards = shards;
+      result = std::move(exp::run_sharded_game_experiment(config, options).merged);
+    } else {
+      result = run_game_experiment(config);
+    }
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 

@@ -15,9 +15,11 @@
 #include "core/plan.h"
 #include "latency/latency_model.h"
 #include "mammoth/experiments.h"
+#include "mammoth/sharded_experiment.h"
 #include "metrics/histogram.h"
 #include "net/network.h"
 #include "pubsub/server.h"
+#include "sim/sharded_engine.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -576,6 +578,125 @@ void BM_ScaleCohortGame(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * users * 10);
 }
 BENCHMARK(BM_ScaleCohortGame)->Arg(1'000)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+/// Minimal shard for engine-overhead benches: a periodic local event every
+/// `tick` keeps the min-next reduction from fast-forwarding whole epochs
+/// away, so the measured cost is the barrier + drain machinery itself.
+class TickingShard : public sim::Shard {
+ public:
+  explicit TickingShard(SimTime tick) : task_(sim_, tick, [this] { ++ticks_; }) {
+    task_.start();
+  }
+  sim::Simulator& simulator() override { return sim_; }
+  void on_boundary(std::size_t /*src*/, const sim::BoundaryEvent& ev) override {
+    sim_.schedule_at(ev.at, [this] { ++received_; });
+  }
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+
+ private:
+  sim::Simulator sim_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t received_ = 0;
+  sim::PeriodicTask task_;
+};
+
+void BM_ParallelEpochOverhead(benchmark::State& state) {
+  // Pure synchronization cost: K shards, each with one local event per
+  // lookahead window, so every epoch does real (tiny) work and the wall
+  // cost is dominated by drain -> barrier -> reduce -> run -> barrier.
+  // Items are epochs completed.
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  std::uint64_t epochs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    {
+      sim::ShardedEngineConfig cfg;
+      cfg.shards = shards;
+      cfg.lookahead = millis(10);
+      sim::ShardedEngine engine(cfg);
+      engine.build(
+          [](std::size_t) { return std::make_unique<TickingShard>(millis(10)); });
+      state.ResumeTiming();
+      engine.run_until(seconds(20));
+      epochs += engine.stats().epochs;
+      benchmark::DoNotOptimize(engine.stats().epochs);
+      state.PauseTiming();
+      // Engine teardown (thread joins) happens here, outside the timed region.
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(epochs));
+}
+BENCHMARK(BM_ParallelEpochOverhead)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelBoundaryRelay(benchmark::State& state) {
+  // Cross-shard messaging throughput: each shard posts one boundary event
+  // per tick to its ring neighbour. Items are boundary events merged.
+  const std::size_t shards = 2;
+  std::uint64_t posted = 0;
+  struct RelayShard : sim::Shard {
+    sim::Simulator sim;
+    sim::ShardedEngine* engine = nullptr;
+    std::size_t id = 0;
+    sim::PeriodicTask task{sim, millis(5), [this] {
+                             engine->post(id, (id + 1) % 2,
+                                          {sim.now() + millis(5), 1, 0, 0, 0, 0.0});
+                           }};
+    sim::Simulator& simulator() override { return sim; }
+    void on_boundary(std::size_t, const sim::BoundaryEvent& ev) override {
+      sim.schedule_at(ev.at, [] {});
+    }
+  };
+  for (auto _ : state) {
+    state.PauseTiming();
+    {
+      sim::ShardedEngineConfig cfg;
+      cfg.shards = shards;
+      cfg.lookahead = millis(5);
+      sim::ShardedEngine engine(cfg);
+      engine.build([&engine](std::size_t i) -> std::unique_ptr<sim::Shard> {
+        auto shard = std::make_unique<RelayShard>();
+        shard->engine = &engine;
+        shard->id = i;
+        shard->task.start();
+        return shard;
+      });
+      state.ResumeTiming();
+      engine.run_until(seconds(20));
+      posted += engine.stats().boundary_events;
+      benchmark::DoNotOptimize(engine.stats().boundary_events);
+      state.PauseTiming();
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(posted));
+}
+BENCHMARK(BM_ParallelBoundaryRelay)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelShardedGame(benchmark::State& state) {
+  // End-to-end block-parallel cohort game: 10 sim-seconds at 10^4 modeled
+  // users, K = range(0) regions. On a multi-core runner wall time drops
+  // with K; items are modeled user-seconds (same normalization as
+  // BM_ScaleCohortGame so the two series are comparable).
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const std::size_t users = 10'000;
+  for (auto _ : state) {
+    mammoth::exp::GameExperimentConfig config = mammoth::exp::default_game_experiment();
+    config.seed = 77;
+    config.balancer = mammoth::exp::BalancerKind::kDynamoth;
+    config.schedule = {{seconds(0), 1200}};
+    config.duration = seconds(10);
+    config.sample_interval = seconds(5);
+    mammoth::exp::scale_population(config, static_cast<double>(users) / 1200.0);
+    mammoth::exp::ShardOptions options;
+    options.shards = shards;
+    const mammoth::exp::ShardedGameResult result =
+        mammoth::exp::run_sharded_game_experiment(config, options);
+    benchmark::DoNotOptimize(result.merged.executed_events);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(users) * 10);
+}
+BENCHMARK(BM_ParallelShardedGame)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_SimulatorSelfScheduling(benchmark::State& state) {
   // The common pattern: events that schedule follow-up events.

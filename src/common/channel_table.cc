@@ -2,11 +2,21 @@
 
 #include <algorithm>
 
+#include "common/thread_singleton.h"
+
 namespace dynamoth {
 
 ChannelTable& ChannelTable::instance() {
-  static ChannelTable table;
-  return table;
+  // Per simulator thread: interned ids are only meaningful within one
+  // simulation, and sharded mode runs one simulation per thread (DESIGN.md
+  // section 15). Leaked so ids stay valid through static teardown; the
+  // process-lifetime registry keeps LeakSanitizer satisfied.
+  static thread_local ChannelTable* table = [] {
+    auto* t = new ChannelTable();
+    detail::retain_for_process_lifetime(t);
+    return t;
+  }();
+  return *table;
 }
 
 void ChannelTable::add_listener(Listener* listener) {

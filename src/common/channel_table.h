@@ -45,8 +45,10 @@ class ChannelTable {
     virtual void on_new_channel(ChannelId id, const std::string& name) = 0;
   };
 
-  /// The process-wide table. All components intern through this instance so
-  /// ids are comparable across servers, dispatchers and the load balancer.
+  /// The calling simulator thread's table. All components of one simulation
+  /// intern through this instance so ids are comparable across servers,
+  /// dispatchers and the load balancer; ids are NOT comparable across shard
+  /// threads, which is why only channel *names* cross shard boundaries.
   static ChannelTable& instance();
 
   void add_listener(Listener* listener);

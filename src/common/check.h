@@ -17,3 +17,14 @@ namespace dynamoth::internal {
   do {                                                                 \
     if (!(expr)) ::dynamoth::internal::check_failed(#expr, __FILE__, __LINE__); \
   } while (0)
+
+// Debug-only check: compiled out in NDEBUG builds. Reserved for per-operation
+// invariants on paths too hot to check in release (e.g. the shard-ownership
+// stamp on every refcount bump, DESIGN.md section 15).
+#ifdef NDEBUG
+#define DYN_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define DYN_DCHECK(expr) DYN_CHECK(expr)
+#endif

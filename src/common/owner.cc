@@ -1,0 +1,13 @@
+#include "common/owner.h"
+
+#include <atomic>
+
+namespace dynamoth {
+
+std::uint32_t owner_tag() {
+  static std::atomic<std::uint32_t> next{1};
+  static thread_local const std::uint32_t tag = next.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
+
+}  // namespace dynamoth

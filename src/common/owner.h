@@ -1,0 +1,48 @@
+// Shard-ownership stamps for the deliberately non-atomic refcount types.
+//
+// The zero-alloc message path (DESIGN.md section 10) commits to plain uint32
+// refcounts on EnvelopeRef and RcPtr — correct because every producer and
+// consumer of one object runs on one simulator thread. Block-parallel
+// simulation (DESIGN.md section 15) keeps that contract by construction:
+// each shard owns a private Simulator, envelope pool and channel table, and
+// only POD boundary records cross shards. This header makes the contract
+// checkable: every thread gets a distinct owner tag, refcounted boxes stamp
+// the tag of the thread that allocated them, and debug builds DYN_DCHECK the
+// stamp on every refcount operation — a cross-shard envelope or callback
+// leak aborts at the first touch instead of corrupting a count silently.
+//
+// Release builds compile the stamp reads/writes out entirely (the stamp
+// field itself stays, keeping layouts identical across build types is NOT
+// required — the field is #ifdef'd away so release objects pay zero bytes).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace dynamoth {
+
+/// Tag of the calling thread, distinct per thread for the process lifetime.
+/// Tags are assigned lazily on first use; the main thread commonly gets 1.
+std::uint32_t owner_tag();
+
+#ifdef NDEBUG
+
+/// Zero-size stamp in release builds: refcount hot paths pay nothing.
+struct OwnerStamp {
+  void stamp() {}
+  void check() const {}
+};
+
+#else
+
+/// Debug stamp: records the allocating thread, asserts on every touch.
+struct OwnerStamp {
+  std::uint32_t owner = 0;
+  void stamp() { owner = owner_tag(); }
+  void check() const { DYN_DCHECK(owner == owner_tag()); }
+};
+
+#endif
+
+}  // namespace dynamoth

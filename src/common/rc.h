@@ -6,10 +6,18 @@
 // libstdc++'s counter to atomic ops); the simulator is single-threaded by
 // design, so RcPtr uses a plain uint32 — the same boundary the envelope pool
 // and the event slab already commit to (DESIGN.md sections 7 and 10).
+//
+// Block-parallel mode (DESIGN.md section 15) runs one such single-threaded
+// simulator per shard thread. The box is stamped with the allocating
+// thread's owner tag, and debug builds assert the stamp on every refcount
+// operation: an RcPtr smuggled across a shard boundary aborts immediately
+// instead of racing the count.
 #pragma once
 
 #include <cstdint>
 #include <utility>
+
+#include "common/owner.h"
 
 namespace dynamoth {
 
@@ -20,7 +28,10 @@ class RcPtr {
   RcPtr(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
 
   RcPtr(const RcPtr& other) noexcept : box_(other.box_) {
-    if (box_ != nullptr) ++box_->refs;
+    if (box_ != nullptr) {
+      box_->stamp.check();
+      ++box_->refs;
+    }
   }
   RcPtr(RcPtr&& other) noexcept : box_(other.box_) { other.box_ = nullptr; }
 
@@ -40,7 +51,10 @@ class RcPtr {
   ~RcPtr() { reset(); }
 
   void reset() noexcept {
-    if (box_ != nullptr && --box_->refs == 0) delete box_;
+    if (box_ != nullptr) {
+      box_->stamp.check();
+      if (--box_->refs == 0) delete box_;
+    }
     box_ = nullptr;
   }
   void swap(RcPtr& other) noexcept { std::swap(box_, other.box_); }
@@ -55,7 +69,8 @@ class RcPtr {
   template <class... Args>
   static RcPtr make(Args&&... args) {
     RcPtr p;
-    p.box_ = new Box{T(std::forward<Args>(args)...), 1};
+    p.box_ = new Box{T(std::forward<Args>(args)...), 1, {}};
+    p.box_->stamp.stamp();
     return p;
   }
 
@@ -63,6 +78,7 @@ class RcPtr {
   struct Box {
     T value;
     std::uint32_t refs = 0;
+    [[no_unique_address]] OwnerStamp stamp;
   };
 
   Box* box_ = nullptr;

@@ -31,9 +31,12 @@ class Rng {
   /// Next raw 64 random bits (xorshift64*).
   std::uint64_t next();
 
-  /// Process-wide count of draws across every Rng instance. The simulation
-  /// is single-threaded by design; the determinism guards assert this count
-  /// is identical run-to-run (and unaffected by observability toggles).
+  /// Count of draws across every Rng instance *on the calling thread*. Each
+  /// simulator runs on one thread, so for an experiment this is the draw
+  /// count of its own simulation; the determinism guards assert it is
+  /// identical run-to-run (and unaffected by observability toggles). Made
+  /// thread-local for block-parallel mode, where each shard thread hosts an
+  /// independent simulator (DESIGN.md section 15).
   [[nodiscard]] static std::uint64_t total_draws() { return total_draws_; }
 
   /// Uniform double in [0, 1).
@@ -58,7 +61,7 @@ class Rng {
   double lognormal(double mu, double sigma);
 
  private:
-  static inline std::uint64_t total_draws_ = 0;
+  static inline thread_local std::uint64_t total_draws_ = 0;
 
   std::uint64_t state_;
 };

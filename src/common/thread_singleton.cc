@@ -1,0 +1,15 @@
+#include "common/thread_singleton.h"
+
+#include <mutex>
+#include <vector>
+
+namespace dynamoth::detail {
+
+void retain_for_process_lifetime(void* p) {
+  static std::mutex* mu = new std::mutex();
+  static std::vector<void*>* retained = new std::vector<void*>();
+  const std::lock_guard<std::mutex> lock(*mu);
+  retained->push_back(p);
+}
+
+}  // namespace dynamoth::detail

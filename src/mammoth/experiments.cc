@@ -73,6 +73,27 @@ void scale_population(GameExperimentConfig& config, double scale) {
 
 namespace {
 
+/// Balancer selection side effect of construction: registers the balancer
+/// with the cluster and returns the base pointer the sampler reads stats
+/// through (null for BalancerKind::kNone).
+core::BalancerBase* make_balancer(harness::Cluster& cluster, const GameExperimentConfig& config) {
+  switch (config.balancer) {
+    case BalancerKind::kDynamoth:
+      return &cluster.use_dynamoth(config.dynamoth);
+    case BalancerKind::kConsistentHashing:
+      return &cluster.use_hash_balancer(config.hash);
+    case BalancerKind::kNone:
+      break;
+  }
+  return nullptr;
+}
+
+harness::ClusterConfig cluster_config_for(const GameExperimentConfig& config) {
+  harness::ClusterConfig cluster_config = config.cluster;
+  cluster_config.seed = config.seed;
+  return cluster_config;
+}
+
 /// Piecewise-linear interpolation of the population schedule at time t.
 std::size_t target_population(const std::vector<PopulationPoint>& schedule, SimTime t) {
   if (schedule.empty()) return 0;
@@ -91,115 +112,103 @@ std::size_t target_population(const std::vector<PopulationPoint>& schedule, SimT
 
 }  // namespace
 
+GameExperimentRun::GameExperimentRun(const GameExperimentConfig& config)
+    : config_(config),
+      rng_draws_start_(Rng::total_draws()),
+      cluster_(cluster_config_for(config_)),
+      balancer_(make_balancer(cluster_, config_)),
+      probe_(result_.metrics, "rtt_us"),
+      game_(cluster_, config_.game, &probe_),
+      // Population controller: follow the schedule each second.
+      population_(cluster_.sim(), seconds(1),
+                  [this] {
+                    game_.set_population(
+                        target_population(config_.schedule, cluster_.sim().now()));
+                  }),
+      // Registry-backed accumulators: cumulative counters mirror the
+      // external totals; the sampler derives window rates from the handle
+      // values instead of hand-rolled "last_x" locals. Registering
+      // everything up front keeps the window CSV's column set stable.
+      msgs_c_(result_.metrics.counter("infra_msgs")),
+      rebalances_c_(result_.metrics.counter("rebalances")),
+      players_g_(result_.metrics.gauge("players")),
+      servers_g_(result_.metrics.gauge("servers")),
+      avg_lr_g_(result_.metrics.gauge("avg_lr")),
+      max_lr_g_(result_.metrics.gauge("max_lr")),
+      rt_g_(result_.metrics.gauge("rt_ms")),
+      sampler_(cluster_.sim(), config_.sample_interval, [this] { sample(); }) {
+  DYN_CHECK(!config_.schedule.empty());
+  population_.start_after(0);
+  sampler_.start();
+}
+
+void GameExperimentRun::sample() {
+  const double t = to_seconds(cluster_.sim().now());
+  const std::uint64_t msgs = cluster_.network().total_infrastructure_messages();
+  const double msg_rate =
+      static_cast<double>(msgs - msgs_c_.value()) / to_seconds(config_.sample_interval);
+  msgs_c_.set(msgs);
+
+  double rt = probe_.window_mean_ms();
+  if (probe_.window_count() == 0) rt = last_rt_;  // carry forward quiet windows
+  last_rt_ = rt;
+  rt_g_.set(rt);
+  probe_.window_reset();
+
+  double avg_lr = 0, max_lr = 0;
+  std::size_t rebalances = 0;
+  if (balancer_ != nullptr) {
+    avg_lr = balancer_->average_load_ratio();
+    max_lr = balancer_->max_load_ratio().second;
+    rebalances = balancer_->events().size() - rebalances_c_.value();
+    rebalances_c_.set(balancer_->events().size());
+  }
+  avg_lr_g_.set(avg_lr);
+  max_lr_g_.set(max_lr);
+
+  const auto players = static_cast<double>(game_.active_players());
+  const auto servers = static_cast<double>(cluster_.active_servers());
+  players_g_.set(players);
+  servers_g_.set(servers);
+  result_.series.add_row({t, players, msg_rate, servers, rt, avg_lr, max_lr,
+                          static_cast<double>(rebalances)});
+  if (rt > 0 && rt <= config_.rt_threshold_ms) {
+    result_.max_players_ok = std::max(result_.max_players_ok, players);
+  }
+  result_.peak_servers = std::max(result_.peak_servers, servers);
+
+  if (config_.record_metrics_windows) result_.metrics.end_window(cluster_.sim().now());
+}
+
+GameExperimentResult GameExperimentRun::finish() {
+  DYN_CHECK(!finished_);
+  finished_ = true;
+  population_.stop();
+  sampler_.stop();
+  if (balancer_ != nullptr) {
+    result_.events = balancer_->events();
+    result_.audit = balancer_->audit();
+  }
+  result_.rtt_us = probe_.histogram();
+  result_.delivery_latency_us = game_.delivery_latency();
+  result_.server_hours = cluster_.cloud().server_hours(cluster_.sim().now());
+  const std::size_t max_fleet = config_.balancer == BalancerKind::kConsistentHashing
+                                    ? config_.hash.max_servers
+                                    : config_.dynamoth.max_servers;
+  result_.static_fleet_hours = core::Cloud::static_fleet_hours(max_fleet, cluster_.sim().now());
+  result_.total_updates = game_.total_updates_published();
+  result_.executed_events = cluster_.sim().executed_events();
+  result_.rng_draws = Rng::total_draws() - rng_draws_start_;
+  result_.connection_drops = game_.total_connection_drops();
+  result_.metrics.counter("connection_drops").set(result_.connection_drops);
+  result_.metrics.counter("total_updates").set(result_.total_updates);
+  return std::move(result_);
+}
+
 GameExperimentResult run_game_experiment(const GameExperimentConfig& config) {
-  DYN_CHECK(!config.schedule.empty());
-  const std::uint64_t rng_draws_start = Rng::total_draws();
-  harness::ClusterConfig cluster_config = config.cluster;
-  cluster_config.seed = config.seed;
-  harness::Cluster cluster(cluster_config);
-
-  core::BalancerBase* balancer = nullptr;
-  switch (config.balancer) {
-    case BalancerKind::kDynamoth: {
-      auto& lb = cluster.use_dynamoth(config.dynamoth);
-      balancer = &lb;
-      break;
-    }
-    case BalancerKind::kConsistentHashing: {
-      auto& lb = cluster.use_hash_balancer(config.hash);
-      balancer = &lb;
-      break;
-    }
-    case BalancerKind::kNone:
-      break;
-  }
-
-  GameExperimentResult result;
-  obs::MetricsRegistry& registry = result.metrics;
-  harness::ResponseProbe probe(registry, "rtt_us");
-  Game game(cluster, config.game, &probe);
-
-  // Population controller: follow the schedule each second.
-  sim::PeriodicTask population(cluster.sim(), seconds(1), [&] {
-    game.set_population(target_population(config.schedule, cluster.sim().now()));
-  });
-  population.start_after(0);
-
-  // Registry-backed accumulators: cumulative counters mirror the external
-  // totals; the sampler derives window rates from the handle values instead
-  // of hand-rolled "last_x" locals. Registering everything up front keeps
-  // the window CSV's column set stable.
-  obs::MetricsRegistry::Counter msgs_c = registry.counter("infra_msgs");
-  obs::MetricsRegistry::Counter rebalances_c = registry.counter("rebalances");
-  obs::MetricsRegistry::Gauge players_g = registry.gauge("players");
-  obs::MetricsRegistry::Gauge servers_g = registry.gauge("servers");
-  obs::MetricsRegistry::Gauge avg_lr_g = registry.gauge("avg_lr");
-  obs::MetricsRegistry::Gauge max_lr_g = registry.gauge("max_lr");
-  obs::MetricsRegistry::Gauge rt_g = registry.gauge("rt_ms");
-
-  double last_rt = 0;
-
-  sim::PeriodicTask sampler(cluster.sim(), config.sample_interval, [&] {
-    const double t = to_seconds(cluster.sim().now());
-    const std::uint64_t msgs = cluster.network().total_infrastructure_messages();
-    const double msg_rate =
-        static_cast<double>(msgs - msgs_c.value()) / to_seconds(config.sample_interval);
-    msgs_c.set(msgs);
-
-    double rt = probe.window_mean_ms();
-    if (probe.window_count() == 0) rt = last_rt;  // carry forward quiet windows
-    last_rt = rt;
-    rt_g.set(rt);
-    probe.window_reset();
-
-    double avg_lr = 0, max_lr = 0;
-    std::size_t rebalances = 0;
-    if (balancer != nullptr) {
-      avg_lr = balancer->average_load_ratio();
-      max_lr = balancer->max_load_ratio().second;
-      rebalances = balancer->events().size() - rebalances_c.value();
-      rebalances_c.set(balancer->events().size());
-    }
-    avg_lr_g.set(avg_lr);
-    max_lr_g.set(max_lr);
-
-    const auto players = static_cast<double>(game.active_players());
-    const auto servers = static_cast<double>(cluster.active_servers());
-    players_g.set(players);
-    servers_g.set(servers);
-    result.series.add_row({t, players, msg_rate, servers, rt, avg_lr, max_lr,
-                           static_cast<double>(rebalances)});
-    if (rt > 0 && rt <= config.rt_threshold_ms) {
-      result.max_players_ok = std::max(result.max_players_ok, players);
-    }
-    result.peak_servers = std::max(result.peak_servers, servers);
-
-    if (config.record_metrics_windows) registry.end_window(cluster.sim().now());
-  });
-  sampler.start();
-
-  cluster.sim().run_until(config.duration);
-
-  population.stop();
-  sampler.stop();
-  if (balancer != nullptr) {
-    result.events = balancer->events();
-    result.audit = balancer->audit();
-  }
-  result.rtt_us = probe.histogram();
-  result.delivery_latency_us = game.delivery_latency();
-  result.server_hours = cluster.cloud().server_hours(cluster.sim().now());
-  const std::size_t max_fleet = config.balancer == BalancerKind::kConsistentHashing
-                                    ? config.hash.max_servers
-                                    : config.dynamoth.max_servers;
-  result.static_fleet_hours = core::Cloud::static_fleet_hours(max_fleet, cluster.sim().now());
-  result.total_updates = game.total_updates_published();
-  result.executed_events = cluster.sim().executed_events();
-  result.rng_draws = Rng::total_draws() - rng_draws_start;
-  result.connection_drops = game.total_connection_drops();
-  registry.counter("connection_drops").set(result.connection_drops);
-  registry.counter("total_updates").set(result.total_updates);
-  return result;
+  GameExperimentRun run(config);
+  run.run_until(config.duration);
+  return run.finish();
 }
 
 }  // namespace dynamoth::mammoth::exp

@@ -100,4 +100,59 @@ void scale_population(GameExperimentConfig& config, double scale);
 
 [[nodiscard]] GameExperimentResult run_game_experiment(const GameExperimentConfig& config);
 
+/// One live game-experiment world: everything run_game_experiment builds,
+/// held open so a driver can step it incrementally — the figure binaries
+/// step it in one run_until(duration), the block-parallel engine (DESIGN.md
+/// section 15) steps one of these per shard in lockstep epochs.
+///
+/// Construction order, RNG usage, and metric registration order are exactly
+/// run_game_experiment's (that function IS construct + run_until(duration) +
+/// finish()), so the K = 1 sharded run is byte-identical to the classic
+/// driver — the determinism guard asserts it.
+class GameExperimentRun {
+ public:
+  explicit GameExperimentRun(const GameExperimentConfig& config);
+
+  GameExperimentRun(const GameExperimentRun&) = delete;
+  GameExperimentRun& operator=(const GameExperimentRun&) = delete;
+
+  [[nodiscard]] harness::Cluster& cluster() { return cluster_; }
+  [[nodiscard]] Game& game() { return game_; }
+  [[nodiscard]] sim::Simulator& sim() { return cluster_.sim(); }
+  [[nodiscard]] const GameExperimentConfig& config() const { return config_; }
+
+  /// Advances the world; chunked calls are event-for-event identical to one
+  /// big call (Simulator::run_until chunk transparency).
+  void run_until(SimTime t) { cluster_.sim().run_until(t); }
+
+  /// Stops the periodic tasks and assembles the result. Call exactly once,
+  /// after the final run_until.
+  [[nodiscard]] GameExperimentResult finish();
+
+ private:
+  void sample();
+
+  // Declaration order mirrors run_game_experiment's construction order —
+  // member init runs top to bottom, preserving the RNG draw sequence and
+  // the registry's column order.
+  GameExperimentConfig config_;
+  std::uint64_t rng_draws_start_;
+  harness::Cluster cluster_;
+  core::BalancerBase* balancer_ = nullptr;
+  GameExperimentResult result_;
+  harness::ResponseProbe probe_;
+  Game game_;
+  sim::PeriodicTask population_;
+  obs::MetricsRegistry::Counter msgs_c_;
+  obs::MetricsRegistry::Counter rebalances_c_;
+  obs::MetricsRegistry::Gauge players_g_;
+  obs::MetricsRegistry::Gauge servers_g_;
+  obs::MetricsRegistry::Gauge avg_lr_g_;
+  obs::MetricsRegistry::Gauge max_lr_g_;
+  obs::MetricsRegistry::Gauge rt_g_;
+  double last_rt_ = 0;
+  sim::PeriodicTask sampler_;
+  bool finished_ = false;
+};
+
 }  // namespace dynamoth::mammoth::exp

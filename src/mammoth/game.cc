@@ -7,6 +7,24 @@
 
 namespace dynamoth::mammoth {
 
+std::vector<double> stationary_tile_weights(const GameConfig& config) {
+  const World world(config.world_size, config.tiles_per_side);
+  const int tiles = world.tile_count();
+  const double bias = std::clamp(config.player.hotspot_bias, 0.0, 1.0);
+  std::vector<double> weights(static_cast<std::size_t>(tiles), (1.0 - bias) / tiles);
+  if (bias > 0) {
+    const auto hotspots = world.hotspots();
+    for (const Position& poi : hotspots) {
+      const TileCoord tc = world.tile_of(poi);
+      const std::size_t idx =
+          static_cast<std::size_t>(tc.y) * static_cast<std::size_t>(world.tiles_per_side()) +
+          static_cast<std::size_t>(tc.x);
+      weights[idx] += bias / static_cast<double>(hotspots.size());
+    }
+  }
+  return weights;
+}
+
 Game::Game(harness::Cluster& cluster, GameConfig config, harness::ResponseProbe* probe)
     : cluster_(cluster),
       config_(config),
@@ -19,18 +37,9 @@ Game::Game(harness::Cluster& cluster, GameConfig config, harness::ResponseProbe*
   // the player AI's hotspot bias — the same skew individual random-waypoint
   // players with POI-biased waypoints converge to, in closed form.
   const int tiles = world_.tile_count();
-  const double bias = std::clamp(config_.player.hotspot_bias, 0.0, 1.0);
-  tile_weights_.assign(static_cast<std::size_t>(tiles), (1.0 - bias) / tiles);
-  if (bias > 0) {
-    const auto hotspots = world_.hotspots();
-    for (const Position& poi : hotspots) {
-      const TileCoord tc = world_.tile_of(poi);
-      const std::size_t idx =
-          static_cast<std::size_t>(tc.y) * static_cast<std::size_t>(world_.tiles_per_side()) +
-          static_cast<std::size_t>(tc.x);
-      tile_weights_[idx] += bias / static_cast<double>(hotspots.size());
-    }
-  }
+  tile_weights_ = stationary_tile_weights(config_);
+  DYN_CHECK(config_.region.tile_owner.empty() ||
+            config_.region.tile_owner.size() == static_cast<std::size_t>(tiles));
   cohorts_.resize(static_cast<std::size_t>(tiles));
   migration_credit_.assign(static_cast<std::size_t>(tiles), 0.0);
 }
@@ -111,15 +120,21 @@ cohort::Cohort& Game::cohort_for(std::size_t idx) {
 }
 
 void Game::set_population_cohort(std::size_t n) {
+  // Apportionment is GLOBAL (every region computes the same exact-total
+  // split from the same weights); each instance applies only its owned
+  // slice, so region populations sum to n without any cross-shard talk.
   const std::vector<std::uint32_t> target = apportion(n);
+  std::size_t owned = 0;
   for (std::size_t t = 0; t < target.size(); ++t) {
+    if (!owns_tile(t)) continue;
+    owned += target[t];
     const std::uint32_t cur = cohorts_[t] ? cohorts_[t]->members() : 0;
     if (cur == target[t]) continue;
     cohort_for(t).set_members(target[t]);
   }
-  if (active_ == 0 && n > 0) migration_.start();
-  if (n == 0) migration_.stop();
-  active_ = n;
+  if (active_ == 0 && owned > 0) migration_.start();
+  if (owned == 0) migration_.stop();
+  active_ = owned;
 }
 
 void Game::migrate() {
@@ -153,10 +168,19 @@ void Game::migrate() {
       const int nx = x + kDx[d];
       const int ny = y + kDy[d];
       if (nx < 0 || nx >= side || ny < 0 || ny >= side) continue;
+      const std::size_t dst = static_cast<std::size_t>(ny) * static_cast<std::size_t>(side) +
+                              static_cast<std::size_t>(nx);
+      if (!owns_tile(dst) && !migration_sink_) continue;  // no federation: bounce home
       delta[t] -= 1;
-      delta[static_cast<std::size_t>(ny) * static_cast<std::size_t>(side) +
-            static_cast<std::size_t>(nx)] += 1;
       ++cohort_crossings_;
+      if (owns_tile(dst)) {
+        delta[dst] += 1;
+      } else {
+        // Region-boundary crossing: the member leaves this shard; the
+        // driver ships it over the inter-region gateway.
+        migration_sink_(dst, 1);
+        active_ -= 1;
+      }
     }
   }
   for (std::size_t t = 0; t < cohorts_.size(); ++t) {
@@ -165,6 +189,23 @@ void Game::migrate() {
     cohort_for(t).set_members(static_cast<std::uint32_t>(
         static_cast<std::int64_t>(cur) + delta[t]));
   }
+}
+
+void Game::add_members(std::size_t idx, std::uint32_t count) {
+  DYN_CHECK(config_.cohort.enabled);
+  DYN_CHECK(owns_tile(idx));
+  if (count == 0) return;
+  const std::uint32_t cur = cohorts_[idx] ? cohorts_[idx]->members() : 0;
+  cohort_for(idx).set_members(cur + count);
+  if (active_ == 0) migration_.start();
+  active_ += count;
+}
+
+void Game::deliver_remote(std::size_t idx, std::uint64_t count, std::size_t bytes,
+                          SimTime latency) {
+  DYN_CHECK(config_.cohort.enabled);
+  if (count == 0 || idx >= cohorts_.size() || cohorts_[idx] == nullptr) return;
+  cohorts_[idx]->record_remote_deliveries(count, bytes, latency);
 }
 
 std::uint64_t Game::total_updates_published() const {

@@ -14,6 +14,7 @@
 //    random-waypoint churn at O(tiles), not O(members), per second.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -36,13 +37,33 @@ struct CohortModeConfig {
   SimTime migration_interval = seconds(1);
 };
 
+/// Tile-grid partition for block-parallel simulation (DESIGN.md section 15):
+/// each shard runs one Game instance that owns a subset of tiles. The
+/// default (one region owning everything) leaves every code path — including
+/// the migration RNG draw sequence — identical to the unsharded engine.
+struct RegionConfig {
+  std::uint32_t region = 0;   // which region this Game instance simulates
+  std::uint32_t regions = 1;  // total regions in the federation
+  /// Tile index -> owning region. Empty means "this instance owns all
+  /// tiles" (the unsharded layout). Cohort mode only.
+  std::vector<std::uint32_t> tile_owner;
+};
+
 struct GameConfig {
   double world_size = 1200.0;
   int tiles_per_side = 12;  // 144 tile channels
   PlayerConfig player;
   core::DynamothClient::Config client;
   CohortModeConfig cohort;
+  RegionConfig region;
 };
+
+/// Stationary tile-density profile cohort mode apportions members by:
+/// uniform mass blended with hotspot mass at the player AI's hotspot bias —
+/// the same skew individual random-waypoint players converge to, in closed
+/// form. Exposed for the block-parallel tile->region assigner, which
+/// balances regions by cumulative weight. Sums to 1.
+[[nodiscard]] std::vector<double> stationary_tile_weights(const GameConfig& config);
 
 class Game {
  public:
@@ -69,6 +90,35 @@ class Game {
   /// Per-member one-way delivery latency population (cohort mode; empty in
   /// individual mode). fig_scale reports p99 over this.
   [[nodiscard]] const metrics::Histogram& delivery_latency() const { return delivery_latency_; }
+
+  // ---- block-parallel federation (DESIGN.md section 15) ----
+  /// Receives migration outflow bound for a tile this instance does NOT own
+  /// (set by the sharded experiment driver; it ships the members over the
+  /// inter-region gateway). Unset, cross-region walks stay home — but with
+  /// the default RegionConfig every tile is owned and the sink is never
+  /// consulted, so unsharded runs are untouched.
+  using MigrationSink = std::function<void(std::size_t tile_idx, std::uint32_t count)>;
+  void set_migration_sink(MigrationSink sink) { migration_sink_ = std::move(sink); }
+
+  /// Inbound migration from a peer region: adds `count` members to owned
+  /// tile `idx` (cohort mode only).
+  void add_members(std::size_t idx, std::uint32_t count);
+
+  /// Boundary-AoI relay delivery: members of owned tile `idx` hear `count`
+  /// publications of `bytes` each from a remote neighbouring tile, observed
+  /// `latency` after publication. Pure aggregate accounting — the relayed
+  /// copies crossed the inter-region gateway, not the local pub/sub fabric.
+  void deliver_remote(std::size_t idx, std::uint64_t count, std::size_t bytes, SimTime latency);
+
+  /// Members currently apportioned to tile `idx` (0 when unowned or empty).
+  [[nodiscard]] std::uint32_t tile_members(std::size_t idx) const {
+    return idx < cohorts_.size() && cohorts_[idx] ? cohorts_[idx]->members() : 0;
+  }
+  /// True when this instance simulates tile `idx` (always, outside
+  /// block-parallel mode).
+  [[nodiscard]] bool owns_tile(std::size_t idx) const {
+    return config_.region.tile_owner.empty() || config_.region.tile_owner[idx] == config_.region.region;
+  }
 
   [[nodiscard]] std::uint64_t total_updates_published() const;
   [[nodiscard]] std::uint64_t total_updates_received() const;
@@ -101,6 +151,7 @@ class Game {
   std::vector<double> migration_credit_;  // fractional outflow per tile
   std::uint64_t cohort_crossings_ = 0;
   Rng migration_rng_;
+  MigrationSink migration_sink_;
   sim::PeriodicTask migration_;
 };
 

@@ -1,0 +1,86 @@
+// Block-parallel game experiments (DESIGN.md section 15): the RGame world is
+// partitioned into regions — contiguous tile bands balanced by stationary
+// density — and each region runs as a complete sub-cluster (its own
+// Simulator, Network, balancer fleet and cohort population) on its own
+// sim::ShardedEngine shard. Regions are coupled only through an
+// inter-region gateway:
+//
+//  - Migration: a member whose aggregate random-walk step crosses a region
+//    border leaves its shard, occupies the gateway's egress port, and
+//    arrives at the owning region one inter-region delay later (the engine
+//    lookahead) as a BoundaryEvent.
+//  - Boundary AoI (opt-in): publications in a tile adjacent to a region
+//    border are relayed, once per second in aggregate, to the neighbouring
+//    region's edge tiles — members there hear them at gateway latency.
+//
+// K = 1 spawns no threads, no gateway, and no region map: it is the classic
+// run_game_experiment byte for byte (the determinism guard asserts it).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "mammoth/experiments.h"
+#include "sim/sharded_engine.h"
+
+namespace dynamoth::mammoth::exp {
+
+/// Pluggable tile -> region map for the block-parallel partitioner.
+class ShardAssigner {
+ public:
+  virtual ~ShardAssigner() = default;
+  /// Returns tile_count entries in [0, regions); every region must own at
+  /// least one tile.
+  [[nodiscard]] virtual std::vector<std::uint32_t> assign(
+      const std::vector<double>& tile_weights, int tiles_per_side,
+      std::size_t regions) const = 0;
+};
+
+/// Default assigner: contiguous row-major bands cut so cumulative stationary
+/// weight is balanced across regions — each shard gets an equal share of the
+/// population (and with it, of the event load).
+class BandShardAssigner : public ShardAssigner {
+ public:
+  [[nodiscard]] std::vector<std::uint32_t> assign(const std::vector<double>& tile_weights,
+                                                  int tiles_per_side,
+                                                  std::size_t regions) const override;
+};
+
+struct ShardOptions {
+  /// Region / shard / worker-thread count. 1 = classic single-threaded run.
+  std::size_t shards = 1;
+  /// One-way inter-region gateway propagation delay; doubles as the engine
+  /// lookahead, so it bounds the epoch length. Must be > 0 for shards > 1.
+  SimTime inter_region_delay = millis(20);
+  /// Gateway uplink line rate (B/s) per region.
+  double gateway_egress = 1e9;
+  /// Arm the boundary-AoI relay. Off by default so --shards scaling sweeps
+  /// measure pure engine speedup on an unchanged workload.
+  bool boundary_aoi = false;
+  /// Divide the balancer's max_servers fleet across regions (sums to the
+  /// unsharded fleet). Off: every region gets the full cap.
+  bool split_fleet = true;
+  /// Optional custom partitioner; default is BandShardAssigner.
+  const ShardAssigner* assigner = nullptr;
+};
+
+struct ShardedGameResult {
+  /// Cross-region merge: series rows aligned by timestamp (players, msgs,
+  /// servers, rebalances summed; rt weighted by players; avg_lr weighted by
+  /// servers; max_lr maxed), histograms merged, scalar totals summed,
+  /// max_players_ok / peak_servers recomputed from the merged series.
+  /// events is the time-sorted concatenation; metrics and audit stay
+  /// per-shard (see per_shard).
+  GameExperimentResult merged;
+  std::vector<GameExperimentResult> per_shard;
+  sim::ShardedEngine::Stats engine;
+};
+
+/// Runs config under `options.shards` block-parallel regions. Cohort mode
+/// required for shards > 1 (region filtering is an apportionment property).
+/// Deterministic for a fixed (config.seed, options.shards).
+[[nodiscard]] ShardedGameResult run_sharded_game_experiment(const GameExperimentConfig& config,
+                                                            const ShardOptions& options);
+
+}  // namespace dynamoth::mammoth::exp

@@ -80,6 +80,32 @@ class Network {
   SimTime send(NodeId from, NodeId to, std::size_t bytes, DeliverFn on_deliver,
                SimTime extra_delay = 0, SimTime min_arrival = 0);
 
+  /// Cross-shard uplink half-send: occupies `from`'s egress port and bumps
+  /// its counters with exactly the arithmetic send() uses — same tx-time
+  /// expression, same weighted accounting — but schedules no delivery event:
+  /// the message leaves this shard's simulated world. Returns the departure
+  /// time (when the message clears the egress queue); the block-parallel
+  /// experiment layer adds the fixed inter-region propagation delay and
+  /// posts the result across the shard boundary (DESIGN.md section 15).
+  /// Deliberately does NOT sample the latency model: the remote leg's delay
+  /// is fixed by the lookahead contract, so an uplink send perturbs no local
+  /// RNG draws and K = 1 runs (which never call this) stay bit-identical.
+  SimTime occupy_egress(NodeId from, std::size_t bytes, std::uint32_t weight = 1) {
+    DYN_CHECK(from < nodes_.size());
+    DYN_CHECK(weight >= 1);
+    Node& src = nodes_[from];
+    const std::uint64_t wire_bytes = static_cast<std::uint64_t>(bytes) * weight;
+    const auto tx_time = static_cast<SimTime>(static_cast<double>(bytes) * weight /
+                                              src.config.egress_bytes_per_sec * kSecond);
+    const SimTime start = std::max(sim_.now(), src.egress_free);
+    src.egress_free = start + tx_time;
+    src.counters.bytes_sent += wire_bytes;
+    src.counters.messages_sent += weight;
+    DYN_TRACE_HOT(complete(start, tx_time, from, "net", "uplink", "bytes",
+                           static_cast<double>(wire_bytes)));
+    return src.egress_free;
+  }
+
   /// Batched fan-out entry point: one FanoutBatch per publish pins the sender
   /// and carries per-destination runs of deliveries (the pub/sub layer groups
   /// a publication's recipients by destination node and issues one run per

@@ -1,12 +1,20 @@
 #include "obs/trace.h"
 
 #include "common/check.h"
+#include "common/thread_singleton.h"
 
 namespace dynamoth::obs {
 
 TraceRecorder& TraceRecorder::instance() {
-  static TraceRecorder recorder;
-  return recorder;
+  // Per simulator thread, like EnvelopePool and ChannelTable: hot trace
+  // points must stay unsynchronized, so each shard thread records into its
+  // own ring (DESIGN.md section 15). Leaked + registered for LeakSanitizer.
+  static thread_local TraceRecorder* recorder = [] {
+    auto* r = new TraceRecorder();
+    detail::retain_for_process_lifetime(r);
+    return r;
+  }();
+  return *recorder;
 }
 
 void TraceRecorder::set_enabled(bool enabled) {

@@ -74,7 +74,7 @@ class TraceRecorder {
   /// the recorder stays disabled.
   static constexpr std::size_t kDefaultCapacity = 1u << 18;
 
-  /// The process-wide recorder.
+  /// The calling simulator thread's recorder (per-thread in sharded mode).
   static TraceRecorder& instance();
 
   [[nodiscard]] bool enabled() const { return enabled_; }

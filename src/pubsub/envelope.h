@@ -7,8 +7,8 @@
 // "all inter-component communications are done using the pub/sub primitives".
 //
 // Memory architecture (see DESIGN.md section 10): envelopes live in a
-// process-wide slab pool (EnvelopePool) and are handed around as intrusive,
-// *non-atomic* refcounted EnvelopeRef values. The simulator is
+// per-simulator-thread slab pool (EnvelopePool) and are handed around as
+// intrusive, *non-atomic* refcounted EnvelopeRef values. Each simulator is
 // single-threaded, so the atomic control-block traffic of the previous
 // std::shared_ptr<const Envelope> representation was pure waste — and its
 // make_shared allocation put one heap round-trip on every publication. Slab
@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "common/channel_table.h"
+#include "common/owner.h"
+#include "common/thread_singleton.h"
 #include "common/types.h"
 
 namespace dynamoth::ps {
@@ -101,11 +103,13 @@ namespace detail {
 
 /// One pool slot: the envelope plus its intrusive refcount and free-list
 /// link. The count is deliberately non-atomic — every producer and consumer
-/// runs on the single-threaded simulator.
+/// runs on one simulator thread (the slot's pool is thread-local, and debug
+/// builds assert the owner stamp on every refcount operation).
 struct EnvelopeSlot {
   Envelope env;
   std::uint32_t refs = 0;
   EnvelopeSlot* next_free = nullptr;
+  [[no_unique_address]] OwnerStamp owner;
 };
 
 }  // namespace detail
@@ -115,15 +119,21 @@ class BasicEnvelopeRef;
 
 /// Slab pool of envelope slots: fixed-size blocks with stable addresses,
 /// chained through an intrusive free list (the same design as the
-/// simulator's event slab). Process-wide, like ChannelTable, so envelopes
-/// cross client/server/dispatcher boundaries freely.
+/// simulator's event slab). Per simulator thread, like ChannelTable, so
+/// envelopes cross client/server/dispatcher boundaries freely within one
+/// simulation but never cross shard threads (DESIGN.md section 15).
 class EnvelopePool {
  public:
-  /// The process-wide pool. Intentionally leaked: envelopes captured in
+  /// The calling thread's pool. Intentionally leaked: envelopes captured in
   /// static-duration containers may release during teardown, after function-
-  /// local statics would have been destroyed.
+  /// local statics would have been destroyed (see thread_singleton.h for the
+  /// LeakSanitizer registry).
   static EnvelopePool& instance() {
-    static EnvelopePool* pool = new EnvelopePool();
+    static thread_local EnvelopePool* pool = [] {
+      auto* p = new EnvelopePool();
+      ::dynamoth::detail::retain_for_process_lifetime(p);
+      return p;
+    }();
     return *pool;
   }
 
@@ -165,11 +175,13 @@ class EnvelopePool {
     }
     s->refs = 1;
     s->next_free = nullptr;
+    s->owner.stamp();
     ++live_;
     return s;
   }
 
   void release(detail::EnvelopeSlot* s) {
+    s->owner.check();
     s->env.reset_for_reuse();
     s->next_free = free_head_;
     free_head_ = s;
@@ -203,7 +215,10 @@ class BasicEnvelopeRef {
   // throwing, SmallFunction would reject the closure for inline storage and
   // heap-allocate every fan-out callback.
   BasicEnvelopeRef(const BasicEnvelopeRef& other) noexcept : slot_(other.slot_) {
-    if (slot_ != nullptr) ++slot_->refs;
+    if (slot_ != nullptr) {
+      slot_->owner.check();
+      ++slot_->refs;
+    }
   }
   BasicEnvelopeRef(BasicEnvelopeRef&& other) noexcept : slot_(other.slot_) {
     other.slot_ = nullptr;
@@ -213,7 +228,10 @@ class BasicEnvelopeRef {
   template <class U, class = std::enable_if_t<std::is_convertible_v<U*, T*>>>
   BasicEnvelopeRef(const BasicEnvelopeRef<U>& other) noexcept  // NOLINT(google-explicit-constructor)
       : slot_(other.slot_) {
-    if (slot_ != nullptr) ++slot_->refs;
+    if (slot_ != nullptr) {
+      slot_->owner.check();
+      ++slot_->refs;
+    }
   }
   template <class U, class = std::enable_if_t<std::is_convertible_v<U*, T*>>>
   BasicEnvelopeRef(BasicEnvelopeRef<U>&& other) noexcept  // NOLINT(google-explicit-constructor)
@@ -237,7 +255,10 @@ class BasicEnvelopeRef {
   ~BasicEnvelopeRef() { reset(); }
 
   void reset() noexcept {
-    if (slot_ != nullptr && --slot_->refs == 0) EnvelopePool::instance().release(slot_);
+    if (slot_ != nullptr) {
+      slot_->owner.check();
+      if (--slot_->refs == 0) EnvelopePool::instance().release(slot_);
+    }
     slot_ = nullptr;
   }
 

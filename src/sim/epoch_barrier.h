@@ -1,0 +1,55 @@
+// Reusable spin barrier for the block-parallel engine's lockstep epochs.
+//
+// K shard threads (the caller counts as shard 0) meet here twice per epoch:
+// once after draining boundary buffers and publishing their next-event time,
+// once after running the epoch. Epochs are milliseconds of work, so the wait
+// is short; the barrier spins with a yield per iteration rather than parking
+// on a futex, which keeps the single-core CI runners (and TSan's scheduler)
+// from starving the thread that everyone is waiting for.
+//
+// Memory ordering: the barrier is the ONLY synchronization between shard
+// threads. Every write a thread makes before wait() happens-before every
+// read any thread makes after the matching wait() returns — arrivals chain
+// through an acq_rel RMW on `count_`, and the release store / acquire load
+// of `generation_` publishes the whole set to the waiters. The boundary
+// buffers and the next-event-time slots rely on exactly this (they are plain
+// non-atomic data, written on one side of a wait() and read on the other).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+
+namespace dynamoth::sim {
+
+class EpochBarrier {
+ public:
+  explicit EpochBarrier(std::size_t participants) : n_(participants) {}
+
+  EpochBarrier(const EpochBarrier&) = delete;
+  EpochBarrier& operator=(const EpochBarrier&) = delete;
+
+  /// Blocks until all `participants` threads have called wait() for the
+  /// current generation. The last arrival releases everyone.
+  void wait() {
+    const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+      count_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_release);
+    } else {
+      while (generation_.load(std::memory_order_acquire) == gen) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t participants() const { return n_; }
+
+ private:
+  const std::size_t n_;
+  std::atomic<std::size_t> count_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace dynamoth::sim

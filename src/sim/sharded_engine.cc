@@ -1,0 +1,223 @@
+#include "sim/sharded_engine.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace dynamoth::sim {
+
+// Persistent worker: parks on a condition variable between commands. The
+// epoch loop inside a kRun command uses the spin barrier, not this mutex —
+// the cv only paces the coarse build/run/visit/exit transitions.
+struct ShardedEngine::Worker {
+  std::thread thread;
+  std::mutex mu;
+  std::condition_variable cv;
+  Cmd cmd = Cmd::kNone;
+  bool done = true;
+
+  void issue(Cmd c) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      DYN_CHECK(done);
+      cmd = c;
+      done = false;
+    }
+    cv.notify_all();
+  }
+
+  void await() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return done; });
+  }
+
+  Cmd next_command() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return !done; });
+    return cmd;
+  }
+
+  void ack() {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+ShardedEngine::ShardedEngine(const ShardedEngineConfig& cfg)
+    : cfg_(cfg), barrier_(cfg.shards) {
+  DYN_CHECK(cfg_.shards >= 1);
+  DYN_CHECK(cfg_.shards == 1 || cfg_.lookahead > 0);
+  shards_.resize(cfg_.shards);
+  mailboxes_.resize(cfg_.shards * cfg_.shards);
+  per_shard_.resize(cfg_.shards);
+}
+
+ShardedEngine::~ShardedEngine() {
+  if (!built_) return;
+  for (auto& w : workers_) w->issue(Cmd::kExit);  // worker destroys its shard
+  for (auto& w : workers_) w->thread.join();
+  shards_[0].reset();  // shard 0 lives on this thread
+}
+
+void ShardedEngine::build(const ShardFactory& factory) {
+  DYN_CHECK(!built_);
+  built_ = true;
+  factory_ = &factory;
+  // Fully populate the worker vector before the first thread spawns:
+  // worker_main indexes it, so it must never reallocate once a thread runs.
+  for (std::size_t i = 1; i < cfg_.shards; ++i) workers_.push_back(std::make_unique<Worker>());
+  for (std::size_t i = 1; i < cfg_.shards; ++i) {
+    workers_[i - 1]->thread = std::thread([this, i] { worker_main(i); });
+  }
+  issue_all(Cmd::kBuild);
+  shards_[0] = (*factory_)(0);
+  DYN_CHECK(shards_[0] != nullptr);
+  await_all();
+  factory_ = nullptr;
+}
+
+void ShardedEngine::worker_main(std::size_t shard_id) {
+  Worker& w = *workers_[shard_id - 1];
+  for (;;) {
+    switch (w.next_command()) {
+      case Cmd::kBuild:
+        shards_[shard_id] = (*factory_)(shard_id);
+        DYN_CHECK(shards_[shard_id] != nullptr);
+        break;
+      case Cmd::kRun:
+        epoch_loop(shard_id, run_target_);
+        break;
+      case Cmd::kVisit:
+        if (visit_target_ == shard_id) (*visit_fn_)(*shards_[shard_id]);
+        break;
+      case Cmd::kExit:
+        // Tear the shard down on its owning thread: its envelopes and
+        // refcounts release into this thread's pools.
+        shards_[shard_id].reset();
+        w.ack();
+        return;
+      case Cmd::kNone:
+        break;
+    }
+    w.ack();
+  }
+}
+
+void ShardedEngine::issue_all(Cmd cmd) {
+  for (auto& w : workers_) w->issue(cmd);
+}
+
+void ShardedEngine::await_all() {
+  for (auto& w : workers_) w->await();
+}
+
+void ShardedEngine::post(std::size_t src, std::size_t dst, const BoundaryEvent& ev) {
+  DYN_CHECK(src < cfg_.shards && dst < cfg_.shards);
+  DYN_DCHECK(!per_shard_[src].draining);  // posting from on_boundary races the dst drain
+  DYN_DCHECK(ev.at >= shards_[src]->simulator().now() + cfg_.lookahead);
+  mailboxes_[src * cfg_.shards + dst].push_back(ev);
+  ++per_shard_[src].posted;
+}
+
+void ShardedEngine::drain(std::size_t shard_id) {
+  Shard& dst = *shards_[shard_id];
+  per_shard_[shard_id].draining = true;
+  for (std::size_t src = 0; src < cfg_.shards; ++src) {
+    BoundaryBuffer& box = mailboxes_[src * cfg_.shards + shard_id];
+    for (const BoundaryEvent& ev : box) dst.on_boundary(src, ev);
+    box.clear();
+  }
+  per_shard_[shard_id].draining = false;
+}
+
+void ShardedEngine::run_until(SimTime t) {
+  DYN_CHECK(built_);
+  if (cfg_.shards == 1) {
+    // Inline mode: one drain (self-posts from a previous chunk, if any),
+    // one run. Byte-identical to driving the Simulator directly.
+    drain(0);
+    shards_[0]->simulator().run_until(t);
+    ++epochs_;
+    return;
+  }
+  run_target_ = t;
+  issue_all(Cmd::kRun);
+  epoch_loop(0, t);
+  await_all();
+}
+
+void ShardedEngine::epoch_loop(std::size_t shard_id, SimTime t) {
+  Simulator& sim = shards_[shard_id]->simulator();
+  for (;;) {
+    // Drain phase: merge mailboxes (deterministic order), publish the next
+    // event time for the epoch reduction. Peers' mailbox writes happened
+    // before the previous barrier; ours are visible to them after the next.
+    drain(shard_id);
+    per_shard_[shard_id].next = sim.next_event_time();
+    barrier_.wait();
+
+    // Every shard computes the same epoch end from the same published slots
+    // (no second reduction barrier needed: the slots are frozen until the
+    // post-run barrier below).
+    SimTime min_next = kNoNextEvent;
+    for (const PerShard& ps : per_shard_) min_next = std::min(min_next, ps.next);
+    SimTime epoch_end = t;
+    if (min_next != kNoNextEvent && min_next <= t - cfg_.lookahead) {
+      // Strictly below min_next + lookahead, so nothing a peer posts during
+      // this epoch can land at or before it.
+      epoch_end = min_next + cfg_.lookahead - 1;
+    }
+
+    // Run phase: pure single-threaded simulation; posts append to mailboxes.
+    sim.run_until(epoch_end);
+    if (shard_id == 0) ++epochs_;
+    barrier_.wait();
+
+    if (epoch_end >= t) {
+      // Final drain: events posted during the last epoch all have
+      // at > t (lookahead contract), so they schedule into the future for
+      // a subsequent run_until chunk — none can fire now.
+      drain(shard_id);
+      return;
+    }
+  }
+}
+
+void ShardedEngine::visit(std::size_t shard_id, const VisitFn& fn) {
+  DYN_CHECK(built_);
+  DYN_CHECK(shard_id < cfg_.shards);
+  if (shard_id == 0) {
+    fn(*shards_[0]);
+    return;
+  }
+  visit_fn_ = &fn;
+  visit_target_ = shard_id;
+  Worker& w = *workers_[shard_id - 1];
+  w.issue(Cmd::kVisit);
+  w.await();
+  visit_fn_ = nullptr;
+}
+
+void ShardedEngine::visit_all(const VisitFn& fn) {
+  for (std::size_t i = 0; i < cfg_.shards; ++i) visit(i, fn);
+}
+
+Shard& ShardedEngine::shard(std::size_t shard_id) {
+  DYN_CHECK(built_);
+  DYN_CHECK(shard_id < cfg_.shards);
+  return *shards_[shard_id];
+}
+
+ShardedEngine::Stats ShardedEngine::stats() const {
+  Stats s;
+  s.epochs = epochs_;
+  for (const PerShard& ps : per_shard_) s.boundary_events += ps.posted;
+  return s;
+}
+
+}  // namespace dynamoth::sim

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -37,6 +38,9 @@ namespace dynamoth::sim {
 
 /// Sentinel slab index for "no event".
 inline constexpr std::uint32_t kNoEventSlot = 0xFFFF'FFFF;
+
+/// Sentinel returned by Simulator::next_event_time() for an empty queue.
+inline constexpr SimTime kNoNextEvent = std::numeric_limits<SimTime>::max();
 
 /// Handle to a scheduled event; used for cancellation. Default-constructed
 /// handles are inert (cancel() returns false). A handle names a slab slot at
@@ -106,6 +110,15 @@ class Simulator {
     Slot& s = slot(id.slot);
     if (s.generation != id.generation) return nullptr;
     return &s.cb;
+  }
+
+  /// Time of the earliest pending event, or kNoNextEvent when the queue is
+  /// empty. Cancelled entries at the root are discarded first, so the answer
+  /// is exact. The block-parallel engine's epoch fast-forward reduces this
+  /// across shards to bound each lockstep epoch (DESIGN.md section 15).
+  [[nodiscard]] SimTime next_event_time() {
+    drop_dead_roots();
+    return heap_empty() ? kNoNextEvent : heap_root().time;
   }
 
   /// Runs a single event. Returns false if the queue is empty.

@@ -172,6 +172,38 @@ TEST(Network, TransmittedRateNeverExceedsLineRate) {
   EXPECT_LE(f.network.transmitted_bytes(a), 20'000u + 1000u);
 }
 
+TEST(Network, OccupyEgressSharesTheQueueWithSendAndSchedulesNothing) {
+  NetFixture f;
+  const NodeId a = f.add_client(1000.0);  // 1000 B/s
+  const NodeId b = f.add_server();
+
+  // The uplink half-send occupies the port exactly like send() would...
+  const SimTime depart = f.network.occupy_egress(a, 1000);
+  EXPECT_EQ(depart, seconds(1));
+  EXPECT_EQ(f.network.egress_backlog(a), seconds(1));
+  EXPECT_EQ(f.network.counters(a).bytes_sent, 1000u);
+  EXPECT_EQ(f.network.counters(a).messages_sent, 1u);
+  // ...so a local send queued behind it is delayed by the uplink's tx time.
+  SimTime delivered = -1;
+  f.network.send(a, b, 1000, [&] { delivered = f.sim.now(); });
+  EXPECT_EQ(f.sim.pending_events(), 1u);  // the uplink scheduled no event
+  f.sim.run();
+  EXPECT_EQ(delivered, seconds(2) + millis(10));
+}
+
+TEST(Network, OccupyEgressWeightedMatchesSendArithmeticAndDrawsNoRng) {
+  NetFixture f;
+  const NodeId a = f.add_client(1000.0);
+  const std::uint64_t draws_before = Rng::total_draws();
+  const SimTime depart = f.network.occupy_egress(a, 250, /*weight=*/4);
+  EXPECT_EQ(depart, seconds(1));  // 4 x 250 B at 1000 B/s
+  EXPECT_EQ(f.network.counters(a).bytes_sent, 1000u);
+  EXPECT_EQ(f.network.counters(a).messages_sent, 4u);
+  // No latency sample: local RNG sequences are untouched, so K = 1 sharded
+  // runs (which never take the uplink) stay bit-identical.
+  EXPECT_EQ(Rng::total_draws(), draws_before);
+}
+
 TEST(Network, MeasuredRateMatchesOfferedLoadBelowSaturation) {
   NetFixture f;
   const NodeId s = f.add_server(1e6);

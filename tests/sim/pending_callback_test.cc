@@ -1,0 +1,195 @@
+// Coverage for Simulator::pending_callback (the in-place callback swap the
+// fan-out batch uses to retro-convert an already-scheduled delivery into a
+// coalesced-bucket drain) — including its interaction with cancellation,
+// generation-stamp reuse, and sharded-mode epoch boundaries.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/sharded_engine.h"
+#include "sim/simulator.h"
+
+namespace dynamoth::sim {
+namespace {
+
+TEST(PendingCallback, SwapPreservesTimeAndTieBreakOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(millis(5), [&] { order.push_back(1); });
+  const EventId id = sim.schedule_at(millis(5), [&] { order.push_back(-1); });
+  sim.schedule_at(millis(5), [&] { order.push_back(3); });
+
+  Simulator::Callback* cb = sim.pending_callback(id);
+  ASSERT_NE(cb, nullptr);
+  *cb = [&] { order.push_back(2); };  // converted in place
+
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));  // kept its original slot
+  EXPECT_EQ(sim.now(), millis(5));
+}
+
+TEST(PendingCallback, CancellationAfterConversionSuppressesTheReplacement) {
+  Simulator sim;
+  bool original = false;
+  bool replacement = false;
+  const EventId id = sim.schedule_at(millis(5), [&] { original = true; });
+
+  *sim.pending_callback(id) = [&] { replacement = true; };
+  EXPECT_TRUE(sim.cancel(id));  // the handle survives conversion...
+  EXPECT_FALSE(sim.cancel(id));
+
+  sim.run();
+  EXPECT_FALSE(original);
+  EXPECT_FALSE(replacement);  // ...and cancelling kills the swapped-in body
+  EXPECT_EQ(sim.pending_callback(id), nullptr);
+}
+
+TEST(PendingCallback, DeadAfterFire) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(millis(1), [] {});
+  sim.run();
+  EXPECT_EQ(sim.pending_callback(id), nullptr);
+}
+
+TEST(PendingCallback, GenerationStampGuardsSlotReuse) {
+  Simulator sim;
+  int converted_fired = 0;
+  int imposter_fired = 0;
+
+  const EventId stale = sim.schedule_at(millis(1), [&] { ++converted_fired; });
+  ASSERT_TRUE(sim.cancel(stale));
+
+  // The freed slot is reused by the next schedule, with a bumped generation:
+  // the stale handle must not grant access to the new occupant.
+  const EventId fresh = sim.schedule_at(millis(2), [&] { ++imposter_fired; });
+  ASSERT_EQ(fresh.slot, stale.slot);
+  ASSERT_NE(fresh.generation, stale.generation);
+  EXPECT_EQ(sim.pending_callback(stale), nullptr);
+  ASSERT_NE(sim.pending_callback(fresh), nullptr);
+
+  // Convert through the live handle; the stale one stays dead.
+  *sim.pending_callback(fresh) = [&] { converted_fired += 10; };
+  sim.run();
+  EXPECT_EQ(converted_fired, 10);
+  EXPECT_EQ(imposter_fired, 0);
+  EXPECT_EQ(sim.pending_callback(fresh), nullptr);  // dead after firing too
+}
+
+TEST(PendingCallback, NextEventTimePeekDoesNotDisturbPendingSlots) {
+  // next_event_time() (the sharded engine's epoch reduction hook) discards
+  // cancelled roots; it must leave live handles — converted or not — valid.
+  Simulator sim;
+  int fired = 0;
+  const EventId cancelled = sim.schedule_at(millis(1), [&] { fired = -100; });
+  const EventId kept = sim.schedule_at(millis(2), [&] { fired = 1; });
+  ASSERT_TRUE(sim.cancel(cancelled));
+
+  EXPECT_EQ(sim.next_event_time(), millis(2));
+  ASSERT_NE(sim.pending_callback(kept), nullptr);
+  *sim.pending_callback(kept) = [&] { fired = 2; };
+  EXPECT_EQ(sim.next_event_time(), millis(2));
+
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.next_event_time(), kNoNextEvent);
+}
+
+/// Shard that schedules a far-future event and retro-converts it from a
+/// callback running in an earlier epoch (the event and its conversion are
+/// separated by at least one epoch barrier).
+class ConvertingShard : public Shard {
+ public:
+  explicit ConvertingShard(ShardedEngine* eng, std::size_t id) : eng_(eng), id_(id) {}
+
+  Simulator& simulator() override { return sim_; }
+
+  void on_boundary(std::size_t /*src*/, const BoundaryEvent& ev) override {
+    sim_.schedule_at(ev.at, [this] { ++boundary_fired_; });
+  }
+
+  ShardedEngine* eng_;
+  std::size_t id_;
+  Simulator sim_;
+  EventId target_{};
+  int original_fired_ = 0;
+  int converted_fired_ = 0;
+  int boundary_fired_ = 0;
+};
+
+TEST(PendingCallback, ConversionSurvivesEpochBoundariesInShardedMode) {
+  // Lookahead 1 ms, conversion at t=2ms, target at t=50ms, with cross-shard
+  // chatter every few ms forcing many epochs in between: the epoch loop's
+  // run_until chunking and next_event_time peeks must not invalidate the
+  // handle or resurrect the original callback.
+  ShardedEngine eng({.shards = 2, .lookahead = millis(1)});
+  eng.build([&eng](std::size_t id) {
+    auto shard = std::make_unique<ConvertingShard>(&eng, id);
+    ConvertingShard* raw = shard.get();
+    raw->target_ = raw->sim_.schedule_at(millis(50), [raw] { ++raw->original_fired_; });
+    raw->sim_.schedule_at(millis(2), [raw] {
+      Simulator::Callback* cb = raw->sim_.pending_callback(raw->target_);
+      ASSERT_NE(cb, nullptr);
+      *cb = [raw] { ++raw->converted_fired_; };
+    });
+    // Ping the peer every 3 ms to keep epochs short.
+    for (int k = 0; k < 15; ++k) {
+      raw->sim_.schedule_at(millis(3 * k), [raw] {
+        raw->eng_->post(raw->id_, 1 - raw->id_,
+                        BoundaryEvent{.at = raw->sim_.now() + millis(1)});
+      });
+    }
+    return shard;
+  });
+
+  eng.run_until(millis(60));
+  EXPECT_GT(eng.stats().epochs, 5u);
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto& s = static_cast<ConvertingShard&>(eng.shard(i));
+    EXPECT_EQ(s.original_fired_, 0) << "shard " << i;
+    EXPECT_EQ(s.converted_fired_, 1) << "shard " << i;
+    EXPECT_EQ(s.boundary_fired_, 15) << "shard " << i;
+    EXPECT_EQ(s.sim_.pending_callback(s.target_), nullptr);
+  }
+}
+
+TEST(PendingCallback, CancellationRacesEpochBoundaryDeterministically) {
+  // Convert at 2 ms, cancel at 20 ms (different epoch), target at 50 ms:
+  // neither body runs, and two identical runs agree event-for-event.
+  auto run = [](std::uint64_t) {
+    ShardedEngine eng({.shards = 2, .lookahead = millis(1)});
+    eng.build([&eng](std::size_t id) {
+      auto shard = std::make_unique<ConvertingShard>(&eng, id);
+      ConvertingShard* raw = shard.get();
+      raw->target_ = raw->sim_.schedule_at(millis(50), [raw] { ++raw->original_fired_; });
+      raw->sim_.schedule_at(millis(2), [raw] {
+        *raw->sim_.pending_callback(raw->target_) = [raw] { ++raw->converted_fired_; };
+      });
+      raw->sim_.schedule_at(millis(20), [raw] {
+        EXPECT_TRUE(raw->sim_.cancel(raw->target_));
+      });
+      for (int k = 0; k < 10; ++k) {
+        raw->sim_.schedule_at(millis(4 * k), [raw] {
+          raw->eng_->post(raw->id_, 1 - raw->id_,
+                          BoundaryEvent{.at = raw->sim_.now() + millis(1)});
+        });
+      }
+      return shard;
+    });
+    eng.run_until(millis(60));
+    std::vector<std::uint64_t> sig;
+    for (std::size_t i = 0; i < 2; ++i) {
+      auto& s = static_cast<ConvertingShard&>(eng.shard(i));
+      EXPECT_EQ(s.original_fired_, 0);
+      EXPECT_EQ(s.converted_fired_, 0);
+      sig.push_back(s.sim_.executed_events());
+    }
+    return sig;
+  };
+  EXPECT_EQ(run(0), run(1));
+}
+
+}  // namespace
+}  // namespace dynamoth::sim
